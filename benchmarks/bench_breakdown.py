@@ -1,0 +1,29 @@
+"""§V-B storage breakdown and the lossless reference (paper §II).
+
+Paper: PQ+SQ 20–30 % of the output, ECQ 70–80 %, bookkeeping < 0.5 %;
+lossless compressors reach only 1.1–2× on scientific doubles.
+"""
+
+from benchmarks.conftest import paper_vs_measured
+from repro.harness import breakdown
+
+
+def bench_breakdown_shares(benchmark):
+    res = benchmark.pedantic(
+        breakdown.run, kwargs={"size": "small", "lossless_sample": 100_000},
+        rounds=1, iterations=1,
+    )
+    fr = res["fractions"]
+    assert fr["ecq"] > fr["pattern"] + fr["scales"]  # ECQ dominates
+    assert fr["bookkeeping"] < 0.01
+    assert 1.0 < res["lossless_ratios"]["deflate"] < 4.0
+    paper_vs_measured(
+        "Storage breakdown at EB=1e-10",
+        [
+            ["PQ+SQ share", "20-30%", f"{100 * (fr['pattern'] + fr['scales']):.1f}%"],
+            ["ECQ share", "70-80%", f"{100 * fr['ecq']:.1f}%"],
+            ["bookkeeping share", "<0.5%", f"{100 * fr['bookkeeping']:.2f}%"],
+            ["gzip/deflate lossless ratio", "1.1-2", f"{res['lossless_ratios']['deflate']:.2f}"],
+            ["FPC lossless ratio", "1.1-2", f"{res['lossless_ratios']['fpc']:.2f}"],
+        ],
+    )

@@ -1,0 +1,45 @@
+"""Whole-basis integral dump, compressed class by class (GAMESS scenario).
+
+Also checks the paper's dataset rationale (§V-A): the d/f classes are the
+large, expensive ones — s/p classes compress less but contribute little
+volume.
+"""
+
+from benchmarks.conftest import paper_vs_measured
+from repro.chem import class_dump, compress_class_dump, glutamine, sto3g_basis
+from repro.chem.basis import polarization_basis
+from repro.chem.basis_sets import sto3g_shells_for_atom
+from repro.chem.basis import BasisSet
+
+
+def bench_classdump_whole_basis(benchmark):
+    mol = glutamine()
+    # STO-3G core + a d polarization shell per heavy atom: s/p/d classes.
+    shells = []
+    for i, atom in enumerate(mol.atoms):
+        shells.extend(sto3g_shells_for_atom(atom.symbol, atom.position, i))
+    shells.extend(polarization_basis(mol, "d").shells)
+    basis = BasisSet(mol, tuple(shells))
+
+    dump = benchmark.pedantic(
+        class_dump, args=(basis,), kwargs={"max_blocks_per_class": 12, "seed": 2},
+        rounds=1, iterations=1,
+    )
+    res = compress_class_dump(dump, 1e-10)
+    assert res.max_abs_error <= 1e-10
+
+    dd = {k: v for k, v in res.per_class.items() if "d" in k}
+    sp_only = {k: v for k, v in res.per_class.items() if "d" not in k}
+    bytes_dd = sum(v["bytes"] for v in dd.values())
+    bytes_sp = sum(v["bytes"] for v in sp_only.values())
+    # §V-A: d (and f) classes dominate the data volume.
+    assert bytes_dd > bytes_sp
+
+    paper_vs_measured(
+        "GAMESS-style class dump (glutamine, STO-3G + d)",
+        [
+            ["classes in dump", "many", len(res.per_class)],
+            ["d-class share of bytes", "dominant", f"{100 * bytes_dd / (bytes_dd + bytes_sp):.0f}%"],
+            ["whole-dump ratio @ 1e-10", "-", f"{res.ratio:.2f}"],
+        ],
+    )

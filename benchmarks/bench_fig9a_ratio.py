@@ -1,0 +1,52 @@
+"""Fig. 9a — the headline: compression ratios, PaSTRI vs SZ vs ZFP.
+
+Paper: at EB = 1e-10 the averages are PaSTRI 16.8×, SZ 7.24×, ZFP 5.92×
+(PaSTRI ≈ 2.5× the baselines).  Shape targets: PaSTRI wins on *every*
+dataset and by ≥ 1.5× on average; ratios fall as the bound tightens.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import paper_vs_measured
+from repro.api import get_codec
+from repro.harness import fig9
+from repro.metrics import compression_ratio, max_abs_error
+
+PAPER_AVG = {"pastri": 16.8, "sz": 7.24, "zfp": 5.92}
+
+
+def bench_fig9a_full_grid(benchmark, dd_dataset):
+    res = benchmark.pedantic(
+        fig9.run_ratios, kwargs={"size": "tiny", "with_rates": False},
+        rounds=1, iterations=1,
+    )
+    avg = res["averages"]
+    rows = []
+    for eb in res["error_bounds"]:
+        for name in ("sz", "zfp", "pastri"):
+            rows.append(
+                [f"{name} avg @ {eb:.0e}",
+                 PAPER_AVG[name] if eb == 1e-10 else "-",
+                 f"{avg[(name, eb)]:.2f}"]
+            )
+        assert avg[("pastri", eb)] > 1.5 * avg[("sz", eb)] * 0.8
+        assert avg[("pastri", eb)] > avg[("zfp", eb)]
+    # tighter bound, lower PaSTRI ratio
+    assert avg[("pastri", 1e-11)] < avg[("pastri", 1e-9)]
+    paper_vs_measured("Fig. 9a compression ratios", rows)
+
+
+@pytest.mark.parametrize("name", ["pastri", "sz", "zfp"])
+def bench_fig9a_single_dataset(benchmark, dd_dataset, name):
+    """Per-codec ratio on the Alanine (dd|dd) dataset at EB=1e-10."""
+    kwargs = {"dims": dd_dataset.spec.dims} if name == "pastri" else {}
+    codec = get_codec(name, **kwargs)
+    data = dd_dataset.data if name != "zfp" else dd_dataset.data[: 300 * 1296]
+
+    blob = benchmark.pedantic(codec.compress, args=(data, 1e-10), rounds=1, iterations=1)
+    out = codec.decompress(blob)
+    assert max_abs_error(data, out) <= 1e-10
+    ratio = compression_ratio(data.nbytes, len(blob))
+    print(f"\n[{name}] alanine (dd|dd) EB=1e-10 ratio={ratio:.2f}")
+    assert ratio > 2.0

@@ -1,0 +1,34 @@
+"""Fig. 9d — decompression rates.
+
+Paper (native C): PaSTRI > 1110 MB/s, ZFP 260.5, SZ 148.6.  Shape target:
+PaSTRI decompression is the fastest of the three, and faster than its own
+compression ("because of its few decompression operations", §V-B).
+"""
+
+import pytest
+
+from benchmarks.conftest import paper_vs_measured
+from repro.api import get_codec
+
+PAPER_MBS = {"pastri": 1110.0, "zfp": 260.5, "sz": 148.6}
+_RESULTS: dict[str, float] = {}
+
+
+@pytest.mark.parametrize("name", ["pastri", "sz", "zfp"])
+def bench_fig9d_decompress(benchmark, dd_dataset, name):
+    kwargs = {"dims": dd_dataset.spec.dims} if name == "pastri" else {}
+    codec = get_codec(name, **kwargs)
+    data = dd_dataset.data if name != "zfp" else dd_dataset.data[: 200 * 1296]
+    blob = codec.compress(data, 1e-10)
+
+    benchmark.pedantic(codec.decompress, args=(blob,), rounds=2, iterations=1)
+    rate = data.nbytes / benchmark.stats.stats.mean / 1e6
+    _RESULTS[name] = rate
+    print(f"\n[{name}] decompress rate: {rate:.1f} MB/s (paper, native: {PAPER_MBS[name]} MB/s)")
+    if len(_RESULTS) == 3:
+        assert _RESULTS["pastri"] > _RESULTS["sz"]
+        assert _RESULTS["pastri"] > _RESULTS["zfp"]
+        paper_vs_measured(
+            "Fig. 9d decompression rates (MB/s; measured = this library, Python)",
+            [[n, PAPER_MBS[n], f"{_RESULTS[n]:.1f}"] for n in ("sz", "zfp", "pastri")],
+        )

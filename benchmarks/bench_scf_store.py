@@ -1,0 +1,39 @@
+"""End-application benchmark: Hartree–Fock on PaSTRI-compressed integrals.
+
+The paper's motivating workload (§I): SCF methods re-read the ERIs every
+iteration.  We benchmark a full RHF solve whose quartets go through the
+compressed store, and assert the physics survives the 1e-10 bound.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import paper_vs_measured
+from repro.chem import RHFSolver, sto3g_basis, water
+from repro.core import PaSTRICompressor
+from repro.pipeline import CompressedERIStore
+
+
+def bench_scf_on_compressed_store(benchmark):
+    basis = sto3g_basis(water())
+    direct = RHFSolver(basis).run()
+
+    def solve_stored():
+        store = CompressedERIStore(
+            PaSTRICompressor(dims=(1, 1, 1, 1)), error_bound=1e-10
+        )
+        res = RHFSolver(basis, store=store).run()
+        return res, store
+
+    res, store = benchmark.pedantic(solve_stored, rounds=2, iterations=1)
+    assert res.converged
+    d_e = abs(res.energy - direct.energy)
+    assert d_e < 1e-7
+
+    paper_vs_measured(
+        "RHF/STO-3G water through the compressed ERI store",
+        [
+            ["RHF energy (hartree)", "-74.963 (lit.)", f"{res.energy:.5f}"],
+            ["|ΔE| vs direct integrals", "negligible", f"{d_e:.1e}"],
+            ["quartets stored", "-", store.stats.n_entries],
+        ],
+    )

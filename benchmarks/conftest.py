@@ -1,0 +1,41 @@
+"""Shared fixtures and reporting helpers for the paper benchmarks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_figN_*.py`` module regenerates one table/figure of the paper:
+it asserts the *shape* of the result (who wins, roughly by how much) and
+prints a paper-vs-measured table.  Timings come from pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.datasets import standard_dataset
+from repro.harness.report import render_table
+
+
+@pytest.fixture(scope="session")
+def dd_dataset():
+    """Alanine (dd|dd), small tier (cached in .repro_cache)."""
+    return standard_dataset("trialanine", "(dd|dd)", "small")
+
+
+@pytest.fixture(scope="session")
+def dd_dataset_glutamine():
+    return standard_dataset("glutamine", "(dd|dd)", "small")
+
+
+@pytest.fixture(scope="session")
+def ff_dataset():
+    """Alanine (ff|ff), tiny tier (ZFP's per-block coder is the slow path)."""
+    return standard_dataset("trialanine", "(ff|ff)", "tiny")
+
+
+def paper_vs_measured(title: str, rows: list[list]) -> None:
+    """Print a uniform paper-vs-measured comparison table."""
+    print(f"\n[{title}]")
+    print(render_table(["quantity", "paper", "measured"], rows))

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Codec shootout: every compressor in the package on one real dataset.
+
+Compares PaSTRI (all five scaling metrics), SZ, ZFP, and the lossless
+references on a glutamine (dd|dd) dataset across three error bounds —
+a miniature of the paper's full §V evaluation.
+
+Run:  python examples/codec_shootout.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    DeflateCodec,
+    FPCCodec,
+    PaSTRICompressor,
+    SZCompressor,
+    ZFPCompressor,
+    generate_dataset,
+    glutamine,
+    psnr,
+)
+from repro.core.scaling import ScalingMetric
+from repro.harness.report import render_table
+
+
+def main() -> None:
+    ds = generate_dataset(glutamine(), "(dd|dd)", n_blocks=300, seed=1)
+    data = ds.data
+    print(f"glutamine (dd|dd): {ds.n_blocks} blocks, {ds.nbytes / 1e6:.1f} MB\n")
+
+    rows = []
+    for eb in (1e-9, 1e-10, 1e-11):
+        for name, codec in [
+            ("pastri", PaSTRICompressor(dims=ds.spec.dims)),
+            ("sz", SZCompressor()),
+            ("zfp", ZFPCompressor()),
+        ]:
+            t0 = time.perf_counter()
+            blob = codec.compress(data, eb)
+            t_c = time.perf_counter() - t0
+            out = codec.decompress(blob)
+            err = np.max(np.abs(out - data))
+            assert err <= eb
+            rows.append(
+                [f"{eb:.0e}", name, f"{data.nbytes / len(blob):.2f}",
+                 f"{psnr(data, out):.1f}", f"{data.nbytes / t_c / 1e6:.1f}"]
+            )
+    print(render_table(["EB", "codec", "ratio", "PSNR dB", "comp MB/s"], rows))
+
+    print("\nlossless references (exact reconstruction):")
+    rows = []
+    for name, codec in (("deflate", DeflateCodec()), ("fpc", FPCCodec())):
+        sample = data[: 150_000]
+        blob = codec.compress(sample)
+        assert np.array_equal(codec.decompress(blob), sample)
+        rows.append([name, f"{sample.nbytes / len(blob):.2f}"])
+    print(render_table(["codec", "ratio"], rows))
+
+    print("\nPaSTRI scaling metrics (paper Fig. 4):")
+    rows = []
+    for metric in ScalingMetric:
+        codec = PaSTRICompressor(dims=ds.spec.dims, metric=metric)
+        blob = codec.compress(data, 1e-10)
+        rows.append([metric.name, f"{data.nbytes / len(blob):.2f}"])
+    print(render_table(["metric", "ratio @ 1e-10"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""PaSTRI beyond chemistry: generic data with latent pattern features.
+
+The paper closes with: the algorithm "can be used for compressing any data
+with pattern features".  This example builds a non-chemistry dataset — a
+sensor-array dump where every frame is the same waveform at a different
+gain (think rotating machinery sampled by many channels) — lets
+:func:`repro.core.detect_block_spec` discover the block structure with no
+domain knowledge, and compares codecs on it.
+
+Run:  python examples/generic_pattern_data.py
+"""
+
+import numpy as np
+
+from repro import PaSTRICompressor, SZCompressor, ZFPCompressor
+from repro.core import detect_block_spec
+from repro.harness.report import render_table
+
+EB = 1e-8
+
+
+def sensor_dump(n_machines: int = 200, channels: int = 24, samples: int = 48,
+                seed: int = 0) -> np.ndarray:
+    """Each machine: `channels` gain-scaled copies of its vibration signature."""
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 1, samples, endpoint=False)
+    frames = []
+    for _ in range(n_machines):
+        f1, f2 = rng.uniform(2, 9, 2)
+        signature = np.sin(2 * np.pi * f1 * t) + 0.4 * np.sin(2 * np.pi * f2 * t + 1.0)
+        gains = rng.uniform(-1, 1, channels)[:, None]
+        noise = 1e-4 * rng.standard_normal((channels, samples))
+        frames.append(1e-3 * gains * signature[None, :] * (1 + noise))
+    return np.concatenate([f.ravel() for f in frames])
+
+
+def main() -> None:
+    data = sensor_dump()
+    print(f"sensor dump: {data.nbytes / 1e6:.1f} MB, no block metadata attached\n")
+
+    res = detect_block_spec(data, error_bound=EB)
+    print(f"auto-detected structure: dims={res.spec.dims} "
+          f"(period score {res.period_score:.3f}, confident={res.confident})")
+    assert res.spec.sb_size == 48, "detector should find the 48-sample waveform"
+
+    rows = []
+    for name, codec in [
+        ("pastri (auto)", PaSTRICompressor(dims=res.spec.dims)),
+        ("sz", SZCompressor()),
+        ("zfp", ZFPCompressor()),
+    ]:
+        blob = codec.compress(data, EB)
+        out = codec.decompress(blob)
+        err = np.max(np.abs(out - data))
+        assert err <= EB
+        rows.append([name, f"{data.nbytes / len(blob):.2f}", f"{err:.1e}"])
+    print()
+    print(render_table(["codec", "ratio", "max err"], rows))
+    print("\nThe scaled-pattern structure carries over: PaSTRI wins on any")
+    print("dataset whose chunks are scalar multiples of a repeating shape.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Hartree–Fock on compressed integrals — the paper's end application.
+
+Runs restricted Hartree–Fock for H2 twice: with direct integrals and with
+every ERI shell block stored through PaSTRI at a sweep of error bounds,
+showing how the SCF energy degrades (or rather, doesn't) with the bound —
+the reason a 1e-10 absolute bound is "based on user's requirement" in
+quantum chemistry.
+
+Run:  python examples/hartree_fock.py
+"""
+
+import numpy as np
+
+from repro import CompressedERIStore, PaSTRICompressor
+from repro.chem.basis import BasisSet, Shell
+from repro.chem.molecule import Atom, Molecule
+from repro.chem.scf import RHFSolver
+from repro.harness.report import render_table
+
+STO3G_H = ((3.42525091, 0.62391373, 0.16885540), (0.15432897, 0.53532814, 0.44463454))
+
+
+def h2_basis(with_polarization: bool = True) -> BasisSet:
+    mol = Molecule("h2", (Atom("H", (0, 0, 0)), Atom("H", (0, 0, 1.4))))
+    shells = tuple(Shell(0, a.position, *STO3G_H) for a in mol.atoms)
+    if with_polarization:
+        shells += tuple(Shell(1, a.position, (1.1,), (1.0,)) for a in mol.atoms)
+    return BasisSet(mol, shells)
+
+
+def main() -> None:
+    basis = h2_basis()
+    print(f"H2, R = 1.4 bohr, {basis.n_basis_functions} basis functions (s + p shells)\n")
+
+    direct = RHFSolver(basis).run()
+    print(f"direct RHF energy: {direct.energy:.9f} hartree "
+          f"({direct.iterations} iterations)")
+    print("(STO-3G s-only reference: -1.1167; p shells lower it variationally)\n")
+
+    rows = []
+    for eb in (1e-4, 1e-6, 1e-8, 1e-10, 1e-12):
+        store = CompressedERIStore(PaSTRICompressor(dims=(1, 1, 1, 1)), error_bound=eb)
+        res = RHFSolver(basis, store=store).run()
+        rows.append(
+            [f"{eb:.0e}", f"{res.energy:.9f}", f"{abs(res.energy - direct.energy):.2e}",
+             f"{store.stats.ratio:.1f}"]
+        )
+    print(render_table(["error bound", "RHF energy (hartree)", "|ΔE|", "store ratio"], rows))
+    print("\nAt the paper's 1e-10 bound the energy error is below chemical")
+    print("significance while the integral store shrinks several-fold.")
+
+    # Post-HF: assemble MO integrals from stored ERIs (paper §I's use case).
+    from repro.chem import mp2_energy
+
+    store = CompressedERIStore(PaSTRICompressor(dims=(1, 1, 1, 1)), error_bound=1e-10)
+    res = mp2_energy(RHFSolver(basis, store=store))
+    print(f"\nMP2 on stored integrals: E_corr = {res.correlation_energy:.6f} hartree "
+          f"(total {res.total_energy:.6f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Pattern explorer: see the latent structure PaSTRI exploits (paper Fig. 3).
+
+Computes one real (dd|dd) shell block for tri-alanine, overlays its first
+two sub-blocks before and after rescaling as ASCII sparklines, and prints
+the deviation statistics that make pattern scaling work.
+
+Run:  python examples/pattern_explorer.py [block_index]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import generate_dataset, trialanine
+from repro.core.scaling import ScalingMetric, fit_pattern
+
+BARS = " .:-=+*#%@"
+
+
+def sparkline(values: np.ndarray, width: int = 72) -> str:
+    v = values[:width]
+    amp = np.abs(v).max() or 1.0
+    idx = np.clip(((v / amp) * 4.5 + 4.5).astype(int), 0, 9)
+    return "".join(BARS[i] for i in idx)
+
+
+def main() -> None:
+    ds = generate_dataset(trialanine(), "(dd|dd)", n_blocks=200, seed=0)
+    blocks = ds.blocks()
+    amps = np.abs(blocks).max(axis=(1, 2))
+    if len(sys.argv) > 1:
+        pick = int(sys.argv[1])
+    else:
+        mids = np.flatnonzero((amps > 1e-8) & (amps < 1e-6))
+        pick = int(mids[0]) if mids.size else int(np.argmax(amps))
+    blk = blocks[pick]
+
+    sb0, sb1 = blk[0], blk[1]
+    print(f"block {pick}: {ds.spec.config}, sub-block size {ds.spec.sb_size}")
+    print(f"\nsub-block 0 (range {np.abs(sb0).max():.2e}):")
+    print("  " + sparkline(sb0))
+    print(f"sub-block 1 (range {np.abs(sb1).max():.2e}):")
+    print("  " + sparkline(sb1))
+
+    fit = fit_pattern(blk, ScalingMetric.ER)
+    ref = int(np.argmax(np.abs(sb0)))
+    rescaled = sb0 * (sb1[ref] / sb0[ref])
+    print("\nsub-block 1 rescaled onto sub-block 0's shape:")
+    print("  " + sparkline(rescaled))
+    dev = np.abs(sb1 - rescaled)
+    print(f"\nmax |deviation| after rescale: {dev.max():.2e} "
+          f"({dev.max() / max(np.abs(sb1).max(), 1e-300):.1e} of the amplitude)")
+
+    print(f"\nER pattern fit for the whole block (pattern = sub-block {fit.pattern_index}):")
+    print(f"  scaling coefficients: {np.array2string(fit.scales[:8], precision=3)} ...")
+    print("  all coefficients lie in [-1, 1] — one per sub-block is all PaSTRI stores")
+
+
+if __name__ == "__main__":
+    main()

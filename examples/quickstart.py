@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: compress real two-electron integrals with PaSTRI.
+
+Generates a (dd|dd) ERI dataset for benzene with the built-in integral
+engine, compresses it at the paper's default error bound (1e-10), verifies
+the point-wise bound, and compares against the SZ/ZFP baselines.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    PaSTRICompressor,
+    SZCompressor,
+    ZFPCompressor,
+    benzene,
+    generate_dataset,
+)
+
+EB = 1e-10
+
+
+def main() -> None:
+    print("generating benzene (dd|dd) ERIs with the McMurchie-Davidson engine...")
+    ds = generate_dataset(benzene(), "(dd|dd)", n_blocks=120, exponent_scale=(1.0, 2.0))
+    print(f"  {ds.n_blocks} shell blocks, {ds.nbytes / 1e6:.1f} MB of doubles\n")
+
+    codec = PaSTRICompressor(dims=ds.spec.dims)
+    blob = codec.compress(ds.data, error_bound=EB)
+    out = codec.decompress(blob)
+
+    err = np.max(np.abs(out - ds.data))
+    print(f"PaSTRI:  ratio {ds.nbytes / len(blob):6.2f}x   max|err| = {err:.2e}  (bound {EB:g})")
+    assert err <= EB
+
+    for name, baseline in (("SZ", SZCompressor()), ("ZFP", ZFPCompressor())):
+        b = baseline.compress(ds.data, EB)
+        e = np.max(np.abs(baseline.decompress(b) - ds.data))
+        print(f"{name:6s}:  ratio {ds.nbytes / len(b):6.2f}x   max|err| = {e:.2e}")
+
+    print("\nPaSTRI exploits the scaled-pattern structure of ERI blocks that")
+    print("general-purpose compressors cannot see (paper Fig. 9a).")
+
+
+if __name__ == "__main__":
+    main()

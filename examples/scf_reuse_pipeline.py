@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Integral-reuse pipeline: the paper's Fig. 11 workflow on real data.
+
+Quantum-chemistry solvers sweep over the same ERIs every SCF iteration
+(10–30 times).  This example runs an iteration loop two ways:
+
+* *original* — recompute every shell quartet from scratch each iteration
+  (what GAMESS does when integrals don't fit in memory), and
+* *PaSTRI infrastructure* — compute once into a compressed in-memory store
+  (:class:`repro.pipeline.CompressedERIStore`), decompress on use.
+
+It reports wall-clock for both, the store's compression ratio, and the
+maximum error the lossy store introduced into the accumulated Coulomb-like
+contraction.
+
+Run:  python examples/scf_reuse_pipeline.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import CompressedERIStore, PaSTRICompressor, glutamine
+from repro.chem.basis import polarization_basis
+from repro.chem.dataset import canonical_quartets
+from repro.chem.eri import ERIEngine
+
+N_ITERATIONS = 8
+EB = 1e-10
+
+
+def main() -> None:
+    mol = glutamine()
+    basis = polarization_basis(mol, "d")
+    engine = ERIEngine(basis)
+    shells = list(range(len(basis)))
+    quartets = canonical_quartets((shells, shells, shells, shells))[:400]
+    print(f"{mol.name}: {len(basis)} d shells, {len(quartets)} quartets per sweep\n")
+
+    # A density-like weight vector to contract against (stands in for the
+    # Fock-build the real solver performs with each block).
+    rng = np.random.default_rng(0)
+    weights = rng.standard_normal(1296)
+
+    # --- original: recompute every iteration -------------------------------
+    t0 = time.perf_counter()
+    acc_exact = np.zeros(len(quartets))
+    for _ in range(N_ITERATIONS):
+        for k, q in enumerate(quartets):
+            acc_exact[k] += engine.eri_block(*q) @ weights
+        engine.clear_cache()  # model the no-reuse regime honestly
+    t_orig = time.perf_counter() - t0
+    print(f"original (recompute x{N_ITERATIONS}):      {t_orig:7.2f} s")
+
+    # --- PaSTRI infrastructure: compute once, decompress per use ----------
+    store = CompressedERIStore(PaSTRICompressor(config="(dd|dd)"), error_bound=EB)
+    t0 = time.perf_counter()
+    acc_store = np.zeros(len(quartets))
+    for it in range(N_ITERATIONS):
+        for k, q in enumerate(quartets):
+            block = store.get_or_compute(q, lambda q=q: engine.eri_block(*q))
+            acc_store[k] += block @ weights
+    t_store = time.perf_counter() - t0
+    print(f"PaSTRI store (compute once):      {t_store:7.2f} s")
+
+    st = store.stats
+    print(f"\nstore: {len(store)} blocks, ratio {st.ratio:.1f}x "
+          f"({st.original_bytes / 1e6:.1f} MB -> {st.compressed_bytes / 1e6:.2f} MB)")
+    print(f"speedup: {t_orig / t_store:.2f}x")
+    err = np.abs(acc_store - acc_exact).max() / N_ITERATIONS
+    bound = EB * np.abs(weights).sum()  # point-wise EB through the contraction
+    print(f"max contraction error per sweep: {err:.2e} (analytic bound {bound:.2e})")
+    assert err <= bound
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Common codec interface shared by PaSTRI, SZ, ZFP, and the lossless codecs.
+
+Every compressor in this package implements the :class:`Codec` protocol:
+
+``compress(data, error_bound) -> bytes``
+    ``data`` is a 1-D float64 array; ``error_bound`` is a point-wise
+    *absolute* error bound.  The returned blob is self-describing.
+
+``decompress(blob) -> np.ndarray``
+    Inverts :meth:`compress`; the result satisfies
+    ``max |data - decompressed| <= error_bound`` for the error-bounded
+    codecs and exact equality for the lossless ones.
+
+A tiny registry maps codec names (``"pastri"``, ``"sz"``, ``"zfp"``,
+``"deflate"``, ``"fpc"``) to factories so harness code can sweep codecs by
+name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+@runtime_checkable
+class Codec(Protocol):
+    """Structural interface for all compressors in this package."""
+
+    #: Short human-readable codec name (used in reports and the registry).
+    name: str
+
+    def compress(self, data: np.ndarray, error_bound: float) -> bytes:
+        """Compress a 1-D float64 array under an absolute error bound."""
+        ...
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        """Reconstruct the array from a blob produced by :meth:`compress`."""
+        ...
+
+
+_REGISTRY: dict[str, Callable[..., Codec]] = {}
+
+
+def register_codec(name: str, factory: Callable[..., Codec]) -> None:
+    """Register a codec factory under ``name`` (lower-case)."""
+    _REGISTRY[name.lower()] = factory
+
+
+def get_codec(name: str, **kwargs) -> Codec:
+    """Instantiate a registered codec by name.
+
+    >>> codec = get_codec("pastri", dims=(6, 6, 6, 6))
+    """
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        raise ParameterError(
+            f"unknown codec {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_codecs() -> list[str]:
+    """Names of all registered codecs."""
+    return sorted(_REGISTRY)
+
+
+def validate_input(data: np.ndarray) -> np.ndarray:
+    """Coerce codec input to a contiguous 1-D float64 array."""
+    arr = np.ascontiguousarray(data, dtype=np.float64)
+    if arr.ndim != 1:
+        arr = arr.ravel()
+    if arr.size == 0:
+        raise ParameterError("cannot compress an empty array")
+    if not np.isfinite(arr).all():
+        raise ParameterError("input contains NaN or Inf; codecs require finite data")
+    return arr
+
+
+def validate_error_bound(error_bound: float) -> float:
+    """Check that an absolute error bound is a positive finite float."""
+    eb = float(error_bound)
+    if not np.isfinite(eb) or eb <= 0.0:
+        raise ParameterError(f"error bound must be positive and finite, got {eb}")
+    return eb
+
+
+def resolve_error_bound(
+    data: np.ndarray, error_bound: float, mode: str = "abs"
+) -> float:
+    """Convert a user bound to the absolute bound the codecs consume.
+
+    ``mode="abs"`` passes the bound through; ``mode="rel"`` interprets it as
+    value-range-relative (SZ's REL mode): ``abs = rel · (max - min)``.
+    Quantum chemistry uses absolute bounds (the paper's 1e-10 is an
+    absolute integral precision), but general HPC datasets often specify
+    relative ones.
+    """
+    eb = validate_error_bound(error_bound)
+    if mode == "abs":
+        return eb
+    if mode == "rel":
+        data = np.asarray(data)
+        rng = float(data.max() - data.min())
+        if rng == 0.0:
+            raise ParameterError("relative bound undefined for constant data")
+        return eb * rng
+    raise ParameterError(f"error-bound mode must be 'abs' or 'rel', got {mode!r}")

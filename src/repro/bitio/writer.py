@@ -1,0 +1,138 @@
+"""MSB-first bitstream writer backed by numpy bit arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+_UINT64_SHIFTS = np.arange(63, -1, -1, dtype=np.uint64)
+
+
+class BitWriter:
+    """Accumulates bits MSB-first and packs them into bytes on demand.
+
+    Bits are staged as uint8 0/1 arrays and packed once with
+    ``np.packbits`` in :meth:`getvalue`, so bulk writes are O(n) numpy work
+    with no per-bit Python overhead.
+    """
+
+    def __init__(self) -> None:
+        self._parts: list[np.ndarray] = []
+        self._nbits = 0
+
+    def __len__(self) -> int:
+        return self._nbits
+
+    @property
+    def nbits(self) -> int:
+        """Number of bits written so far."""
+        return self._nbits
+
+    def write_bit(self, bit: int) -> None:
+        """Write a single bit (0 or 1)."""
+        self._parts.append(np.array([bit & 1], dtype=np.uint8))
+        self._nbits += 1
+
+    def write_bits_array(self, bits: np.ndarray) -> None:
+        """Write a raw array of 0/1 values, first element first."""
+        arr = np.asarray(bits, dtype=np.uint8)
+        if arr.ndim != 1:
+            arr = arr.ravel()
+        self._parts.append(arr)
+        self._nbits += arr.size
+
+    def write_uint(self, value: int, nbits: int) -> None:
+        """Write an unsigned integer in ``nbits`` bits, MSB first."""
+        if nbits < 0 or nbits > 64:
+            raise ParameterError(f"nbits must be in [0, 64], got {nbits}")
+        if nbits == 0:
+            return
+        v = int(value)
+        if v < 0 or (nbits < 64 and v >> nbits):
+            raise ParameterError(f"value {value} does not fit in {nbits} bits")
+        shifts = _UINT64_SHIFTS[64 - nbits :]
+        bits = ((np.uint64(v) >> shifts) & np.uint64(1)).astype(np.uint8)
+        self._parts.append(bits)
+        self._nbits += nbits
+
+    def write_uint_array(self, values: np.ndarray, nbits: int) -> None:
+        """Write each element of ``values`` as an ``nbits``-wide unsigned int.
+
+        Vectorised: one (n, nbits) bit matrix is produced and flattened.
+        """
+        if nbits < 0 or nbits > 64:
+            raise ParameterError(f"nbits must be in [0, 64], got {nbits}")
+        vals = np.ascontiguousarray(values, dtype=np.uint64)
+        if nbits == 0 or vals.size == 0:
+            return
+        if nbits < 64 and vals.size and int(vals.max()) >> nbits:
+            raise ParameterError(f"some values do not fit in {nbits} bits")
+        shifts = _UINT64_SHIFTS[64 - nbits :]
+        bits = ((vals[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
+        self._parts.append(bits.ravel())
+        self._nbits += nbits * vals.size
+
+    def write_varlen_array(self, codes: np.ndarray, lengths: np.ndarray) -> None:
+        """Write variable-length codewords.
+
+        ``codes[i]`` holds the codeword for symbol *i* right-aligned in a
+        uint64; ``lengths[i]`` is its bit length.  The whole stream is
+        assembled with one boolean-mask select rather than a Python loop.
+        """
+        codes = np.ascontiguousarray(codes, dtype=np.uint64)
+        lengths = np.ascontiguousarray(lengths, dtype=np.int64)
+        if codes.size == 0:
+            return
+        maxlen = int(lengths.max())
+        if maxlen > 64:
+            raise ParameterError("codeword longer than 64 bits")
+        # Left-align every codeword in a maxlen-wide field, then keep only
+        # the first `lengths[i]` bits of each row.
+        shifts = (maxlen - lengths).astype(np.uint64)
+        aligned = codes << shifts
+        col = _UINT64_SHIFTS[64 - maxlen :]
+        bitmat = ((aligned[:, None] >> col[None, :]) & np.uint64(1)).astype(np.uint8)
+        mask = np.arange(maxlen, dtype=np.int64)[None, :] < lengths[:, None]
+        self._parts.append(bitmat[mask])
+        self._nbits += int(lengths.sum())
+
+    def write_bigint(self, value: int, nbits: int) -> None:
+        """Write an arbitrary-width unsigned integer MSB-first.
+
+        Used by per-block coders (e.g. ZFP's plane coder) whose payloads
+        exceed 64 bits.
+        """
+        if nbits == 0:
+            return
+        if value < 0 or value >> nbits:
+            raise ParameterError(f"value does not fit in {nbits} bits")
+        nbytes = (nbits + 7) // 8
+        arr = np.frombuffer(value.to_bytes(nbytes, "big"), dtype=np.uint8)
+        bits = np.unpackbits(arr)
+        self._parts.append(bits[8 * nbytes - nbits :])
+        self._nbits += nbits
+
+    def write_double(self, value: float) -> None:
+        """Write a float64 as its 64-bit IEEE representation."""
+        self.write_uint(int(np.float64(value).view(np.uint64)), 64)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Write raw bytes (8 bits each, not necessarily byte-aligned)."""
+        arr = np.frombuffer(data, dtype=np.uint8)
+        self._parts.append(np.unpackbits(arr))
+        self._nbits += 8 * arr.size
+
+    def extend(self, other: "BitWriter") -> None:
+        """Append another writer's staged bits (cheap; shares arrays)."""
+        self._parts.extend(other._parts)
+        self._nbits += other._nbits
+
+    def getvalue(self) -> bytes:
+        """Pack all staged bits into bytes (zero-padded at the tail)."""
+        if not self._parts:
+            return b""
+        allbits = np.concatenate(self._parts) if len(self._parts) > 1 else self._parts[0]
+        # Keep the concatenated form so repeated calls stay cheap.
+        self._parts = [allbits]
+        return np.packbits(allbits).tobytes()

@@ -1,0 +1,91 @@
+"""Standard basis-set tables (STO-3G) and builders.
+
+STO-3G expands each Slater orbital in three Gaussians with *universal*
+expansion coefficients; per-element Slater exponents ζ scale the universal
+Gaussian exponents as ``α = α_universal · ζ²`` (Hehre, Stewart & Pople,
+JCP 51, 2657 (1969); the worked constants follow Szabo & Ostlund §3.5.2).
+
+This gives the integral engine real all-electron molecules — s shells on
+hydrogens, s+sp manifolds on heavy atoms — so ERI dumps contain the full
+mixture of shell-quartet classes a GAMESS run produces (see
+:mod:`repro.chem.classdump`).
+"""
+
+from __future__ import annotations
+
+from repro.chem.basis import BasisSet, Shell
+from repro.chem.molecule import Molecule
+from repro.errors import BasisError
+
+#: Universal STO-3G expansion: (exponents, coefficients) for a 1s Slater
+#: function with ζ = 1.
+_STO3G_1S = (
+    (2.227660584, 0.4057711562, 0.1098175104),
+    (0.1543289673, 0.5353281423, 0.4446345422),
+)
+
+#: Universal 2s/2p expansion (shared exponents — an "SP" shell).
+_STO3G_2SP_EXP = (0.9942027149, 0.2310313327, 0.0751386016)
+_STO3G_2S_COEF = (-0.09996722919, 0.3995128261, 0.7001154689)
+_STO3G_2P_COEF = (0.1559162750, 0.6076837186, 0.3919573931)
+
+#: Slater exponents ζ(1s), ζ(2s2p) per element (Szabo & Ostlund tab. 3.8 /
+#: standard STO-3G values).
+_ZETAS: dict[str, tuple[float, float | None]] = {
+    "H": (1.24, None),
+    "He": (2.0925, None),
+    "Li": (2.69, 0.80),
+    "Be": (3.68, 1.15),
+    "B": (4.68, 1.50),
+    "C": (5.67, 1.72),
+    "N": (6.67, 1.95),
+    "O": (7.66, 2.25),
+    "F": (8.65, 2.55),
+}
+
+
+def sto3g_shells_for_atom(symbol: str, center, atom_index: int = -1) -> list[Shell]:
+    """The STO-3G shells of one atom: 1s, plus 2s and 2p for row-2 elements.
+
+    The 2s and 2p functions share exponents (an SP shell) but are emitted
+    as separate s- and p-type :class:`Shell` objects, which is how the
+    engine consumes them.
+    """
+    zetas = _ZETAS.get(symbol.capitalize())
+    if zetas is None:
+        raise BasisError(f"no STO-3G parameters tabulated for {symbol!r}")
+    z1, z2 = zetas
+    exps_1s = tuple(a * z1 * z1 for a in _STO3G_1S[0])
+    shells = [Shell(0, center, exps_1s, _STO3G_1S[1], atom_index)]
+    if z2 is not None:
+        exps_2 = tuple(a * z2 * z2 for a in _STO3G_2SP_EXP)
+        shells.append(Shell(0, center, exps_2, _STO3G_2S_COEF, atom_index))
+        shells.append(Shell(1, center, exps_2, _STO3G_2P_COEF, atom_index))
+    return shells
+
+
+def sto3g_basis(molecule: Molecule) -> BasisSet:
+    """Build the full STO-3G basis for a molecule.
+
+    >>> basis = sto3g_basis(water())   # 7 basis functions: O(1s,2s,2p) + 2 H(1s)
+    """
+    shells: list[Shell] = []
+    for i, atom in enumerate(molecule.atoms):
+        shells.extend(sto3g_shells_for_atom(atom.symbol, atom.position, i))
+    return BasisSet(molecule, tuple(shells))
+
+
+def water() -> Molecule:
+    """H2O at an experimental-like geometry (r = 0.957 Å, angle 104.5°)."""
+    import numpy as np
+
+    r = 0.957
+    half = np.deg2rad(104.5 / 2.0)
+    coords = np.array(
+        [
+            [0.0, 0.0, 0.0],
+            [r * np.sin(half), 0.0, r * np.cos(half)],
+            [-r * np.sin(half), 0.0, r * np.cos(half)],
+        ]
+    )
+    return Molecule.from_angstrom("water", ["O", "H", "H"], coords)

@@ -1,0 +1,48 @@
+"""Physical constants and element data used by the chemistry substrate."""
+
+from __future__ import annotations
+
+#: 1 Ångström in Bohr radii (CODATA 2018).
+ANGSTROM_TO_BOHR = 1.8897259886
+
+#: Element symbol -> atomic number, for the elements in the benchmark set.
+ATOMIC_NUMBERS: dict[str, int] = {
+    "H": 1,
+    "He": 2,
+    "Li": 3,
+    "Be": 4,
+    "B": 5,
+    "C": 6,
+    "N": 7,
+    "O": 8,
+    "F": 9,
+    "Ne": 10,
+    "P": 15,
+    "S": 16,
+    "Cl": 17,
+}
+
+#: Heavy atoms (non-hydrogen) carry the polarization d/f shells.
+def is_heavy(symbol: str) -> bool:
+    """True for non-hydrogen elements."""
+    return symbol.capitalize() != "H"
+
+
+#: Per-element polarization exponents (6-31G*-like d exponents; f exponents
+#: follow cc-pVTZ-like values).  These set the radial extent of the shells
+#: whose ERIs we compress.
+D_EXPONENTS: dict[str, float] = {
+    "C": 0.800,
+    "N": 0.913,
+    "O": 1.292,
+    "H": 1.100,
+    "S": 0.650,
+}
+
+F_EXPONENTS: dict[str, float] = {
+    "C": 0.761,
+    "N": 1.093,
+    "O": 1.428,
+    "H": 1.057,
+    "S": 0.557,
+}

@@ -1,0 +1,193 @@
+"""ERI datasets: streams of shell blocks in GAMESS order.
+
+An :class:`ERIDataset` is the compressor's input: the 1-D concatenation of
+shell blocks of one BF-configuration class, plus the metadata (block
+geometry, provenance) the experiments need.  :func:`generate_dataset` is the
+GAMESS stand-in — it builds the polarization basis for a benchmark molecule,
+enumerates canonical shell quartets, optionally screens and samples them,
+and computes the blocks with :class:`repro.chem.eri.ERIEngine`.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chem.basis import BasisSet, polarization_basis, Shell
+from repro.chem.eri import ERIEngine
+from repro.chem.molecule import Molecule
+from repro.chem.screening import schwarz_matrix, screen_quartets
+from repro.core.blocking import BlockSpec
+from repro.errors import ParameterError
+
+
+@dataclass
+class ERIDataset:
+    """A 1-D ERI stream plus its block geometry and provenance."""
+
+    data: np.ndarray
+    spec: BlockSpec
+    molecule_name: str = "unknown"
+    config: str = "?"
+    quartets: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.data = np.ascontiguousarray(self.data, dtype=np.float64)
+        if self.data.size % self.spec.block_size:
+            raise ParameterError(
+                f"dataset length {self.data.size} is not a multiple of the "
+                f"block size {self.spec.block_size}"
+            )
+
+    @property
+    def n_blocks(self) -> int:
+        return self.data.size // self.spec.block_size
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def blocks(self) -> np.ndarray:
+        """(n_blocks, num_sb, sb_size) view of the stream."""
+        return self.data.reshape(self.n_blocks, self.spec.num_sb, self.spec.sb_size)
+
+    def save(self, path: str) -> None:
+        """Persist as .npz (data + geometry + provenance)."""
+        np.savez_compressed(
+            path,
+            data=self.data,
+            dims=np.array(self.spec.dims, dtype=np.int64),
+            molecule=np.array(self.molecule_name),
+            config=np.array(self.config),
+        )
+
+    @classmethod
+    def load(cls, path: str | io.IOBase) -> "ERIDataset":
+        with np.load(path) as z:
+            return cls(
+                data=z["data"],
+                spec=BlockSpec(tuple(int(d) for d in z["dims"])),
+                molecule_name=str(z["molecule"]),
+                config=str(z["config"]),
+            )
+
+
+def _config_letters(config: str) -> tuple[str, str, str, str]:
+    clean = config.strip().lower().replace("(", "").replace(")", "")
+    bra, _, ket = clean.partition("|")
+    letters = tuple(bra.strip()) + tuple(ket.strip())
+    if len(letters) != 4:
+        raise ParameterError(f"cannot parse BF configuration {config!r}")
+    return letters  # type: ignore[return-value]
+
+
+def canonical_quartets(
+    groups: tuple[list[int], list[int], list[int], list[int]],
+) -> list[tuple[int, int, int, int]]:
+    """Enumerate unique shell quartets with the standard 8-fold symmetry.
+
+    Within a bra (or ket) whose two slots draw from the same shell group,
+    only ``i >= j`` is kept; when bra and ket draw from the same groups,
+    only ``(i, j) >= (k, l)``.
+    """
+    g1, g2, g3, g4 = groups
+    same_bra = g1 == g2
+    same_ket = g3 == g4
+    same_sides = (g1, g2) == (g3, g4)
+    out = []
+    for i in g1:
+        for j in g2:
+            if same_bra and j > i:
+                continue
+            for k in g3:
+                for l in g4:
+                    if same_ket and l > k:
+                        continue
+                    if same_sides and (k, l) > (i, j):
+                        continue
+                    out.append((i, j, k, l))
+    return out
+
+
+def basis_for_config(
+    molecule: Molecule,
+    config: str,
+    exponent_scale: tuple[float, ...] = (1.0,),
+) -> BasisSet:
+    """Polarization basis containing every shell type the config needs."""
+    letters = sorted(set(_config_letters(config)))
+    shells: list[Shell] = []
+    for letter in letters:
+        part = polarization_basis(molecule, letter, exponent_scale=exponent_scale)
+        shells.extend(part.shells)
+    return BasisSet(molecule, tuple(shells))
+
+
+def generate_dataset(
+    molecule: Molecule,
+    config: str,
+    n_blocks: int | None = None,
+    seed: int = 0,
+    screen_threshold: float | None = None,
+    exponent_scale: tuple[float, ...] = (1.0,),
+    basis: BasisSet | None = None,
+) -> ERIDataset:
+    """Compute an ERI dataset for ``molecule`` and a BF configuration.
+
+    Parameters
+    ----------
+    n_blocks:
+        Sample the canonical quartet list down (without replacement) or up
+        (cyclic tiling) to exactly this many blocks; ``None`` keeps all.
+        The paper likewise samples its >2 GB production datasets.
+    screen_threshold:
+        If set, quartets whose Schwarz bound falls below it are *kept as
+        all-zero blocks* — matching GAMESS, where screened integrals appear
+        as zeros in the stream.
+    exponent_scale:
+        Extra shells per atom at scaled exponents (inflates quartet counts
+        for small molecules).
+    """
+    spec = BlockSpec.from_config(config)
+    letters = _config_letters(config)
+    if basis is None:
+        basis = basis_for_config(molecule, config, exponent_scale)
+    engine = ERIEngine(basis)
+    groups = tuple(basis.shells_of_type(letter) for letter in letters)
+    quartets = canonical_quartets(groups)  # type: ignore[arg-type]
+    if not quartets:
+        raise ParameterError(f"no quartets for config {config!r} on {molecule.name}")
+
+    if n_blocks is not None and n_blocks < len(quartets):
+        rng = np.random.default_rng(seed)
+        pick = rng.choice(len(quartets), size=n_blocks, replace=False)
+        quartets = [quartets[int(x)] for x in sorted(pick)]
+    elif n_blocks is not None and n_blocks > len(quartets):
+        reps = -(-n_blocks // len(quartets))
+        quartets = (quartets * reps)[:n_blocks]
+
+    zero_set: set[tuple[int, int, int, int]] = set()
+    if screen_threshold is not None:
+        shell_ids = sorted({s for q in quartets for s in q})
+        pos = {s: x for x, s in enumerate(shell_ids)}
+        Q = schwarz_matrix(engine, shell_ids)
+        mapped = [(pos[a], pos[b], pos[c], pos[d]) for (a, b, c, d) in quartets]
+        keep = set(screen_quartets(Q, mapped, screen_threshold))
+        zero_set = {q for q, m in zip(quartets, mapped) if m not in keep}
+
+    parts = []
+    zeros = np.zeros(spec.block_size)
+    for q in quartets:
+        if q in zero_set:
+            parts.append(zeros)
+        else:
+            parts.append(engine.eri_block(*q))
+    return ERIDataset(
+        data=np.concatenate(parts),
+        spec=spec,
+        molecule_name=molecule.name,
+        config=spec.config,
+        quartets=quartets,
+    )

@@ -1,0 +1,169 @@
+"""Two-electron repulsion integrals over contracted Cartesian Gaussian shells.
+
+McMurchie–Davidson scheme: per shell pair, the Hermite expansion tensors are
+assembled once and cached; per shell quartet, a Hermite Coulomb tensor is
+generated and the whole Cartesian block ``(ab|cd)`` falls out of two dense
+matmuls.  This replaces the GAMESS ERI programs as the data source for the
+compression experiments (see DESIGN.md).
+
+The returned 4-D blocks are exactly the objects of paper Fig. 2(b); their
+GAMESS-order linearisation is what PaSTRI compresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.basis import BasisSet, cartesian_components, component_norm_ratios
+from repro.chem.hermite import e_coefficients, r_tensor
+
+_TWO_PI_POW = 2.0 * np.pi**2.5
+
+
+@dataclass
+class _PairData:
+    """Cached per-shell-pair quantities (bra or ket side)."""
+
+    E4: np.ndarray       # (nprim_pairs, ncomp_ab, NT) Hermite coefficient matrix
+    p: np.ndarray        # (nprim_pairs,) combined exponents
+    P: np.ndarray        # (nprim_pairs, 3) Gaussian product centers
+    coef: np.ndarray     # (nprim_pairs,) contraction coefficient products
+    cube: int            # per-axis Hermite cube edge (la + lb + 1)
+
+
+class ERIEngine:
+    """Computes shell-quartet ERI blocks for a :class:`BasisSet`.
+
+    Examples
+    --------
+    >>> eng = ERIEngine(basis)
+    >>> block = eng.shell_quartet(0, 1, 2, 3)   # (na, nb, nc, nd)
+    >>> flat = eng.eri_block(0, 1, 2, 3)        # GAMESS 1-D order
+    """
+
+    def __init__(self, basis: BasisSet) -> None:
+        self.basis = basis
+        self._pair_cache: dict[tuple[int, int], _PairData] = {}
+        self._sign_cache: dict[int, np.ndarray] = {}
+
+    # -- pair assembly -------------------------------------------------------
+
+    def _pair(self, i: int, j: int) -> _PairData:
+        """Hermite expansion data for shell pair (i, j), cached."""
+        key = (i, j)
+        cached = self._pair_cache.get(key)
+        if cached is not None:
+            return cached
+        sa, sb = self.basis.shells[i], self.basis.shells[j]
+        A = np.array(sa.center)
+        B = np.array(sb.center)
+        aa, ca = sa.contraction()
+        ab, cb = sb.contraction()
+        a = np.repeat(aa, ab.size)
+        b = np.tile(ab, aa.size)
+        coef = np.repeat(ca, ab.size) * np.tile(cb, aa.size)
+
+        Ex, Ey, Ez = e_coefficients(sa.l, sb.l, a, b, A, B)
+        comp_a = np.array(cartesian_components(sa.l))
+        comp_b = np.array(cartesian_components(sb.l))
+        ix = comp_a[:, 0][:, None]
+        jx = comp_b[:, 0][None, :]
+        iy = comp_a[:, 1][:, None]
+        jy = comp_b[:, 1][None, :]
+        iz = comp_a[:, 2][:, None]
+        jz = comp_b[:, 2][None, :]
+        # (n, na, nb, t) per axis, combined into the (t,u,v) cube.
+        Sx = Ex[:, ix, jx, :]
+        Sy = Ey[:, iy, jy, :]
+        Sz = Ez[:, iz, jz, :]
+        E4 = (
+            Sx[:, :, :, :, None, None]
+            * Sy[:, :, :, None, :, None]
+            * Sz[:, :, :, None, None, :]
+        )
+        n = a.size
+        ncomp = comp_a.shape[0] * comp_b.shape[0]
+        cube = sa.l + sb.l + 1
+        E4 = E4.reshape(n, ncomp, cube**3)
+
+        p = a + b
+        P = (a[:, None] * A[None, :] + b[:, None] * B[None, :]) / p[:, None]
+        data = _PairData(E4=E4, p=p, P=P, coef=coef, cube=cube)
+        self._pair_cache[key] = data
+        return data
+
+    def _signs(self, cube: int) -> np.ndarray:
+        """Parity cube (-1)^(r+s+w) for the ket Hermite indices, flattened."""
+        sign = self._sign_cache.get(cube)
+        if sign is None:
+            r = np.arange(cube)
+            grid = r[:, None, None] + r[None, :, None] + r[None, None, :]
+            sign = np.where(grid % 2 == 0, 1.0, -1.0).ravel()
+            self._sign_cache[cube] = sign
+        return sign
+
+    # -- quartets ------------------------------------------------------------
+
+    def shell_quartet(self, i: int, j: int, k: int, l: int) -> np.ndarray:
+        """The full Cartesian ERI tensor ``(ij|kl)``, shape (na, nb, nc, nd)."""
+        sh = self.basis.shells
+        sa, sb, sc, sd = sh[i], sh[j], sh[k], sh[l]
+        bra = self._pair(i, j)
+        ket = self._pair(k, l)
+
+        cube_b, cube_k = bra.cube, ket.cube
+        tmax = cube_b + cube_k - 2  # per-axis Hermite order of R
+
+        # All primitive bra × ket combinations.
+        nb_, nk_ = bra.p.size, ket.p.size
+        p = np.repeat(bra.p, nk_)
+        q = np.tile(ket.p, nb_)
+        P = np.repeat(bra.P, nk_, axis=0)
+        Q = np.tile(ket.P, (nb_, 1))
+        alpha = p * q / (p + q)
+        R0 = r_tensor(tmax, tmax, tmax, alpha, P - Q)  # (t,u,v,nq)
+
+        # Gather the combined-index matrix M[tuv, rsw, nq].
+        tb = np.arange(cube_b)
+        tk = np.arange(cube_k)
+        bt, bu, bv = [g.ravel() for g in np.meshgrid(tb, tb, tb, indexing="ij")]
+        kt, ku, kv = [g.ravel() for g in np.meshgrid(tk, tk, tk, indexing="ij")]
+        M = R0[
+            bt[:, None] + kt[None, :],
+            bu[:, None] + ku[None, :],
+            bv[:, None] + kv[None, :],
+            :,
+        ]
+
+        sign = self._signs(cube_k)
+        pref = _TWO_PI_POW / (p * q * np.sqrt(p + q))
+        weights = (np.repeat(bra.coef, nk_) * np.tile(ket.coef, nb_)) * pref
+
+        ncomp_bra = bra.E4.shape[1]
+        ncomp_ket = ket.E4.shape[1]
+        out = np.zeros((ncomp_bra, ncomp_ket))
+        Ck = ket.E4 * sign[None, None, :]  # fold parity into the ket side
+        for ib in range(nb_):
+            Ab = bra.E4[ib]  # (ncomp_bra, NT)
+            for ik in range(nk_):
+                nq = ib * nk_ + ik
+                tmp = Ab @ M[:, :, nq]          # (ncomp_bra, NR)
+                out += weights[nq] * (tmp @ Ck[ik].T)
+
+        norm = (
+            np.outer(component_norm_ratios(sa.l), component_norm_ratios(sb.l)).ravel()[:, None]
+            * np.outer(component_norm_ratios(sc.l), component_norm_ratios(sd.l)).ravel()[None, :]
+        )
+        out *= norm
+        return out.reshape(sa.ncart, sb.ncart, sc.ncart, sd.ncart)
+
+    def eri_block(self, i: int, j: int, k: int, l: int) -> np.ndarray:
+        """GAMESS 1-D linearisation of the quartet block (paper Fig. 2b)."""
+        return np.ascontiguousarray(self.shell_quartet(i, j, k, l).ravel())
+
+    def clear_cache(self) -> None:
+        """Drop cached pair data (frees memory between datasets)."""
+        self._pair_cache.clear()
+        self._sign_cache.clear()

@@ -1,0 +1,185 @@
+"""Built-in benchmark molecules (paper Fig. 8): benzene, glutamine, tri-alanine.
+
+Benzene uses the exact experimental D6h geometry.  Glutamine and tri-alanine
+use approximate model geometries assembled from ideal bond lengths and
+tetrahedral angles (a zigzag heavy-atom skeleton with branch and hydrogen
+placement).  The ERI pattern structure PaSTRI exploits depends on shell
+separations and angular momenta, not on spectroscopic-quality geometry, so
+these models preserve the compression-relevant behaviour (see DESIGN.md,
+substitution table).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem.molecule import Molecule
+from repro.errors import GeometryError
+
+# Ideal bond lengths in Ångström.
+_CC = 1.52
+_CN = 1.47
+_CO_DOUBLE = 1.23
+_CO_SINGLE = 1.36
+_CH = 1.09
+_NH = 1.01
+_OH = 0.96
+
+_TET = np.deg2rad(109.47)  # tetrahedral angle
+
+
+def benzene() -> Molecule:
+    """Benzene C6H6: planar hexagon, r(CC)=1.397 Å, r(CH)=1.084 Å."""
+    r_c, r_h = 1.397, 1.397 + 1.084
+    symbols, coords = [], []
+    for k in range(6):
+        th = np.pi / 3.0 * k
+        symbols.append("C")
+        coords.append([r_c * np.cos(th), r_c * np.sin(th), 0.0])
+    for k in range(6):
+        th = np.pi / 3.0 * k
+        symbols.append("H")
+        coords.append([r_h * np.cos(th), r_h * np.sin(th), 0.0])
+    return Molecule.from_angstrom("benzene", symbols, np.array(coords))
+
+
+class _Builder:
+    """Tiny internal-coordinate assembler for approximate geometries."""
+
+    def __init__(self) -> None:
+        self.symbols: list[str] = []
+        self.coords: list[np.ndarray] = []
+
+    def add(self, symbol: str, position: np.ndarray) -> int:
+        self.symbols.append(symbol)
+        self.coords.append(np.asarray(position, dtype=np.float64))
+        return len(self.coords) - 1
+
+    def attach(self, symbol: str, parent: int, direction: np.ndarray, bond: float) -> int:
+        d = np.asarray(direction, dtype=np.float64)
+        norm = np.linalg.norm(d)
+        if norm == 0:
+            raise GeometryError("zero attachment direction")
+        return self.add(symbol, self.coords[parent] + bond * d / norm)
+
+    def zigzag_dir(self, k: int) -> np.ndarray:
+        """Alternating chain directions giving ~109.5° backbone angles."""
+        s = np.sin(_TET / 2.0)
+        c = np.cos(_TET / 2.0)
+        return np.array([s, c if k % 2 == 0 else -c, 0.0])
+
+    def hydrogens(self, parent: int, n: int, phase: float = 0.0) -> list[int]:
+        """Attach ``n`` hydrogens around the parent, pointing away from
+        the parent's existing neighbours (keeps the model geometry free of
+        steric collisions)."""
+        ppos = self.coords[parent]
+        nbrs = [
+            c for i, c in enumerate(self.coords)
+            if i != parent and np.linalg.norm(c - ppos) < 1.9
+        ]
+        axis = ppos - np.mean(nbrs, axis=0) if nbrs else np.array([0.0, 0.0, 1.0])
+        norm = np.linalg.norm(axis)
+        axis = axis / norm if norm > 1e-9 else np.array([0.0, 0.0, 1.0])
+        # Perpendicular frame around the repulsion axis.
+        if len(nbrs) >= 2:
+            # Methylene-style: put the H plane perpendicular to the
+            # neighbour-bond plane so the H's point away from both.
+            w = np.cross(nbrs[0] - ppos, nbrs[1] - ppos)
+            nw = np.linalg.norm(w)
+            u = w / nw if nw > 1e-9 else np.array([1.0, 0.0, 0.0])
+            u -= axis * (u @ axis)
+            u /= max(np.linalg.norm(u), 1e-9)
+        else:
+            seed = np.array([1.0, 0.0, 0.0]) if abs(axis[0]) < 0.9 else np.array([0.0, 1.0, 0.0])
+            u = np.cross(axis, seed)
+            u /= np.linalg.norm(u)
+        v = np.cross(axis, u)
+        out = []
+        tilt = 0.0 if n == 1 else np.deg2rad(45.0 if n == 2 else 65.0)
+        planar_pair = n == 2 and len(nbrs) >= 2
+        for i in range(n):
+            # A methylene pair stays in the (axis, u) plane; other groups
+            # fan around the axis starting at `phase`.
+            th = np.pi * i if planar_pair else phase + 2.0 * np.pi * i / max(n, 1)
+            d = np.cos(tilt) * axis + np.sin(tilt) * (np.cos(th) * u + np.sin(th) * v)
+            out.append(self.attach("H", parent, d, _CH))
+        return out
+
+    def build(self, name: str) -> Molecule:
+        return Molecule.from_angstrom(name, self.symbols, np.vstack(self.coords))
+
+
+def glutamine() -> Molecule:
+    """Glutamine C5H10N2O3 — approximate model geometry.
+
+    Skeleton: H2N–CH(COOH)–CH2–CH2–C(=O)NH2.
+    """
+    b = _Builder()
+    ca = b.add("C", np.zeros(3))                                  # alpha carbon
+    n_amine = b.attach("N", ca, [-1.0, 0.8, 0.2], _CN)            # backbone NH2
+    c_acid = b.attach("C", ca, [-0.6, -1.0, -0.4], _CC)           # carboxyl C
+    b.attach("O", c_acid, [-1.0, -0.7, 0.8], _CO_DOUBLE)          # C=O
+    o_h = b.attach("O", c_acid, [0.3, -1.1, -0.9], _CO_SINGLE)    # C-OH
+    cb = b.attach("C", ca, b.zigzag_dir(0), _CC)                  # CB
+    cg = b.attach("C", cb, b.zigzag_dir(1), _CC)                  # CG
+    cd = b.attach("C", cg, b.zigzag_dir(2), _CC)                  # CD (amide C)
+    b.attach("O", cd, [0.4, 1.0, 0.6], _CO_DOUBLE)                # amide O
+    n_amide = b.attach("N", cd, [1.0, -0.8, -0.3], _CN)           # amide N
+    # Hydrogens: CA(1), CB(2), CG(2), NH2(2), amide NH2(2), OH(1).
+    b.hydrogens(ca, 1, phase=2.0)
+    b.hydrogens(cb, 2, phase=0.5)
+    b.hydrogens(cg, 2, phase=1.2)
+    for i, d in enumerate(([-0.9, 0.5, 1.0], [-0.9, 0.9, -0.9])):
+        b.attach("H", n_amine, d, _NH)
+    for i, d in enumerate(([1.1, -0.3, 0.9], [1.3, -1.0, -0.9])):
+        b.attach("H", n_amide, d, _NH)
+    b.attach("H", o_h, [1.0, -0.4, -0.2], _OH)
+    return b.build("glutamine")
+
+
+def trialanine() -> Molecule:
+    """Tri-alanine (Ala-Ala-Ala) C9H17N3O4 — approximate model geometry.
+
+    Backbone: H2N–[CH(CH3)–C(=O)–NH]2–CH(CH3)–COOH.
+    """
+    b = _Builder()
+    prev_n = b.add("N", np.zeros(3))
+    b.attach("H", prev_n, [-0.8, 0.7, 0.4], _NH)
+    b.attach("H", prev_n, [-0.8, -0.2, -1.0], _NH)
+    k = 0
+    last_c = None
+    for res in range(3):
+        ca = b.attach("C", prev_n, b.zigzag_dir(k), _CN); k += 1
+        cb = b.attach("C", ca, [0.1, (0.9 if k % 2 else -0.9), 0.9], _CC)  # methyl
+        b.hydrogens(ca, 1, phase=res * 1.1)
+        b.hydrogens(cb, 3, phase=res * 0.7)
+        c = b.attach("C", ca, b.zigzag_dir(k), _CC); k += 1
+        b.attach("O", c, [0.0, (0.8 if k % 2 else -0.8), -1.0], _CO_DOUBLE)
+        last_c = c
+        if res < 2:
+            n = b.attach("N", c, b.zigzag_dir(k), _CN); k += 1
+            b.attach("H", n, [0.0, (0.9 if k % 2 else -0.9), 0.8], _NH)
+            prev_n = n
+    # C-terminal carboxyl OH on the last residue.
+    o_h = b.attach("O", last_c, b.zigzag_dir(k), _CO_SINGLE)
+    b.attach("H", o_h, [0.8, 0.3, 0.6], _OH)
+    return b.build("trialanine")
+
+
+_BY_NAME = {
+    "benzene": benzene,
+    "glutamine": glutamine,
+    "trialanine": trialanine,
+    "tri-alanine": trialanine,
+    "alanine": trialanine,  # the paper's figures label the dataset "Alanine"
+}
+
+
+def molecule_by_name(name: str) -> Molecule:
+    """Look up a built-in benchmark molecule by (case-insensitive) name."""
+    try:
+        return _BY_NAME[name.strip().lower()]()
+    except KeyError:
+        raise GeometryError(
+            f"unknown molecule {name!r}; available: {sorted(set(_BY_NAME))}"
+        ) from None

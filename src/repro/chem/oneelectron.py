@@ -1,0 +1,148 @@
+"""One-electron integrals: overlap, kinetic, nuclear attraction.
+
+Completes the integral engine into a full Hartree–Fock-capable substrate
+(the paper §I: PaSTRI "can benefit many quantum chemistry methods such as
+restricted Hartree-Fock ...").  Same McMurchie–Davidson machinery as the
+ERIs: overlap/kinetic from the Hermite E coefficients, nuclear attraction
+from the Hermite Coulomb R tensor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem.basis import BasisSet, cartesian_components, component_norm_ratios
+from repro.chem.hermite import e_coefficients, r_tensor
+
+
+def _pair_e(sa, sb):
+    """Hermite E tensors and primitive data for a shell pair."""
+    A = np.array(sa.center)
+    B = np.array(sb.center)
+    aa, ca = sa.contraction()
+    ab, cb = sb.contraction()
+    a = np.repeat(aa, ab.size)
+    b = np.tile(ab, aa.size)
+    coef = np.repeat(ca, ab.size) * np.tile(cb, aa.size)
+    Ex, Ey, Ez = e_coefficients(sa.l, sb.l, a, b, A, B)
+    return a, b, coef, (Ex, Ey, Ez), A, B
+
+
+def overlap_block(sa, sb) -> np.ndarray:
+    """Overlap integrals <a|b> for one shell pair, shape (na, nb)."""
+    a, b, coef, (Ex, Ey, Ez), _, _ = _pair_e(sa, sb)
+    p = a + b
+    pref = coef * (np.pi / p) ** 1.5
+    comp_a = np.array(cartesian_components(sa.l))
+    comp_b = np.array(cartesian_components(sb.l))
+    Sx = Ex[:, comp_a[:, 0][:, None], comp_b[:, 0][None, :], 0]
+    Sy = Ey[:, comp_a[:, 1][:, None], comp_b[:, 1][None, :], 0]
+    Sz = Ez[:, comp_a[:, 2][:, None], comp_b[:, 2][None, :], 0]
+    out = np.einsum("p,pab,pab,pab->ab", pref, Sx, Sy, Sz)
+    out *= np.outer(component_norm_ratios(sa.l), component_norm_ratios(sb.l))
+    return out
+
+
+def kinetic_block(sa, sb) -> np.ndarray:
+    """Kinetic-energy integrals -<a|∇²/2|b> for one shell pair.
+
+    Uses the Gaussian derivative identity: the Laplacian of a Cartesian
+    Gaussian is a combination of Gaussians with ``l ± 2``; per axis
+
+    T_ij = b(2j+1) S_ij - 2b² S_{i,j+2} - j(j-1)/2 S_{i,j-2}.
+    """
+    a, b, coef, (Ex, Ey, Ez), _, _ = _pair_e(sa, sb)
+    p = a + b
+    pref = coef * (np.pi / p) ** 1.5
+    comp_a = np.array(cartesian_components(sa.l))
+    comp_b = np.array(cartesian_components(sb.l))
+
+    def s1d(E, i_arr, j_arr):
+        """Per-axis overlap factors E_0^{ij} gathered per component pair."""
+        return E[:, i_arr[:, None], j_arr[None, :], 0]
+
+    def t1d(E, i_arr, j_arr):
+        """Per-axis kinetic factor T_ij (before the other two axes' S)."""
+        nj = E.shape[2]
+        jv = j_arr[None, :]
+        base = E[:, i_arr[:, None], jv, 0]
+        out = b[:, None, None] * (2 * jv + 1) * base
+        jp2_ok = j_arr + 2 < nj
+        if jp2_ok.any():
+            cols = np.where(jp2_ok, j_arr + 2, 0)
+            up = E[:, i_arr[:, None], cols[None, :], 0]
+            out -= 2.0 * (b**2)[:, None, None] * up * jp2_ok[None, None, :]
+        jm2_ok = j_arr >= 2
+        if jm2_ok.any():
+            cols = np.where(jm2_ok, j_arr - 2, 0)
+            dn = E[:, i_arr[:, None], cols[None, :], 0]
+            jj = (j_arr * (j_arr - 1) / 2.0)[None, None, :]
+            out -= jj * dn * jm2_ok[None, None, :]
+        return out
+
+    ax_i = [comp_a[:, k] for k in range(3)]
+    bx_j = [comp_b[:, k] for k in range(3)]
+    # The j+2 lookup needs headroom in the E tensor: recompute with lb+2.
+    A = np.array(sa.center)
+    B = np.array(sb.center)
+    Ex2, Ey2, Ez2 = e_coefficients(sa.l, sb.l + 2, a, b, A, B)
+    Sx, Sy, Sz = (s1d(E, i, j) for E, i, j in zip((Ex2, Ey2, Ez2), ax_i, bx_j))
+    Tx, Ty, Tz = (t1d(E, i, j) for E, i, j in zip((Ex2, Ey2, Ez2), ax_i, bx_j))
+    out = np.einsum("p,pab->ab", pref, Tx * Sy * Sz + Sx * Ty * Sz + Sx * Sy * Tz)
+    out *= np.outer(component_norm_ratios(sa.l), component_norm_ratios(sb.l))
+    return out
+
+
+def nuclear_attraction_block(sa, sb, molecule) -> np.ndarray:
+    """Nuclear-attraction integrals <a| -Σ_C Z_C / r_C |b>, shape (na, nb)."""
+    a, b, coef, _, A, B = _pair_e(sa, sb)
+    p = a + b
+    P = (a[:, None] * A[None, :] + b[:, None] * B[None, :]) / p[:, None]
+    Ex, Ey, Ez = e_coefficients(sa.l, sb.l, a, b, A, B)
+    comp_a = np.array(cartesian_components(sa.l))
+    comp_b = np.array(cartesian_components(sb.l))
+    cube = sa.l + sb.l + 1
+    Sx = Ex[:, comp_a[:, 0][:, None], comp_b[:, 0][None, :], :]
+    Sy = Ey[:, comp_a[:, 1][:, None], comp_b[:, 1][None, :], :]
+    Sz = Ez[:, comp_a[:, 2][:, None], comp_b[:, 2][None, :], :]
+    E4 = (
+        Sx[:, :, :, :, None, None]
+        * Sy[:, :, :, None, :, None]
+        * Sz[:, :, :, None, None, :]
+    ).reshape(a.size, comp_a.shape[0] * comp_b.shape[0], cube**3)
+
+    out = np.zeros((comp_a.shape[0], comp_b.shape[0]))
+    charges = np.array([atom.atomic_number for atom in molecule.atoms], dtype=np.float64)
+    coords = molecule.coordinates
+    for z, C in zip(charges, coords):
+        R0 = r_tensor(cube - 1, cube - 1, cube - 1, p, P - C[None, :])
+        Rflat = R0.reshape(cube**3, a.size)
+        contrib = np.einsum("p,pct,tp->c", coef * (2.0 * np.pi / p), E4, Rflat)
+        out -= z * contrib.reshape(out.shape)
+    out *= np.outer(component_norm_ratios(sa.l), component_norm_ratios(sb.l))
+    return out
+
+
+def build_one_electron_matrices(basis: BasisSet) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Assemble full (nbf, nbf) overlap S, kinetic T, and nuclear V matrices."""
+    shells = basis.shells
+    offsets = np.cumsum([0] + [sh.ncart for sh in shells])
+    n = offsets[-1]
+    S = np.zeros((n, n))
+    T = np.zeros((n, n))
+    V = np.zeros((n, n))
+    for i, si in enumerate(shells):
+        for j, sj in enumerate(shells[: i + 1]):
+            sl_i = slice(offsets[i], offsets[i + 1])
+            sl_j = slice(offsets[j], offsets[j + 1])
+            s = overlap_block(si, sj)
+            t = kinetic_block(si, sj)
+            v = nuclear_attraction_block(si, sj, basis.molecule)
+            S[sl_i, sl_j] = s
+            T[sl_i, sl_j] = t
+            V[sl_i, sl_j] = v
+            if i != j:
+                S[sl_j, sl_i] = s.T
+                T[sl_j, sl_i] = t.T
+                V[sl_j, sl_i] = v.T
+    return S, T, V

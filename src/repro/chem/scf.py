@@ -1,0 +1,198 @@
+"""Restricted Hartree–Fock with optional compressed-integral storage.
+
+The end-to-end application the paper motivates: an SCF solver whose
+two-electron integrals come either from direct recomputation or from a
+:class:`repro.pipeline.CompressedERIStore` (compute once, decompress every
+iteration).  Demonstrates that PaSTRI's 1e-10 bound leaves Hartree–Fock
+energies untouched to ~1e-9 hartree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import linalg
+
+from repro.chem.basis import BasisSet
+from repro.chem.eri import ERIEngine
+from repro.chem.oneelectron import build_one_electron_matrices
+from repro.errors import ChemistryError
+from repro.pipeline.store import CompressedERIStore
+
+
+@dataclass
+class SCFResult:
+    """Converged (or not) restricted Hartree–Fock state."""
+
+    energy: float
+    orbital_energies: np.ndarray
+    converged: bool
+    iterations: int
+    density: np.ndarray
+    energy_history: list = field(default_factory=list)
+
+
+class RHFSolver:
+    """Closed-shell restricted Hartree–Fock over a :class:`BasisSet`.
+
+    Parameters
+    ----------
+    basis:
+        Shells + molecule; the electron count comes from the molecule's
+        atomic numbers (must be even — closed shell).
+    store:
+        Optional compressed ERI store.  When given, shell-quartet blocks
+        are compressed on first use and decompressed on every later Fock
+        build — the paper's Fig. 11 infrastructure inside a real solver.
+    charge:
+        Net molecular charge (electrons = ΣZ - charge; must stay even).
+    """
+
+    def __init__(
+        self,
+        basis: BasisSet,
+        store: CompressedERIStore | None = None,
+        charge: int = 0,
+    ) -> None:
+        self.basis = basis
+        self.engine = ERIEngine(basis)
+        self.store = store
+        n_elec = sum(a.atomic_number for a in basis.molecule.atoms) - charge
+        if n_elec <= 0:
+            raise ChemistryError(f"charge {charge} leaves no electrons")
+        if n_elec % 2:
+            raise ChemistryError("RHF needs an even electron count (closed shell)")
+        self.n_occ = n_elec // 2
+        self._offsets = np.cumsum([0] + [sh.ncart for sh in basis.shells])
+        if self.n_occ > self._offsets[-1]:
+            raise ChemistryError(
+                f"{n_elec} electrons but only {self._offsets[-1]} basis functions"
+            )
+
+    # -- integral assembly ---------------------------------------------------
+
+    def _quartet(self, i: int, j: int, k: int, l: int) -> np.ndarray:
+        sh = self.basis.shells
+        shape = (sh[i].ncart, sh[j].ncart, sh[k].ncart, sh[l].ncart)
+        if self.store is None:
+            return self.engine.shell_quartet(i, j, k, l)
+        flat = self.store.get_or_compute(
+            (i, j, k, l), lambda: self.engine.eri_block(i, j, k, l), dims=shape
+        )
+        return flat.reshape(shape)
+
+    def eri_tensor(self) -> np.ndarray:
+        """The full (nbf⁴) ERI tensor, assembled shell-quartet-wise."""
+        n = self._offsets[-1]
+        eri = np.empty((n, n, n, n))
+        ns = len(self.basis.shells)
+        off = self._offsets
+        for i in range(ns):
+            for j in range(ns):
+                for k in range(ns):
+                    for l in range(ns):
+                        eri[
+                            off[i] : off[i + 1],
+                            off[j] : off[j + 1],
+                            off[k] : off[k + 1],
+                            off[l] : off[l + 1],
+                        ] = self._quartet(i, j, k, l)
+        return eri
+
+    # -- SCF loop --------------------------------------------------------------
+
+    def run(
+        self,
+        max_iterations: int = 100,
+        energy_tol: float = 1e-9,
+        damping: float = 0.0,
+        diis: bool = True,
+        diis_depth: int = 6,
+    ) -> SCFResult:
+        """Iterate Fock builds to self-consistency.
+
+        DIIS (Pulay's direct inversion in the iterative subspace) is on by
+        default: the Fock matrix is extrapolated from recent iterations by
+        minimising the commutator residual ``FDS - SDF``, typically halving
+        the iteration count on polar molecules.
+
+        Returns the total energy (electronic + nuclear repulsion).
+        """
+        S, T, V = build_one_electron_matrices(self.basis)
+        hcore = T + V
+        eri = self.eri_tensor()
+        e_nuc = self.basis.molecule.nuclear_repulsion()
+
+        # Initial guess: core Hamiltonian.
+        eps, C = linalg.eigh(hcore, S)
+        D = self._density(C)
+        energy = 0.0
+        history = []
+        converged = False
+        fock_hist: list[np.ndarray] = []
+        err_hist: list[np.ndarray] = []
+        it = 0
+        for it in range(1, max_iterations + 1):
+            J = np.einsum("pqrs,rs->pq", eri, D)
+            K = np.einsum("prqs,rs->pq", eri, D)
+            F = hcore + 2.0 * J - K
+            e_new = float(np.einsum("pq,pq->", D, hcore + F)) + e_nuc
+            history.append(e_new)
+            if it > 1 and abs(e_new - energy) < energy_tol:
+                energy = e_new
+                converged = True
+                break
+            energy = e_new
+            if diis:
+                F = self._diis_extrapolate(F, D, S, fock_hist, err_hist, diis_depth)
+            eps, C_new = linalg.eigh(F, S)
+            D_new = self._density(C_new)
+            D = (1.0 - damping) * D_new + damping * D
+        return SCFResult(
+            energy=energy,
+            orbital_energies=eps,
+            converged=converged,
+            iterations=it,
+            density=D,
+            energy_history=history,
+        )
+
+    def _density(self, C: np.ndarray) -> np.ndarray:
+        occ = C[:, : self.n_occ]
+        return occ @ occ.T
+
+    @staticmethod
+    def _diis_extrapolate(
+        F: np.ndarray,
+        D: np.ndarray,
+        S: np.ndarray,
+        fock_hist: list,
+        err_hist: list,
+        depth: int,
+    ) -> np.ndarray:
+        """Pulay DIIS: extrapolate F from the stored iteration history."""
+        err = F @ D @ S - S @ D @ F
+        fock_hist.append(F)
+        err_hist.append(err)
+        if len(fock_hist) > depth:
+            fock_hist.pop(0)
+            err_hist.pop(0)
+        m = len(fock_hist)
+        if m < 2:
+            return F
+        B = -np.ones((m + 1, m + 1))
+        B[m, m] = 0.0
+        for i in range(m):
+            for j in range(m):
+                B[i, j] = float(np.einsum("pq,pq->", err_hist[i], err_hist[j]))
+        rhs = np.zeros(m + 1)
+        rhs[m] = -1.0
+        try:
+            coeffs = np.linalg.solve(B, rhs)[:m]
+        except np.linalg.LinAlgError:
+            # Singular subspace: drop the history and fall back to plain F.
+            fock_hist.clear()
+            err_hist.clear()
+            return F
+        return np.einsum("i,ipq->pq", coeffs, np.array(fock_hist))

@@ -1,0 +1,53 @@
+"""Cauchy–Schwarz integral screening.
+
+GAMESS screens negligible shell quartets before computing them; screened
+elements reach the compressor as zeros (paper §IV: "screened elements are
+represented as zeros").  The standard bound is
+
+.. math::
+
+    |(ij|kl)| \\le \\sqrt{\\max_{ab}(ab|ab)_{ij}} \\cdot
+                 \\sqrt{\\max_{cd}(cd|cd)_{kl}} = Q_{ij} Q_{kl}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem.eri import ERIEngine
+
+
+def schwarz_matrix(engine: ERIEngine, shell_indices: list[int]) -> np.ndarray:
+    """Pairwise Schwarz factors ``Q[i, j]`` for the given shells.
+
+    Returns a symmetric ``(n, n)`` matrix over positions in
+    ``shell_indices``.
+    """
+    n = len(shell_indices)
+    Q = np.zeros((n, n))
+    for a in range(n):
+        for b in range(a + 1):
+            i, j = shell_indices[a], shell_indices[b]
+            block = engine.shell_quartet(i, j, i, j)
+            na, nb = block.shape[0], block.shape[1]
+            diag = block.reshape(na * nb, na * nb).diagonal()
+            Q[a, b] = Q[b, a] = np.sqrt(np.abs(diag).max())
+    return Q
+
+
+def quartet_bound(Q: np.ndarray, a: int, b: int, c: int, d: int) -> float:
+    """Upper bound on ``max |(ab|cd)|`` from the Schwarz matrix."""
+    return float(Q[a, b] * Q[c, d])
+
+
+def screen_quartets(
+    Q: np.ndarray,
+    quartets: list[tuple[int, int, int, int]],
+    threshold: float,
+) -> list[tuple[int, int, int, int]]:
+    """Keep only quartets whose Schwarz bound reaches ``threshold``."""
+    return [
+        (a, b, c, d)
+        for (a, b, c, d) in quartets
+        if Q[a, b] * Q[c, d] >= threshold
+    ]

@@ -1,0 +1,179 @@
+"""``pastri`` command-line interface.
+
+Subcommands::
+
+    pastri gen        <molecule> <config> <out.npz> [--blocks N] [--seed S]
+    pastri compress   <in.npy|in.npz> <out.pastri> --eb 1e-10 [--config '(dd|dd)']
+    pastri decompress <in.pastri> <out.npy>
+    pastri info       <in.pastri>
+    pastri assess     <in.npz> [--eb 1e-10] [--codec pastri]
+    pastri bench      [experiment ids ...]
+
+``compress`` accepts a raw ``.npy`` float64 array (``--config`` required)
+or an ``.npz`` saved by :meth:`repro.chem.dataset.ERIDataset.save` (block
+geometry taken from the file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.bitio import BitReader
+from repro.chem.dataset import ERIDataset
+from repro.core import PaSTRICompressor
+from repro.core import header as fmt
+from repro.errors import ReproError
+
+
+def _load_input(path: str, config: str | None):
+    if path.endswith(".npz"):
+        ds = ERIDataset.load(path)
+        return ds.data, ds.spec.dims
+    data = np.ascontiguousarray(np.load(path), dtype=np.float64).ravel()
+    if config is None:
+        raise SystemExit("--config is required for raw .npy input ('auto' to detect)")
+    if config.strip().lower() == "auto":
+        from repro.core.autodetect import detect_block_spec
+
+        res = detect_block_spec(data)
+        print(
+            f"detected block structure {res.spec.dims} "
+            f"(period score {res.period_score:.3f}, trial ratio {res.trial_ratio:.1f})"
+        )
+        return data, res.spec.dims
+    from repro.core.blocking import BlockSpec
+
+    return data, BlockSpec.from_config(config).dims
+
+
+def cmd_compress(args: argparse.Namespace) -> int:
+    """Handle ``pastri compress``."""
+    data, dims = _load_input(args.input, args.config)
+    codec = PaSTRICompressor(dims=dims, metric=args.metric, tree_id=args.tree)
+    blob = codec.compress(data, args.eb)
+    with open(args.output, "wb") as fh:
+        fh.write(blob)
+    print(
+        f"{args.input}: {data.nbytes} B -> {len(blob)} B "
+        f"(ratio {data.nbytes / len(blob):.2f}, EB {args.eb:g})"
+    )
+    return 0
+
+
+def cmd_decompress(args: argparse.Namespace) -> int:
+    """Handle ``pastri decompress``."""
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    hdr = fmt.read_header(BitReader(blob))
+    codec = PaSTRICompressor(dims=hdr.spec.dims)
+    out = codec.decompress(blob)
+    np.save(args.output, out)
+    print(f"{args.input}: {len(blob)} B -> {out.nbytes} B ({out.size} doubles)")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Handle ``pastri info``: print the stream header."""
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    hdr = fmt.read_header(BitReader(blob))
+    print(f"PaSTRI stream: {args.input}")
+    print(f"  error bound : {hdr.error_bound:g}")
+    print(f"  block dims  : {hdr.spec.dims}  {hdr.spec.config}")
+    print(f"  blocks      : {hdr.n_blocks} (+{hdr.n_tail} tail values)")
+    print(f"  tree / metric: {hdr.tree_id} / {hdr.metric.name}")
+    return 0
+
+
+def cmd_gen(args: argparse.Namespace) -> int:
+    """Handle ``pastri gen``: run the integral engine."""
+    from repro.chem.dataset import generate_dataset
+    from repro.chem.molecules import molecule_by_name
+
+    mol = molecule_by_name(args.molecule)
+    ds = generate_dataset(mol, args.config, n_blocks=args.blocks, seed=args.seed)
+    ds.save(args.output)
+    print(
+        f"{mol.name} {ds.config}: {ds.n_blocks} blocks "
+        f"({ds.nbytes / 1e6:.2f} MB) -> {args.output}"
+    )
+    return 0
+
+
+def cmd_assess(args: argparse.Namespace) -> int:
+    """Handle ``pastri assess``: Z-Checker-style report."""
+    from repro.api import get_codec
+    from repro.metrics import assess
+
+    ds = ERIDataset.load(args.input)
+    kwargs = {"dims": ds.spec.dims} if args.codec == "pastri" else {}
+    codec = get_codec(args.codec, **kwargs)
+    a = assess(codec, ds.data, args.eb)
+    print(f"{args.codec} on {args.input} at EB={args.eb:g}")
+    for name, value in a.rows():
+        print(f"  {name:<26} {value:.6g}")
+    print(f"  {'bound satisfied':<26} {a.bound_satisfied}")
+    return 0 if a.bound_satisfied else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Handle ``pastri bench``: dispatch to the harness."""
+    from repro.harness.__main__ import main as harness_main
+
+    return harness_main(args.experiments or ["fig9"])
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``pastri`` console script."""
+    p = argparse.ArgumentParser(prog="pastri", description=__doc__)
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    c = sub.add_parser("compress", help="compress an ERI stream")
+    c.add_argument("input")
+    c.add_argument("output")
+    c.add_argument("--eb", type=float, default=1e-10, help="absolute error bound")
+    c.add_argument("--config", default=None, help="BF configuration, e.g. '(dd|dd)'")
+    c.add_argument("--metric", default="er", help="scaling metric (fr/er/ar/aar/is)")
+    c.add_argument("--tree", type=int, default=5, help="ECQ encoding tree 1-5")
+    c.set_defaults(func=cmd_compress)
+
+    d = sub.add_parser("decompress", help="decompress to .npy")
+    d.add_argument("input")
+    d.add_argument("output")
+    d.set_defaults(func=cmd_decompress)
+
+    i = sub.add_parser("info", help="print stream header")
+    i.add_argument("input")
+    i.set_defaults(func=cmd_info)
+
+    g = sub.add_parser("gen", help="generate an ERI dataset with the integral engine")
+    g.add_argument("molecule", help="benzene / glutamine / trialanine")
+    g.add_argument("config", help="BF configuration, e.g. '(dd|dd)'")
+    g.add_argument("output", help=".npz path")
+    g.add_argument("--blocks", type=int, default=None)
+    g.add_argument("--seed", type=int, default=0)
+    g.set_defaults(func=cmd_gen)
+
+    a = sub.add_parser("assess", help="Z-Checker-style quality report")
+    a.add_argument("input", help=".npz dataset")
+    a.add_argument("--eb", type=float, default=1e-10)
+    a.add_argument("--codec", default="pastri")
+    a.set_defaults(func=cmd_assess)
+
+    b = sub.add_parser("bench", help="run paper experiments")
+    b.add_argument("experiments", nargs="*")
+    b.set_defaults(func=cmd_bench)
+
+    args = p.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

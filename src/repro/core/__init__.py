@@ -1,0 +1,25 @@
+"""PaSTRI — Pattern Scaling for Two-electron Repulsion Integrals.
+
+This subpackage is the paper's primary contribution: an error-bounded lossy
+compressor for ERI shell blocks that stores one quantized pattern sub-block,
+one quantized scaling coefficient per sub-block, and variable-length-coded
+error-correction codes for the residuals (Gok et al., CLUSTER 2018, §IV).
+
+Public entry point: :class:`repro.core.compressor.PaSTRICompressor`.
+"""
+
+from repro.core.blocking import BlockSpec, SHELL_CARTESIANS
+from repro.core.scaling import ScalingMetric
+from repro.core.compressor import PaSTRICompressor
+from repro.core.classify import BlockType
+from repro.core.autodetect import DetectionResult, detect_block_spec
+
+__all__ = [
+    "BlockSpec",
+    "SHELL_CARTESIANS",
+    "ScalingMetric",
+    "PaSTRICompressor",
+    "BlockType",
+    "DetectionResult",
+    "detect_block_spec",
+]

@@ -1,0 +1,271 @@
+"""The five symbol-by-symbol / variable-length ECQ encoders (paper Fig. 7).
+
+Each tree maps quantized error-correction values (ECQ) to bit strings.  The
+trees are *fixed* — they are part of the format, not of the stream — which
+is PaSTRI's answer to Huffman coding: no dictionary to store, no two-pass
+frequency counting, and fully block-local (paper §IV-C).
+
+* **Tree 1** — ``0 → 0``; every other value ``→ 1`` + value in ``EC_b`` bits.
+* **Tree 2** — ``0 → 0``, ``+1 → 10``, ``-1 → 110``, others ``→ 111`` + value.
+* **Tree 3** — ``0 → 0``, others ``→ 10`` + value, ``+1 → 110``, ``-1 → 111``.
+* **Tree 4** — Fig. 6 bin ``i`` gets a unary prefix and ``i-1`` payload bits
+  (an Elias-gamma-like code).
+* **Tree 5** — adaptive: the optimal 3-leaf tree when ``EC_b,max = 2``
+  (``0 → 0``, ``+1 → 10``, ``-1 → 11``), Tree 3 otherwise.  The paper's
+  winner and PaSTRI's default.
+
+Non-zero "other" payloads use offset-binary in ``EC_b`` bits (value +
+``2^(EC_b - 1)``).  Decoding uses the vectorised pointer-jumping prefix
+decoder from :mod:`repro.bitio.vlc` — no per-symbol Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitio.vlc import decode_prefix_stream, gather_bit_windows
+from repro.errors import FormatError, ParameterError
+
+TREE_IDS = (1, 2, 3, 4, 5)
+
+
+def _offset_encode(values: np.ndarray, nbits: int) -> np.ndarray:
+    """Signed → offset-binary payloads (value + 2^(nbits-1)) as uint64."""
+    return (values + (1 << (nbits - 1))).astype(np.uint64)
+
+
+def _offset_decode(payload: np.ndarray, nbits: int) -> np.ndarray:
+    """Offset-binary payloads → signed int64."""
+    return payload.astype(np.int64) - (1 << (nbits - 1))
+
+
+def _check_ecb(ecb: int) -> None:
+    if not 2 <= ecb <= 40:
+        raise ParameterError(f"EC_b must be in [2, 40], got {ecb}")
+
+
+# ---------------------------------------------------------------------------
+# Encoding: ECQ values -> (codewords, lengths), consumed by
+# BitWriter.write_varlen_array.  Everything is branch-free numpy.
+# ---------------------------------------------------------------------------
+
+
+def _encode_tree1(ecq: np.ndarray, ecb: int) -> tuple[np.ndarray, np.ndarray]:
+    zero = ecq == 0
+    codes = (np.uint64(1) << np.uint64(ecb)) | _offset_encode(ecq, ecb)
+    codes[zero] = 0
+    lengths = np.where(zero, 1, 1 + ecb).astype(np.int64)
+    return codes, lengths
+
+
+def _encode_tree2(ecq: np.ndarray, ecb: int) -> tuple[np.ndarray, np.ndarray]:
+    codes = (np.uint64(0b111) << np.uint64(ecb)) | _offset_encode(ecq, ecb)
+    lengths = np.full(ecq.shape, 3 + ecb, dtype=np.int64)
+    for value, code, ln in ((0, 0b0, 1), (1, 0b10, 2), (-1, 0b110, 3)):
+        m = ecq == value
+        codes[m] = code
+        lengths[m] = ln
+    return codes, lengths
+
+
+def _encode_tree3(ecq: np.ndarray, ecb: int) -> tuple[np.ndarray, np.ndarray]:
+    codes = (np.uint64(0b10) << np.uint64(ecb)) | _offset_encode(ecq, ecb)
+    lengths = np.full(ecq.shape, 2 + ecb, dtype=np.int64)
+    for value, code, ln in ((0, 0b0, 1), (1, 0b110, 3), (-1, 0b111, 3)):
+        m = ecq == value
+        codes[m] = code
+        lengths[m] = ln
+    return codes, lengths
+
+
+def _tree4_bins(ecq: np.ndarray) -> np.ndarray:
+    """Fig. 6 bin per value: 1 for 0, else bit_length(|v|) + 1."""
+    a = np.abs(ecq)
+    bins = np.ones(a.shape, dtype=np.int64)
+    nz = a > 0
+    if nz.any():
+        bins[nz] = np.frexp(a[nz].astype(np.float64))[1] + 1
+    return bins
+
+
+def _encode_tree4(ecq: np.ndarray, ecb: int) -> tuple[np.ndarray, np.ndarray]:
+    bins = _tree4_bins(ecq)
+    if int(bins.max(initial=1)) > ecb:
+        raise ParameterError("ECQ value outside the EC_b range for tree 4")
+    a = np.abs(ecq).astype(np.uint64)
+    neg = (ecq < 0).astype(np.uint64)
+    w = (bins - 1).astype(np.uint64)  # payload width per value (0 for the 0 bin)
+    # payload = sign * 2^(w-1) + (|v| - 2^(w-1)); for w = 0 it is empty.
+    half = np.where(w > 0, np.uint64(1) << (w - np.uint64(1) * (w > 0)), np.uint64(0))
+    payload = np.where(w > 0, neg * half + (a - half), np.uint64(0))
+    top = bins == ecb
+    # prefix: (bin-1) ones then a 0 terminator, except the top bin which is
+    # exhaustive and drops the terminator.
+    prefix_len = np.where(top, ecb - 1, bins).astype(np.int64)
+    prefix = np.where(
+        top,
+        (np.uint64(1) << np.uint64(ecb - 1)) - np.uint64(1),
+        ((np.uint64(1) << bins.astype(np.uint64)) - np.uint64(1)) - np.uint64(1),
+    )
+    # `prefix` for non-top bin i: i-1 ones + trailing 0 == (2^i - 1) - 1.
+    codes = (prefix << w) | payload
+    lengths = prefix_len + w.astype(np.int64)
+    zero = bins == 1
+    codes[zero] = 0
+    lengths[zero] = 1
+    return codes, lengths
+
+
+def _encode_tree5(ecq: np.ndarray, ecb: int) -> tuple[np.ndarray, np.ndarray]:
+    if ecb == 2:
+        return _encode_tree4(ecq, 2)  # '0', '10', '11' — the optimal 3-leaf tree
+    return _encode_tree3(ecq, ecb)
+
+
+_ENCODERS = {1: _encode_tree1, 2: _encode_tree2, 3: _encode_tree3, 4: _encode_tree4, 5: _encode_tree5}
+
+
+def encode_ecq(ecq: np.ndarray, ecb: int, tree_id: int) -> tuple[np.ndarray, np.ndarray]:
+    """Encode a flat ECQ array; returns ``(codewords, bit_lengths)``."""
+    _check_ecb(ecb)
+    if tree_id not in _ENCODERS:
+        raise ParameterError(f"unknown tree id {tree_id}")
+    ecq = np.ascontiguousarray(ecq, dtype=np.int64)
+    return _ENCODERS[tree_id](ecq, ecb)
+
+
+# ---------------------------------------------------------------------------
+# Encoded-size accounting (used for dense-vs-sparse decisions and Fig. 7
+# without materialising bitstreams).
+# ---------------------------------------------------------------------------
+
+
+def encoded_size_bits(ecq: np.ndarray, ecb: int, tree_id: int) -> int:
+    """Exact dense-encoded size in bits for ``ecq`` under a given tree."""
+    _check_ecb(ecb)
+    ecq = np.ascontiguousarray(ecq, dtype=np.int64)
+    n = ecq.size
+    n0 = int(np.count_nonzero(ecq == 0))
+    npos1 = int(np.count_nonzero(ecq == 1))
+    nneg1 = int(np.count_nonzero(ecq == -1))
+    n1 = npos1 + nneg1
+    nother = n - n0 - n1
+    if tree_id == 1:
+        return n0 + (n - n0) * (1 + ecb)
+    if tree_id == 2:
+        return n0 + 2 * npos1 + 3 * nneg1 + (3 + ecb) * nother
+    if tree_id == 3:
+        return n0 + 3 * n1 + (2 + ecb) * nother
+    if tree_id == 4:
+        bins = _tree4_bins(ecq)
+        lengths = np.where(bins == ecb, 2 * (ecb - 1), 2 * bins - 1)
+        lengths = np.where(bins == 1, 1, lengths)
+        return int(lengths.sum())
+    if tree_id == 5:
+        if ecb == 2:
+            return n0 + 2 * (n - n0)
+        return n0 + 3 * n1 + (2 + ecb) * nother
+    raise ParameterError(f"unknown tree id {tree_id}")
+
+
+# ---------------------------------------------------------------------------
+# Decoding: vectorised prefix decode via pointer jumping.
+# ---------------------------------------------------------------------------
+
+
+def _max_token_len(ecb: int, tree_id: int) -> int:
+    return {1: 1 + ecb, 2: 3 + ecb, 3: 3 + ecb, 4: 2 * (ecb - 1), 5: 3 + ecb}[tree_id]
+
+
+def decode_ecq(
+    bits: np.ndarray, start: int, n: int, ecb: int, tree_id: int
+) -> tuple[np.ndarray, int]:
+    """Decode ``n`` ECQ values from ``bits`` starting at bit ``start``.
+
+    Returns ``(values, end_bit_offset)``.  The scan is bounded by
+    ``n × max_token_length`` so per-block decode cost is independent of the
+    total stream length.
+    """
+    _check_ecb(ecb)
+    if tree_id not in _ENCODERS:
+        raise ParameterError(f"unknown tree id {tree_id}")
+    if n == 0:
+        return np.zeros(0, dtype=np.int64), start
+    bound = min(bits.size - start, n * _max_token_len(ecb, tree_id))
+    view = bits[start : start + bound]
+
+    if tree_id == 5:
+        # Tree 5's small-range branch is identical to tree 4 at EC_b = 2.
+        tree_id = 4 if ecb == 2 else 3
+
+    if tree_id == 1:
+        def length_fn(b, off):
+            return np.where(b[off] == 0, 1, 1 + ecb)
+        lookahead = 1
+    elif tree_id == 2:
+        def length_fn(b, off):
+            b0, b1, b2 = b[off], b[off + 1], b[off + 2]
+            return np.where(b0 == 0, 1, np.where(b1 == 0, 2, np.where(b2 == 0, 3, 3 + ecb)))
+        lookahead = 3
+    elif tree_id == 3:
+        def length_fn(b, off):
+            b0, b1 = b[off], b[off + 1]
+            return np.where(b0 == 0, 1, np.where(b1 == 0, 2 + ecb, 3))
+        lookahead = 2
+    else:  # tree 4
+        def length_fn(b, off):
+            ones = np.zeros(off.shape, dtype=np.int64)
+            alive = np.ones(off.shape, dtype=bool)
+            for k in range(ecb - 1):
+                alive &= b[off + k] == 1
+                ones += alive
+            top = ones == ecb - 1
+            return np.where(top, 2 * (ecb - 1), 2 * ones + 1)
+        lookahead = ecb - 1
+
+    positions, lengths = decode_prefix_stream(view, 0, n, length_fn, lookahead)
+    end = int(positions[-1] + lengths[-1])
+    if end > bound:
+        raise FormatError("ECQ segment overruns its bound")
+
+    values = np.zeros(n, dtype=np.int64)
+    padded = np.concatenate([view, np.zeros(_max_token_len(ecb, tree_id), dtype=np.uint8)])
+
+    if tree_id == 1:
+        others = lengths == 1 + ecb
+        if others.any():
+            payload = gather_bit_windows(padded, positions[others] + 1, ecb)
+            values[others] = _offset_decode(payload, ecb)
+    elif tree_id == 2:
+        values[lengths == 2] = 1
+        values[lengths == 3] = -1
+        others = lengths == 3 + ecb
+        if others.any():
+            payload = gather_bit_windows(padded, positions[others] + 3, ecb)
+            values[others] = _offset_decode(payload, ecb)
+    elif tree_id == 3:
+        three = lengths == 3
+        if three.any():
+            sign_bit = padded[positions[three] + 2]
+            values[three] = 1 - 2 * sign_bit.astype(np.int64)
+        others = lengths == 2 + ecb
+        if others.any():
+            payload = gather_bit_windows(padded, positions[others] + 2, ecb)
+            values[others] = _offset_decode(payload, ecb)
+    else:  # tree 4
+        top = lengths == 2 * (ecb - 1)
+        bins = np.where(top, ecb, (lengths + 1) // 2)
+        nz = bins > 1
+        if nz.any():
+            w = (bins[nz] - 1).astype(np.int64)
+            pay_start = positions[nz] + np.where(top[nz], ecb - 1, bins[nz])
+            # Gather at the widest payload width, then shift down per value.
+            wmax = int(w.max())
+            raw = gather_bit_windows(padded, pay_start, wmax)
+            payload = (raw >> (wmax - w).astype(np.uint64)).astype(np.uint64)
+            half = np.uint64(1) << (w - 1).astype(np.uint64)
+            neg = payload >= half
+            # s=0: payload = m - half;  s=1: payload = m  (m = |value|)
+            mag = (payload + half * (~neg).astype(np.uint64)).astype(np.int64)
+            values[nz] = np.where(neg, -mag, mag)
+    return values, start + end

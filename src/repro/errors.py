@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at the boundary.  Compression codecs raise
+:class:`CompressionError` subclasses; the chemistry substrate raises
+:class:`ChemistryError` subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class CompressionError(ReproError):
+    """Base class for compressor/decompressor failures."""
+
+
+class FormatError(CompressionError):
+    """A compressed stream is malformed, truncated, or has a bad magic/version."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An invalid user-supplied parameter (error bound, block dims, ...)."""
+
+
+class ErrorBoundViolation(ReproError):
+    """Raised by verification helpers when a decompressed array exceeds the bound.
+
+    This is never raised by the codecs themselves (the bound is guaranteed by
+    construction); it exists for :func:`repro.metrics.error.assert_error_bound`
+    so tests and pipelines can fail loudly on regression.
+    """
+
+
+class ChemistryError(ReproError):
+    """Base class for errors in the quantum-chemistry substrate."""
+
+
+class BasisError(ChemistryError):
+    """Unknown shell type, bad angular momentum, or malformed basis input."""
+
+
+class GeometryError(ChemistryError):
+    """Malformed molecular geometry input."""

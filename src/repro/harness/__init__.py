@@ -1,0 +1,12 @@
+"""Experiment harness: one driver per table/figure of the paper.
+
+Every module exposes ``run(...) -> dict`` returning the rows/series the
+paper reports, plus a ``main()`` that prints them as text tables.  The
+registry maps experiment ids (``fig3`` ... ``fig11``, ``fig4``/``fig7``
+tables, ``breakdown``) to their drivers; ``python -m repro.harness <id>``
+runs one.
+"""
+
+from repro.harness.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,69 @@
+"""``python -m repro.harness [experiment ...] [--json FILE]`` — paper tables."""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.harness.registry import EXPERIMENTS, run_experiment
+
+
+def _jsonable(obj):
+    """Best-effort conversion of experiment results to JSON types."""
+    import numpy as np
+
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer, np.floating)):
+        return obj.item()
+    if hasattr(obj, "__dataclass_fields__"):
+        return {f: _jsonable(getattr(obj, f)) for f in obj.__dataclass_fields__}
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiments; optionally dump JSON."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    json_path = None
+    if "--json" in args:
+        i = args.index("--json")
+        try:
+            json_path = args[i + 1]
+        except IndexError:
+            print("--json needs a file path", file=sys.stderr)
+            return 2
+        del args[i : i + 2]
+    if not args or args[0] in ("-h", "--help"):
+        print("usage: python -m repro.harness <experiment ...|all> [--json FILE]")
+        print("experiments:")
+        for k, (title, _, _) in EXPERIMENTS.items():
+            print(f"  {k:<10} {title}")
+        return 0
+    ids = list(EXPERIMENTS) if args == ["all"] else args
+    collected = {}
+    for exp_id in ids:
+        if exp_id not in EXPERIMENTS:
+            print(f"unknown experiment {exp_id!r}", file=sys.stderr)
+            return 2
+        print(f"=== {exp_id}: {EXPERIMENTS[exp_id][0]} ===")
+        if json_path is None:
+            EXPERIMENTS[exp_id][2]()
+        else:
+            collected[exp_id] = _jsonable(run_experiment(exp_id))
+            print("(captured for JSON output)")
+        print()
+    if json_path is not None:
+        with open(json_path, "w") as fh:
+            json.dump(collected, fh, indent=2)
+        print(f"wrote {json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,90 @@
+"""Standard benchmark datasets (paper §V-A) with on-disk caching.
+
+Six datasets: {benzene, glutamine, tri-alanine} × {(dd|dd), (ff|ff)}.
+Benzene carries a three-exponent polarization manifold per atom (its six
+tightly-packed heavy atoms otherwise give too few, too-compact quartets to
+be representative of sampled production data — see EXPERIMENTS.md).
+
+Generated datasets are cached as ``.npz`` under ``$REPRO_CACHE`` (default
+``./.repro_cache``) because the pure-Python integral engine is the slow
+part of every experiment.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.chem.dataset import ERIDataset, generate_dataset
+from repro.chem.molecules import molecule_by_name
+from repro.errors import ParameterError
+
+#: Per-molecule polarization-manifold exponent scales.
+MOLECULE_RECIPES: dict[str, tuple[float, ...]] = {
+    "benzene": (1.0, 2.0, 4.0),
+    "glutamine": (1.0,),
+    "trialanine": (1.0,),
+}
+
+#: Default block counts per configuration and size tier.
+BLOCK_COUNTS: dict[str, dict[str, int]] = {
+    "(dd|dd)": {"tiny": 120, "small": 400, "standard": 1200},
+    "(ff|ff)": {"tiny": 40, "small": 150, "standard": 400},
+}
+
+MOLECULES = ("benzene", "glutamine", "trialanine")
+CONFIGS = ("(dd|dd)", "(ff|ff)")
+ERROR_BOUNDS = (1e-11, 1e-10, 1e-9)
+
+
+def cache_dir() -> Path:
+    """Dataset cache directory (``$REPRO_CACHE``, default ``./.repro_cache``)."""
+    d = Path(os.environ.get("REPRO_CACHE", ".repro_cache"))
+    d.mkdir(parents=True, exist_ok=True)
+    return d
+
+
+def standard_dataset(
+    molecule: str, config: str, size: str = "small", seed: int = 0
+) -> ERIDataset:
+    """Build (or load from cache) one standard benchmark dataset."""
+    molecule = molecule.lower()
+    if molecule not in MOLECULE_RECIPES:
+        raise ParameterError(f"unknown benchmark molecule {molecule!r}")
+    counts = BLOCK_COUNTS.get(config)
+    if counts is None or size not in counts:
+        raise ParameterError(f"no recipe for config={config!r} size={size!r}")
+    n_blocks = counts[size]
+    scales = MOLECULE_RECIPES[molecule]
+    tag = f"{molecule}_{config.strip('()').replace('|', '_')}_{n_blocks}_{seed}_{len(scales)}"
+    path = cache_dir() / f"{tag}.npz"
+    if path.exists():
+        try:
+            return ERIDataset.load(str(path))
+        except Exception:
+            path.unlink()  # stale/corrupt cache entry; regenerate
+    ds = generate_dataset(
+        molecule_by_name(molecule),
+        config,
+        n_blocks=n_blocks,
+        seed=seed,
+        exponent_scale=scales,
+    )
+    ds.save(str(path))
+    return ds
+
+
+def all_standard_datasets(size: str = "small"):
+    """Yield (name, dataset) for the paper's six dataset grid."""
+    for mol in MOLECULES:
+        for config in CONFIGS:
+            label = "alanine" if mol == "trialanine" else mol
+            yield f"{label} {config}", standard_dataset(mol, config, size)
+
+
+def mixed_dataset(size: str = "small"):
+    """Two-molecule (dd|dd) pool used by the fig4/fig7 ablation tables."""
+    return [
+        standard_dataset("trialanine", "(dd|dd)", size),
+        standard_dataset("glutamine", "(dd|dd)", size),
+    ]

@@ -1,0 +1,61 @@
+"""Whole-basis integral dump experiment (the GAMESS disk-run scenario).
+
+Not a numbered paper figure, but the setting the paper's introduction
+describes: a production run dumps *all* shell quartets, mixed across
+block classes; PaSTRI compresses each class with its own geometry.  Also
+substantiates §V-A's dataset rationale: d/f classes dominate the volume.
+"""
+
+from __future__ import annotations
+
+from repro.chem.basis import BasisSet, polarization_basis
+from repro.chem.basis_sets import sto3g_shells_for_atom
+from repro.chem.classdump import class_dump, compress_class_dump
+from repro.chem.molecules import molecule_by_name
+from repro.harness.report import render_table
+
+
+def run(
+    molecule: str = "glutamine",
+    error_bound: float = 1e-10,
+    max_blocks_per_class: int = 20,
+    with_d_shells: bool = True,
+    seed: int = 0,
+) -> dict:
+    """Build and compress a whole-basis class dump; returns per-class stats."""
+    mol = molecule_by_name(molecule)
+    shells = []
+    for i, atom in enumerate(mol.atoms):
+        shells.extend(sto3g_shells_for_atom(atom.symbol, atom.position, i))
+    if with_d_shells:
+        shells.extend(polarization_basis(mol, "d").shells)
+    basis = BasisSet(mol, tuple(shells))
+    dump = class_dump(basis, max_blocks_per_class=max_blocks_per_class, seed=seed)
+    res = compress_class_dump(dump, error_bound)
+    return {
+        "molecule": mol.name,
+        "error_bound": error_bound,
+        "n_classes": len(res.per_class),
+        "per_class": res.per_class,
+        "ratio": res.ratio,
+        "max_abs_error": res.max_abs_error,
+    }
+
+
+def main() -> None:
+    """Print the per-class dump table."""
+    res = run()
+    print(
+        f"Whole-basis dump — {res['molecule']} (STO-3G + d), "
+        f"EB={res['error_bound']:.0e}: {res['n_classes']} block classes"
+    )
+    rows = [
+        [label, st["blocks"], f"{st['bytes'] / 1024:.1f}", f"{st['ratio']:.2f}"]
+        for label, st in sorted(res["per_class"].items(), key=lambda kv: -kv[1]["bytes"])
+    ]
+    print(render_table(["class", "blocks", "KiB", "ratio"], rows[:12]))
+    print(f"whole dump ratio {res['ratio']:.2f}, max error {res['max_abs_error']:.1e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Fig. 11 — total computation time: GAMESS recomputation vs PaSTRI reuse.
+
+The integral data is used 20 times (the paper's conservative reuse count).
+*Original* regenerates it with GAMESS each time; *PaSTRI infrastructure*
+generates once, compresses once, and decompresses 19 times.  Generation
+rates are the paper's GAMESS measurements; codec rates are measured from
+this library on a synthetic stream by default (pass ``rates="paper"`` for
+the native-code rates).
+"""
+
+from __future__ import annotations
+
+from repro.chem.synthetic import SyntheticERIModel
+from repro.core import PaSTRICompressor
+from repro.harness.report import render_table
+from repro.parallel.iosim import PAPER_RATES, measure_rates
+from repro.pipeline.workflow import DEFAULT_N_REUSE, ReuseCostModel
+
+CONFIGS = ("(dd|dd)", "(ff|ff)")
+ERROR_BOUNDS = (1e-11, 1e-10, 1e-9)
+
+
+def run(
+    n_reuse: int = DEFAULT_N_REUSE,
+    dataset_bytes: float = 8e9,
+    rates: str = "hybrid",
+    sample_blocks: int = 300,
+) -> dict:
+    """Returns one ReuseTimings per (config, error bound).
+
+    Rate sources:
+
+    * ``paper`` — the paper's native-code PaSTRI rates at every EB;
+    * ``measured`` — this library's Python rates (with these, regomputing
+      in native GAMESS beats a Python codec, as expected — the comparison
+      the paper makes presumes a native-speed codec);
+    * ``hybrid`` (default) — the paper's base rates scaled by this
+      library's *measured EB dependence*, reproducing Fig. 11's per-EB bar
+      shape without the Python constant factor.
+    """
+    out = {}
+    for config in CONFIGS:
+        model = ReuseCostModel(dataset_bytes, config)
+        gen = SyntheticERIModel.from_config(config, seed=7)
+        sample = gen.generate(sample_blocks).data
+        codec = PaSTRICompressor(config=config)
+        measured = {eb: measure_rates(codec, sample, eb) for eb in ERROR_BOUNDS} if rates != "paper" else {}
+        base_c, base_d = PAPER_RATES["pastri"]
+        for eb in ERROR_BOUNDS:
+            if rates == "paper":
+                c_rate, d_rate = base_c, base_d
+            elif rates == "measured":
+                c_rate, d_rate = measured[eb]
+            else:  # hybrid
+                ref_c, ref_d = measured[1e-10]
+                c_rate = base_c * measured[eb][0] / ref_c
+                d_rate = base_d * measured[eb][1] / ref_d
+            out[(config, eb)] = model.evaluate(c_rate, d_rate, eb, n_reuse)
+    return {"n_reuse": n_reuse, "dataset_bytes": dataset_bytes, "timings": out, "rates_source": rates}
+
+
+def main() -> None:
+    """Print the Fig. 11 reuse table."""
+    res = run()
+    print(
+        f"Fig. 11 — total time to obtain integral data {res['n_reuse']}x "
+        f"({res['dataset_bytes'] / 1e9:.0f} GB dataset, codec rates: {res['rates_source']})"
+    )
+    rows = []
+    for (config, eb), t in res["timings"].items():
+        orig_n, pastri_n = t.normalized()
+        rows.append([config, f"{eb:.0e}", orig_n, pastri_n, t.speedup])
+    print(render_table(
+        ["config", "EB", "original (norm.)", "PaSTRI infra (norm.)", "speedup"], rows
+    ))
+    print("(paper: PaSTRI infrastructure is a small fraction of the original time)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Fig. 3 — the latent pattern in ERI blocks.
+
+Reproduces the paper's demonstration: take one (dd|dd) shell block, compare
+the first two sub-blocks raw (different scales), rescaled (near-identical
+curves), and report the deviation / compression error at EB = 1e-10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import PaSTRICompressor
+from repro.harness.datasets import standard_dataset
+from repro.harness.report import render_table
+
+
+def run(size: str = "small", error_bound: float = 1e-10, block_index: int | None = None) -> dict:
+    """Returns the Fig. 3 series plus summary statistics."""
+    ds = standard_dataset("trialanine", "(dd|dd)", size)
+    blocks = ds.blocks()
+    amps = np.abs(blocks).max(axis=(1, 2))
+    if block_index is None:
+        # A mid-amplitude, clearly non-zero block, like the paper's example.
+        candidates = np.flatnonzero((amps > 1e-8) & (amps < 1e-6))
+        block_index = int(candidates[0]) if candidates.size else int(np.argmax(amps))
+    blk = blocks[block_index]
+
+    sb0, sb1 = blk[0], blk[1]
+    ref = np.argmax(np.abs(sb0))
+    scale = sb1[ref] / sb0[ref] if sb0[ref] != 0 else 0.0
+    rescaled = sb0 * scale
+    deviation = np.abs(sb1 - rescaled)
+
+    codec = PaSTRICompressor(dims=ds.spec.dims)
+    blob = codec.compress(blk.ravel(), error_bound)
+    dec = codec.decompress(blob).reshape(blk.shape)
+    comp_err = np.abs(dec[1] - blk[1])
+
+    return {
+        "block_index": block_index,
+        "sub_block_0": sb0,
+        "sub_block_1": sb1,
+        "scale": scale,
+        "rescaled_0": rescaled,
+        "deviation": deviation,
+        "compression_error": comp_err,
+        "summary": {
+            "sb0_range": float(np.abs(sb0).max()),
+            "sb1_range": float(np.abs(sb1).max()),
+            "max_deviation": float(deviation.max()),
+            "max_compression_error": float(comp_err.max()),
+            "error_bound": error_bound,
+        },
+    }
+
+
+def main() -> None:
+    """Print the Fig. 3 pattern summary."""
+    res = run()
+    s = res["summary"]
+    print("Fig. 3 — scaled-pattern structure of one (dd|dd) block")
+    print(
+        render_table(
+            ["quantity", "value"],
+            [
+                ["block index", res["block_index"]],
+                ["|sub-block 0| range", s["sb0_range"]],
+                ["|sub-block 1| range", s["sb1_range"]],
+                ["scaling coefficient", res["scale"]],
+                ["max |deviation| after rescale", s["max_deviation"]],
+                ["max compression error", s["max_compression_error"]],
+                ["error bound", s["error_bound"]],
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

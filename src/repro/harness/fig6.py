@@ -1,0 +1,68 @@
+"""Fig. 6 — ECQ value distribution per block type.
+
+Histograms of the Fig. 6 binning (bin *i* holds ECQ values needing *i*
+bits) for each block type (0–3) and for the whole pool, plus the block-type
+population shares (the paper: 70–80 % of blocks are Type 0/1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import BlockType, PaSTRICompressor
+from repro.harness.datasets import mixed_dataset
+from repro.harness.report import render_table
+
+
+def run(size: str = "small", error_bound: float = 1e-10) -> dict:
+    """Collect ECQ histograms and block-type shares over the mixed pool."""
+    datasets = mixed_dataset(size)
+    hist: dict[BlockType, np.ndarray] = {}
+    type_counts: dict[BlockType, int] = {t: 0 for t in BlockType}
+    for ds in datasets:
+        codec = PaSTRICompressor(dims=ds.spec.dims, collect_stats=True)
+        codec.compress(ds.data, error_bound)
+        st = codec.last_stats
+        for t, h in st.ecq_hist.items():
+            hist[t] = hist.get(t, 0) + h
+        for t, c in st.type_counts.items():
+            type_counts[t] = type_counts.get(t, 0) + c
+    total_blocks = max(sum(type_counts.values()), 1)
+    total_hist = sum(hist.values()) if hist else np.zeros(1)
+    return {
+        "error_bound": error_bound,
+        "histograms": hist,
+        "total_histogram": total_hist,
+        "type_counts": type_counts,
+        "type_fractions": {t: c / total_blocks for t, c in type_counts.items()},
+    }
+
+
+def main() -> None:
+    """Print the Fig. 6 tables."""
+    res = run()
+    print(f"Fig. 6 — ECQ bin distribution at EB={res['error_bound']:.0e}")
+    rows = []
+    for t, frac in res["type_fractions"].items():
+        rows.append([t.name, res["type_counts"][t], f"{100 * frac:.1f}%"])
+    print(render_table(["block type", "blocks", "share"], rows))
+    frac01 = res["type_fractions"][BlockType.TYPE0] + res["type_fractions"][BlockType.TYPE1]
+    print(f"Type 0+1 share: {100 * frac01:.1f}%  (paper: 70-80%)")
+    print()
+    rows = []
+    maxbin = 0
+    for t, h in sorted(res["histograms"].items()):
+        nz = np.flatnonzero(h)
+        maxbin = max(maxbin, int(nz[-1]) if nz.size else 0)
+    for b in range(1, maxbin + 1):
+        row = [b]
+        for t in BlockType:
+            h = res["histograms"].get(t)
+            row.append(int(h[b]) if h is not None and b < h.size else 0)
+        row.append(int(res["total_histogram"][b]) if b < res["total_histogram"].size else 0)
+        rows.append(row)
+    print(render_table(["bin (bits)", "type0", "type1", "type2", "type3", "total"], rows))
+
+
+if __name__ == "__main__":
+    main()

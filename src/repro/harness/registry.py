@@ -1,0 +1,38 @@
+"""Registry of paper experiments: id -> (title, driver)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ParameterError
+from repro.harness import breakdown, dump, fig3, fig6, fig9, fig10, fig11, tab_scaling, tab_trees
+
+
+def _fig9_main_run(**kw):
+    out = fig9.run_ratios(**kw)
+    out["rate_distortion"] = fig9.run_rate_distortion()
+    return out
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[..., dict], Callable[[], None]]] = {
+    "fig3": ("latent pattern demonstration", fig3.run, fig3.main),
+    "fig4": ("pattern-scaling metric table", tab_scaling.run, tab_scaling.main),
+    "fig6": ("ECQ distribution / block types", fig6.run, fig6.main),
+    "fig7": ("encoding tree table", tab_trees.run, tab_trees.main),
+    "fig9": ("PaSTRI vs SZ vs ZFP (ratios, rates, RD)", _fig9_main_run, fig9.main),
+    "fig10": ("parallel dump/load on modelled GPFS", fig10.run, fig10.main),
+    "fig11": ("recompute vs compress-once reuse", fig11.run, fig11.main),
+    "breakdown": ("storage breakdown + lossless reference", breakdown.run, breakdown.main),
+    "dump": ("whole-basis class dump (GAMESS scenario)", dump.run, dump.main),
+}
+
+
+def run_experiment(exp_id: str, **kwargs) -> dict:
+    """Run one experiment by id and return its result dict."""
+    try:
+        _, driver, _ = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ParameterError(
+            f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return driver(**kwargs)

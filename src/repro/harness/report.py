@@ -1,0 +1,43 @@
+"""Plain-text table rendering for harness output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def fmt(value, width: int = 0) -> str:
+    """Human formatting: floats to 2-3 significant decimals, rest as str."""
+    if isinstance(value, float):
+        if value == 0:
+            s = "0"
+        elif abs(value) >= 1000 or abs(value) < 0.01:
+            s = f"{value:.3g}"
+        else:
+            s = f"{value:.2f}"
+    else:
+        s = str(value)
+    return s.rjust(width) if width else s
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(title: str, pairs: Iterable[tuple]) -> str:
+    """Render an (x, y) series as two aligned columns."""
+    lines = [title]
+    for x, y in pairs:
+        lines.append(f"  {fmt(x):>12}  {fmt(y):>12}")
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Lossless reference codecs.
+
+The paper motivates lossy compression by the poor ratios (1.1–2×) lossless
+compressors achieve on scientific doubles (§II).  Two references:
+
+* :class:`DeflateCodec` — GZIP/DEFLATE via the stdlib ``zlib``.
+* :class:`FPCCodec` — a from-scratch FPC (Burtscher & Ratanaworabhan,
+  TC 2009): FCM/DFCM value prediction, XOR residuals, leading-zero-byte
+  coding.
+"""
+
+from repro.lossless.deflate import DeflateCodec
+from repro.lossless.fpc import FPCCodec
+
+__all__ = ["DeflateCodec", "FPCCodec"]

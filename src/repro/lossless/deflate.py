@@ -1,0 +1,45 @@
+"""GZIP/DEFLATE lossless reference (stdlib zlib)."""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro import api
+from repro.errors import FormatError
+
+
+class DeflateCodec:
+    """DEFLATE over the raw IEEE-754 bytes.
+
+    The ``error_bound`` argument is accepted for interface uniformity and
+    ignored — reconstruction is exact.
+    """
+
+    name = "deflate"
+
+    def __init__(self, level: int = 6) -> None:
+        self.level = level
+
+    def compress(self, data: np.ndarray, error_bound: float = 0.0) -> bytes:
+        data = api.validate_input(data)
+        body = zlib.compress(data.tobytes(), self.level)
+        return struct.pack("<Q", data.size) + body
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        if len(blob) < 8:
+            raise FormatError("truncated deflate stream")
+        (n,) = struct.unpack("<Q", blob[:8])
+        try:
+            raw = zlib.decompress(blob[8:])
+        except zlib.error as exc:
+            raise FormatError(f"corrupt deflate stream: {exc}") from exc
+        out = np.frombuffer(raw, dtype=np.float64)
+        if out.size != n:
+            raise FormatError("deflate stream length mismatch")
+        return out.copy()
+
+
+api.register_codec("deflate", lambda **kw: DeflateCodec(**kw))

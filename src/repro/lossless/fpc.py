@@ -1,0 +1,110 @@
+"""FPC: lossless double compressor (Burtscher & Ratanaworabhan, IEEE TC 2009).
+
+Per value: two hash-table predictors — FCM (predicts the next bit pattern
+from a hash of recent patterns) and DFCM (predicts the next *delta*) — the
+better one is chosen (1 bit), the prediction is XORed with the true bit
+pattern, and the residual is stored as a 3-bit leading-zero-byte count plus
+the remaining bytes.
+
+The predictor tables evolve value-by-value, so the hot loop is inherently
+sequential; it is written against pre-extracted Python ints to keep the
+constant factor tolerable.  FPC exists here as the paper's §II lossless
+reference point (ratios 1.1–2 on scientific doubles), not as a fast path.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro import api
+from repro.errors import FormatError
+
+_MAGIC = b"FPC1"
+_MASK = (1 << 64) - 1
+
+
+class FPCCodec:
+    """FPC lossless codec (``error_bound`` accepted and ignored)."""
+
+    name = "fpc"
+
+    def __init__(self, table_log2: int = 16) -> None:
+        self.table_size = 1 << table_log2
+
+    def compress(self, data: np.ndarray, error_bound: float = 0.0) -> bytes:
+        data = api.validate_input(data)
+        vals = data.view(np.uint64).tolist()
+        tsize = self.table_size
+        tmask = tsize - 1
+        fcm = [0] * tsize
+        dfcm = [0] * tsize
+        fhash = dhash = 0
+        last = 0
+        header = bytearray()
+        body = bytearray()
+        for v in vals:
+            p_fcm = fcm[fhash]
+            p_dfcm = (dfcm[dhash] + last) & _MASK
+            fcm[fhash] = v
+            dfcm[dhash] = (v - last) & _MASK
+            fhash = ((fhash << 6) ^ (v >> 48)) & tmask
+            dhash = ((dhash << 2) ^ (((v - last) & _MASK) >> 40)) & tmask
+            last = v
+            r_f = v ^ p_fcm
+            r_d = v ^ p_dfcm
+            use_d = r_d < r_f
+            r = r_d if use_d else r_f
+            nbytes = (r.bit_length() + 7) // 8
+            # Original FPC packs the residual-byte count into 3 bits by
+            # merging counts {5,7}; we spend a plain 4-bit count (plus the
+            # predictor-choice flag) per value instead — one header byte.
+            header.append(((16 if use_d else 0)) | nbytes)
+            body += r.to_bytes(nbytes, "little")
+        return (
+            _MAGIC
+            + struct.pack("<QB", data.size, int(np.log2(tsize)))
+            + bytes(header)
+            + bytes(body)
+        )
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        if len(blob) < 13 or blob[:4] != _MAGIC:
+            raise FormatError("not an FPC stream (bad magic or truncated)")
+        n, tlog = struct.unpack("<QB", blob[4:13])
+        if tlog > 30 or n > len(blob):  # header byte per value at minimum
+            raise FormatError("corrupt FPC stream header")
+        tsize = 1 << tlog
+        tmask = tsize - 1
+        header = blob[13 : 13 + n]
+        if len(header) != n:
+            raise FormatError("truncated FPC stream")
+        body = blob[13 + n :]
+        fcm = [0] * tsize
+        dfcm = [0] * tsize
+        fhash = dhash = 0
+        last = 0
+        out = np.empty(n, dtype=np.uint64)
+        pos = 0
+        for i in range(n):
+            h = header[i]
+            use_d = bool(h & 16)
+            nbytes = h & 15
+            if nbytes > 8:
+                raise FormatError("corrupt FPC residual length")
+            r = int.from_bytes(body[pos : pos + nbytes], "little")
+            pos += nbytes
+            p_fcm = fcm[fhash]
+            p_dfcm = (dfcm[dhash] + last) & _MASK
+            v = r ^ (p_dfcm if use_d else p_fcm)
+            fcm[fhash] = v
+            dfcm[dhash] = (v - last) & _MASK
+            fhash = ((fhash << 6) ^ (v >> 48)) & tmask
+            dhash = ((dhash << 2) ^ (((v - last) & _MASK) >> 40)) & tmask
+            last = v
+            out[i] = v
+        return out.view(np.float64).copy()
+
+
+api.register_codec("fpc", lambda **kw: FPCCodec(**kw))

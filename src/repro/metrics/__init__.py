@@ -1,0 +1,25 @@
+"""Compression-quality metrics (the paper's Z-Checker stand-in).
+
+Implements exactly the quantities §V reports: point-wise max absolute
+error, MSE, PSNR (``20·log10(range/√MSE)``), compression ratio, bit rate
+(``64/ratio``), and rate-distortion sweeps.
+"""
+
+from repro.metrics.error import max_abs_error, mse, psnr, assert_error_bound
+from repro.metrics.ratio import compression_ratio, bitrate
+from repro.metrics.ratedistortion import rd_curve, RDPoint
+from repro.metrics.assessment import Assessment, assess, error_histogram
+
+__all__ = [
+    "max_abs_error",
+    "mse",
+    "psnr",
+    "assert_error_bound",
+    "compression_ratio",
+    "bitrate",
+    "rd_curve",
+    "RDPoint",
+    "Assessment",
+    "assess",
+    "error_histogram",
+]

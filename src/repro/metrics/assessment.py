@@ -1,0 +1,123 @@
+"""Full compression-quality assessment (the paper's Z-Checker workflow).
+
+Z-Checker (Tao et al., IJHPCA 2017) evaluates a lossy compressor with a
+battery of statistics beyond max-error/PSNR: value-range coverage, error
+distribution moments, error autocorrelation (detects structured artefacts),
+and Pearson correlation between original and reconstruction.  This module
+produces the same battery for any codec in the package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api import Codec
+from repro.metrics.error import max_abs_error, mse, psnr
+from repro.metrics.ratio import bitrate, compression_ratio
+
+
+@dataclass(frozen=True)
+class Assessment:
+    """One codec × dataset × bound evaluation (Z-Checker style)."""
+
+    # size metrics
+    ratio: float
+    bitrate: float
+    # point-wise distortion
+    max_abs_error: float
+    mean_abs_error: float
+    rmse: float
+    psnr: float
+    max_rel_to_range: float  # max error / value range
+    # structure of the error signal
+    error_mean: float
+    error_std: float
+    error_autocorr_lag1: float
+    pearson_correlation: float
+    # contract
+    error_bound: float
+    bound_satisfied: bool
+
+    def rows(self) -> list[tuple[str, float]]:
+        """Stable (name, value) listing for reports."""
+        return [
+            ("compression ratio", self.ratio),
+            ("bitrate (bits/value)", self.bitrate),
+            ("max abs error", self.max_abs_error),
+            ("mean abs error", self.mean_abs_error),
+            ("RMSE", self.rmse),
+            ("PSNR (dB)", self.psnr),
+            ("max error / range", self.max_rel_to_range),
+            ("error mean", self.error_mean),
+            ("error std", self.error_std),
+            ("error autocorr (lag 1)", self.error_autocorr_lag1),
+            ("pearson corr", self.pearson_correlation),
+        ]
+
+
+def autocorrelation(x: np.ndarray, lag: int = 1) -> float:
+    """Normalised autocorrelation of a signal at the given lag.
+
+    Z-Checker flags compressors whose error signal is strongly
+    autocorrelated — structured artefacts that bias downstream analyses
+    even when point-wise bounds hold.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.size <= lag:
+        return 0.0
+    x = x - x.mean()
+    denom = float(x @ x)
+    if denom == 0.0:
+        return 0.0
+    return float(x[:-lag] @ x[lag:]) / denom
+
+
+def pearson(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation coefficient between original and reconstruction."""
+    a = np.asarray(a, dtype=np.float64) - np.mean(a)
+    b = np.asarray(b, dtype=np.float64) - np.mean(b)
+    denom = np.sqrt(float(a @ a) * float(b @ b))
+    if denom == 0.0:
+        return 1.0 if np.allclose(a, b) else 0.0
+    return float(a @ b) / denom
+
+
+def assess(codec: Codec, data: np.ndarray, error_bound: float) -> Assessment:
+    """Run the full battery for one codec on one dataset."""
+    data = np.ascontiguousarray(data, dtype=np.float64)
+    blob = codec.compress(data, error_bound)
+    dec = codec.decompress(blob)
+    err = dec - data
+    rng = float(data.max() - data.min())
+    r = compression_ratio(data.nbytes, len(blob))
+    mx = max_abs_error(data, dec)
+    return Assessment(
+        ratio=r,
+        bitrate=bitrate(r),
+        max_abs_error=mx,
+        mean_abs_error=float(np.mean(np.abs(err))),
+        rmse=float(np.sqrt(mse(data, dec))),
+        psnr=psnr(data, dec),
+        max_rel_to_range=mx / rng if rng else float("inf") if mx else 0.0,
+        error_mean=float(err.mean()),
+        error_std=float(err.std()),
+        error_autocorr_lag1=autocorrelation(err),
+        pearson_correlation=pearson(data, dec),
+        error_bound=float(error_bound),
+        bound_satisfied=bool(mx <= error_bound),
+    )
+
+
+def error_histogram(
+    codec: Codec, data: np.ndarray, error_bound: float, bins: int = 21
+) -> tuple[np.ndarray, np.ndarray]:
+    """Distribution of the point-wise error over [-EB, EB].
+
+    Returns ``(counts, edges)``.  A healthy error-bounded quantizer shows a
+    roughly uniform histogram; spikes at ±EB betray systematic saturation.
+    """
+    dec = codec.decompress(codec.compress(data, error_bound))
+    err = dec - np.asarray(data, dtype=np.float64)
+    return np.histogram(err, bins=bins, range=(-error_bound, error_bound))

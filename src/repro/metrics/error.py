@@ -1,0 +1,45 @@
+"""Point-wise distortion metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ErrorBoundViolation
+
+
+def max_abs_error(original: np.ndarray, decompressed: np.ndarray) -> float:
+    """``max_i |x_i - x'_i|``."""
+    return float(np.max(np.abs(np.asarray(original) - np.asarray(decompressed))))
+
+
+def mse(original: np.ndarray, decompressed: np.ndarray) -> float:
+    """Mean squared error."""
+    d = np.asarray(original) - np.asarray(decompressed)
+    return float(np.mean(d * d))
+
+
+def psnr(original: np.ndarray, decompressed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio: ``20·log10(value_range / sqrt(MSE))``.
+
+    Matches the paper's §V-B definition; returns ``inf`` for perfect
+    reconstruction and ``-inf`` for a constant original signal with error.
+    """
+    original = np.asarray(original)
+    rng = float(original.max() - original.min())
+    m = mse(original, decompressed)
+    if m == 0.0:
+        return float("inf")
+    if rng == 0.0:
+        return float("-inf")
+    return 20.0 * np.log10(rng / np.sqrt(m))
+
+
+def assert_error_bound(
+    original: np.ndarray, decompressed: np.ndarray, error_bound: float
+) -> None:
+    """Raise :class:`ErrorBoundViolation` if any point exceeds the bound."""
+    err = max_abs_error(original, decompressed)
+    if err > error_bound:
+        raise ErrorBoundViolation(
+            f"max abs error {err:.3e} exceeds the bound {error_bound:.3e}"
+        )

@@ -1,0 +1,46 @@
+"""Rate-distortion sweeps (paper Fig. 9b)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.api import Codec
+from repro.metrics.error import max_abs_error, psnr
+from repro.metrics.ratio import bitrate, compression_ratio
+
+
+@dataclass(frozen=True)
+class RDPoint:
+    """One point of a rate-distortion curve."""
+
+    error_bound: float
+    bitrate: float
+    psnr: float
+    ratio: float
+    max_abs_error: float
+
+
+def rd_curve(codec: Codec, data: np.ndarray, error_bounds: Iterable[float]) -> list[RDPoint]:
+    """Compress ``data`` at each error bound; collect (bitrate, PSNR) points.
+
+    A curve closer to the upper-left corner (low rate, high PSNR) is better
+    (paper §V-B).
+    """
+    out = []
+    for eb in error_bounds:
+        blob = codec.compress(data, eb)
+        dec = codec.decompress(blob)
+        r = compression_ratio(data.nbytes, len(blob))
+        out.append(
+            RDPoint(
+                error_bound=float(eb),
+                bitrate=bitrate(r),
+                psnr=psnr(data, dec),
+                ratio=r,
+                max_abs_error=max_abs_error(data, dec),
+            )
+        )
+    return out

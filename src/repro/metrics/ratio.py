@@ -1,0 +1,19 @@
+"""Size metrics: compression ratio and bit rate."""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+
+
+def compression_ratio(original_bytes: int, compressed_bytes: int) -> float:
+    """``original size / compressed size`` (higher is better)."""
+    if compressed_bytes <= 0:
+        raise ParameterError("compressed size must be positive")
+    return original_bytes / compressed_bytes
+
+
+def bitrate(ratio: float, bits_per_value: int = 64) -> float:
+    """Bits spent per input value: ``64 / ratio`` for doubles (paper §V-B)."""
+    if ratio <= 0:
+        raise ParameterError("ratio must be positive")
+    return bits_per_value / ratio

@@ -1,0 +1,23 @@
+"""Parallel execution and I/O modelling (the Bebop/GPFS substitute).
+
+* :mod:`repro.parallel.pool` — real block-parallel (de)compression with
+  ``multiprocessing`` (PaSTRI "is highly parallelizable ... each block
+  compressed and decompressed completely independent", §IV-C).
+* :mod:`repro.parallel.pfs` — an analytic GPFS-like parallel-filesystem
+  model (per-process link bandwidth, aggregate backend ceiling, per-file
+  metadata latency).
+* :mod:`repro.parallel.iosim` — the Fig. 10 dump/load experiment driver
+  combining measured codec rates with the PFS model.
+"""
+
+from repro.parallel.pool import parallel_compress, parallel_decompress
+from repro.parallel.pfs import GPFSModel
+from repro.parallel.iosim import IOSimulator, IOResult
+
+__all__ = [
+    "parallel_compress",
+    "parallel_decompress",
+    "GPFSModel",
+    "IOSimulator",
+    "IOResult",
+]

@@ -1,0 +1,107 @@
+"""Fig. 10 dump/load experiment driver.
+
+Combines per-codec compression ratios and (de)compression rates with the
+:class:`repro.parallel.pfs.GPFSModel` to produce the paper's elapsed-time
+bars for 256–2048 cores.
+
+Codec rates can come from two sources:
+
+* ``paper`` — the native-code rates the paper reports (PaSTRI 660/1110
+  MB/s, ZFP 308.5/260.5, SZ 104.1/148.6), reproducing Fig. 10's regime
+  where elapsed time is dominated by I/O;
+* ``measured`` — rates measured from *this* library on the host machine
+  (Python-speed; the relative ordering still holds, the compute share is
+  larger).  Use :func:`measure_rates`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api import Codec
+from repro.parallel.pfs import GPFSModel
+
+#: (compress, decompress) rates in bytes/s from the paper's §V-B.
+PAPER_RATES: dict[str, tuple[float, float]] = {
+    "pastri": (660e6, 1110e6),
+    "zfp": (308.5e6, 260.5e6),
+    "sz": (104.1e6, 148.6e6),
+}
+
+
+@dataclass(frozen=True)
+class IOResult:
+    """One bar group of Fig. 10: dump (D) and load (L) at a core count."""
+
+    codec: str
+    n_cores: int
+    compress_time: float
+    write_time: float
+    read_time: float
+    decompress_time: float
+
+    @property
+    def dump_time(self) -> float:
+        return self.compress_time + self.write_time
+
+    @property
+    def load_time(self) -> float:
+        return self.read_time + self.decompress_time
+
+
+class IOSimulator:
+    """Models dumping/loading one dataset through a codec to a PFS."""
+
+    def __init__(self, dataset_bytes: float = 64e9, pfs: GPFSModel | None = None) -> None:
+        self.dataset_bytes = float(dataset_bytes)
+        self.pfs = pfs or GPFSModel()
+
+    def run(
+        self,
+        codec: str,
+        ratio: float,
+        n_cores: int,
+        compress_rate: float,
+        decompress_rate: float,
+    ) -> IOResult:
+        """Elapsed times for one (codec, core count) cell.
+
+        Codec work parallelises perfectly (block-local algorithms, paper
+        §IV-C); I/O goes through the PFS model.
+        """
+        compressed = self.dataset_bytes / ratio
+        per_core = self.dataset_bytes / n_cores
+        return IOResult(
+            codec=codec,
+            n_cores=n_cores,
+            compress_time=per_core / compress_rate,
+            write_time=self.pfs.io_time(compressed, n_cores, read=False),
+            read_time=self.pfs.io_time(compressed, n_cores, read=True),
+            decompress_time=per_core / decompress_rate,
+        )
+
+    def sweep(
+        self,
+        codec: str,
+        ratio: float,
+        core_counts: tuple[int, ...] = (256, 512, 1024, 2048),
+        rates: tuple[float, float] | None = None,
+    ) -> list[IOResult]:
+        """Fig. 10 column group for one codec across core counts."""
+        if rates is None:
+            rates = PAPER_RATES[codec]
+        return [self.run(codec, ratio, n, rates[0], rates[1]) for n in core_counts]
+
+
+def measure_rates(codec: Codec, data: np.ndarray, error_bound: float) -> tuple[float, float]:
+    """Measure this library's (compress, decompress) rates in bytes/s."""
+    t0 = time.perf_counter()
+    blob = codec.compress(data, error_bound)
+    t_c = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    codec.decompress(blob)
+    t_d = time.perf_counter() - t0
+    return data.nbytes / max(t_c, 1e-9), data.nbytes / max(t_d, 1e-9)

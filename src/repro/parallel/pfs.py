@@ -1,0 +1,65 @@
+"""Analytic GPFS-like parallel-filesystem model.
+
+The paper's Fig. 10 runs on Bebop's GPFS with file-per-process POSIX I/O.
+Without a 2048-core machine, we model the two regimes that govern such
+storage systems (see the substitution table in DESIGN.md):
+
+* **client-limited** — few processes: bandwidth grows ~linearly with the
+  process count (each process can push ``per_process_bw``),
+* **backend-limited** — many processes: throughput saturates at the file
+  system's aggregate bandwidth, minus a mild large-scale contention factor,
+
+plus a per-file metadata cost (create/open/close), which is what makes
+file-per-process sub-linear at high core counts.
+
+Defaults are calibrated so the Fig. 10 sweep lands in the paper's regime
+(elapsed times of minutes, dominated by disk access): ~150 MB/s sustained
+per client node with file-per-process POSIX streams and a ~2.5 GB/s GPFS
+backend — Bebop-era numbers for many concurrent writers, far below
+hero-benchmark peaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class GPFSModel:
+    """Tunable parallel-filesystem performance model."""
+
+    #: Aggregate backend bandwidth (bytes/s).
+    aggregate_bw: float = 2.5e9
+    #: Per-node sustained file-stream bandwidth (bytes/s), shared by ranks.
+    node_bw: float = 0.15e9
+    #: Ranks per node (Bebop: 2 × 16-core Xeon E5-2695v4).
+    ranks_per_node: int = 32
+    #: Per-file metadata latency (s) — create/open/close on the MDS.
+    metadata_latency: float = 0.015
+    #: Contention exponent: effective backend bw scales as n^-gamma once
+    #: saturated (lock/stripe contention at scale).
+    contention: float = 0.05
+    #: Read bandwidth advantage over write (GPFS streams reads faster).
+    read_factor: float = 1.25
+
+    def effective_bandwidth(self, n_processes: int, read: bool = False) -> float:
+        """Cluster-wide sustained bandwidth for ``n_processes`` writers/readers."""
+        if n_processes < 1:
+            raise ParameterError("need at least one process")
+        nodes = -(-n_processes // self.ranks_per_node)
+        client_bw = nodes * self.node_bw
+        bw = min(client_bw, self.aggregate_bw)
+        if bw == self.aggregate_bw and n_processes > 512:
+            bw *= (512.0 / n_processes) ** self.contention
+        if read:
+            bw *= self.read_factor
+        return bw
+
+    def io_time(self, total_bytes: float, n_processes: int, read: bool = False) -> float:
+        """Seconds to move ``total_bytes`` with file-per-process I/O."""
+        bw = self.effective_bandwidth(n_processes, read)
+        # Metadata: file creations hit the MDS with limited parallelism.
+        meta = self.metadata_latency * n_processes / min(n_processes, 64)
+        return total_bytes / bw + meta

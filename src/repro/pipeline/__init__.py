@@ -1,0 +1,13 @@
+"""Integral-reuse infrastructure (the paper's Fig. 11 workflow).
+
+Quantum-chemistry solvers re-read the same ERIs 10–30 times (SCF
+iterations).  :class:`repro.pipeline.store.CompressedERIStore` implements
+the compute-once / decompress-per-use pattern, and
+:mod:`repro.pipeline.workflow` models its total cost against GAMESS-style
+full recomputation.
+"""
+
+from repro.pipeline.store import CompressedERIStore
+from repro.pipeline.workflow import ReuseCostModel, ReuseTimings
+
+__all__ = ["CompressedERIStore", "ReuseCostModel", "ReuseTimings"]

@@ -1,0 +1,124 @@
+"""Compressed in-memory ERI store: compute once, decompress per use.
+
+The paper's closing observation (§III-A, Fig. 11): with PaSTRI's ratios,
+compressed ERIs for moderate systems *fit in memory*, so every SCF
+iteration after the first replaces an O(N⁴) recomputation with a ~GB/s
+decompression.  This class is that infrastructure piece: a keyed store of
+compressed shell blocks with exact-bound reconstruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api import Codec
+from repro.errors import ParameterError
+
+
+@dataclass
+class StoreStats:
+    """Aggregate accounting for a :class:`CompressedERIStore`."""
+
+    n_entries: int = 0
+    original_bytes: int = 0
+    compressed_bytes: int = 0
+    puts: int = 0
+    gets: int = 0
+
+    @property
+    def ratio(self) -> float:
+        return self.original_bytes / max(self.compressed_bytes, 1)
+
+
+@dataclass
+class CompressedERIStore:
+    """Keyed store of compressed ERI blocks.
+
+    Keys are arbitrary hashables (canonically shell-quartet tuples).
+
+    Examples
+    --------
+    >>> store = CompressedERIStore(codec, error_bound=1e-10)
+    >>> store.put((0, 1, 2, 3), block)
+    >>> again = store.get((0, 1, 2, 3))   # |again - block| <= 1e-10
+    """
+
+    codec: Codec
+    error_bound: float
+    _blobs: dict = field(default_factory=dict, repr=False)
+    _shaped: dict = field(default_factory=dict, repr=False)
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def _codec_for(self, dims) -> Codec:
+        """Per-geometry codec dispatch.
+
+        ERI stores hold quartets of *different* shell classes; a PaSTRI
+        codec is block-geometry specific, so when ``dims`` is given and the
+        base codec is PaSTRI, a per-shape instance is used (decompression
+        is unaffected — PaSTRI streams are self-describing).
+        """
+        from repro.core.compressor import PaSTRICompressor
+
+        if dims is None or not isinstance(self.codec, PaSTRICompressor):
+            return self.codec
+        dims = tuple(int(d) for d in dims)
+        codec = self._shaped.get(dims)
+        if codec is None:
+            codec = PaSTRICompressor(
+                dims=dims, metric=self.codec.metric, tree_id=self.codec.tree_id
+            )
+            self._shaped[dims] = codec
+        return codec
+
+    def put(self, key, block: np.ndarray, dims=None) -> None:
+        """Compress and store one block (overwrites an existing key).
+
+        ``dims`` optionally gives the block's 4-D shell geometry so PaSTRI
+        uses the right sub-block split (see :meth:`_codec_for`).
+        """
+        blob = self._codec_for(dims).compress(block, self.error_bound)
+        prev = self._blobs.get(key)
+        if prev is not None:
+            self.stats.compressed_bytes -= len(prev[0])
+            self.stats.original_bytes -= prev[1]
+            self.stats.n_entries -= 1
+        self._blobs[key] = (blob, block.nbytes)
+        self.stats.n_entries += 1
+        self.stats.puts += 1
+        self.stats.original_bytes += block.nbytes
+        self.stats.compressed_bytes += len(blob)
+
+    def get(self, key) -> np.ndarray:
+        """Decompress one block; raises KeyError for unknown keys."""
+        blob, _ = self._blobs[key]
+        self.stats.gets += 1
+        return self.codec.decompress(blob)
+
+    def get_or_compute(self, key, compute, dims=None) -> np.ndarray:
+        """Fetch from the store, or compute, insert, and return.
+
+        The returned array is always the *decompressed* value — including
+        on the first, freshly-computed use — so a key yields bit-identical
+        data on every access (the lossy roundtrip is never silently
+        bypassed).
+        """
+        if key in self._blobs:
+            return self.get(key)
+        block = np.asarray(compute(), dtype=np.float64)
+        if block.ndim != 1:
+            block = block.ravel()
+        if block.size == 0:
+            raise ParameterError("computed block is empty")
+        self.put(key, block, dims=dims)
+        return self.get(key)
+
+    def __contains__(self, key) -> bool:
+        return key in self._blobs
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def keys(self):
+        return self._blobs.keys()

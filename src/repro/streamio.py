@@ -1,0 +1,127 @@
+"""Out-of-core streaming container for compressed ERI streams.
+
+Production ERI dumps are far larger than memory (the paper's datasets are
+sampled *down* to 2 GB).  This module frames per-chunk codec blobs into a
+single file so arbitrarily long streams can be compressed and decompressed
+chunk-by-chunk with bounded memory:
+
+Layout::
+
+    magic 'PSTF' | version u8 | codec-name length u8 | codec name utf-8
+    repeat:  frame length u64-le | codec blob
+    end:     frame length 0
+
+Every codec blob in this package is self-describing, so decompression only
+needs the registry name stored in the header (plus constructor kwargs for
+codecs that need geometry, e.g. PaSTRI's ``dims`` — those are recovered
+from the blob itself on decompression).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterable, Iterator
+
+import numpy as np
+
+from repro.api import Codec
+from repro.errors import FormatError
+
+_MAGIC = b"PSTF"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class StreamSummary:
+    """Totals reported by :func:`compress_stream`."""
+
+    n_chunks: int
+    original_bytes: int
+    compressed_bytes: int
+
+    @property
+    def ratio(self) -> float:
+        return self.original_bytes / max(self.compressed_bytes, 1)
+
+
+def compress_stream(
+    chunks: Iterable[np.ndarray],
+    codec: Codec,
+    error_bound: float,
+    fh: BinaryIO,
+) -> StreamSummary:
+    """Compress an iterable of 1-D chunks into a framed file.
+
+    Memory use is bounded by one chunk; chunks may have different lengths
+    (each frame's blob is self-describing).
+    """
+    name = codec.name.encode("utf-8")
+    fh.write(_MAGIC + struct.pack("<BB", _VERSION, len(name)) + name)
+    n = orig = comp = 0
+    header_bytes = 4 + 2 + len(name)
+    for chunk in chunks:
+        chunk = np.ascontiguousarray(chunk, dtype=np.float64)
+        blob = codec.compress(chunk, error_bound)
+        fh.write(struct.pack("<Q", len(blob)))
+        fh.write(blob)
+        n += 1
+        orig += chunk.nbytes
+        comp += len(blob) + 8
+    fh.write(struct.pack("<Q", 0))
+    return StreamSummary(n, orig, comp + header_bytes + 8)
+
+
+def read_stream_header(fh: BinaryIO) -> str:
+    """Validate the container header; returns the codec name."""
+    head = fh.read(6)
+    if len(head) != 6 or head[:4] != _MAGIC:
+        raise FormatError("not a PaSTRI stream container")
+    version, name_len = head[4], head[5]
+    if version != _VERSION:
+        raise FormatError(f"unsupported container version {version}")
+    name = fh.read(name_len)
+    if len(name) != name_len:
+        raise FormatError("truncated container header")
+    return name.decode("utf-8")
+
+
+def decompress_stream(fh: BinaryIO, codec: Codec) -> Iterator[np.ndarray]:
+    """Yield decompressed chunks from a framed file, one frame at a time.
+
+    The caller supplies the codec instance (its class must match the name
+    in the header — check with :func:`read_stream_header` first).
+    """
+    while True:
+        raw = fh.read(8)
+        if len(raw) != 8:
+            raise FormatError("truncated container: missing frame length")
+        (length,) = struct.unpack("<Q", raw)
+        if length == 0:
+            return
+        blob = fh.read(length)
+        if len(blob) != length:
+            raise FormatError("truncated container: short frame")
+        yield codec.decompress(blob)
+
+
+def compress_dataset_to_file(
+    data_iter: Iterable[np.ndarray], codec: Codec, error_bound: float, path: str
+) -> StreamSummary:
+    """Convenience wrapper: stream-compress to a file path."""
+    with open(path, "wb") as fh:
+        return compress_stream(data_iter, codec, error_bound, fh)
+
+
+def decompress_file(path: str, codec: Codec) -> np.ndarray:
+    """Read a whole container back into one array (for moderate sizes)."""
+    with open(path, "rb") as fh:
+        name = read_stream_header(fh)
+        if name != codec.name:
+            raise FormatError(
+                f"container was written by codec {name!r}, got {codec.name!r}"
+            )
+        parts = list(decompress_stream(fh, codec))
+    if not parts:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate(parts)

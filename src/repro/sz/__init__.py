@@ -1,0 +1,18 @@
+"""SZ-style error-bounded lossy compressor (baseline 1).
+
+A faithful 1-D reimplementation of the SZ 1.4 algorithm family (Di &
+Cappello IPDPS'16; Tao et al. IPDPS'17) that the paper compares against:
+
+* Lorenzo / curve-fitting prediction on the error-bound-quantized integer
+  grid (orders 1–3, chosen per stream),
+* error-controlled linear-scaling quantization into ``2^k`` bins,
+* canonical Huffman coding of the quantization codes,
+* fixed-width storage of unpredictable points.
+
+See DESIGN.md's substitution table for the (documented) differences from
+the C implementation.
+"""
+
+from repro.sz.compressor import SZCompressor
+
+__all__ = ["SZCompressor"]

@@ -1,0 +1,144 @@
+"""The SZ baseline compressor.
+
+Pipeline (1-D SZ 1.4 family):
+
+1. snap values to the ``2·EB`` integer grid (error ≤ EB by construction),
+2. predict each grid value from its predecessors (best-fit order 1–3,
+   chosen on a sample),
+3. linear-scaling quantization of the residuals into ``capacity`` bins;
+   residuals outside the radius become *unpredictable* points stored
+   fixed-width,
+4. canonical Huffman coding of the bin indices.
+
+All stages are vectorised (prediction is exact integer differencing, so no
+sequential decode loop is needed — see :mod:`repro.sz.predictor`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import api
+from repro.bitio import BitReader, BitWriter
+from repro.errors import FormatError, ParameterError
+from repro.sz.huffman import HuffmanCode
+from repro.sz.predictor import (
+    choose_order,
+    grid_dequantize,
+    grid_quantize,
+    reconstruct,
+    residuals,
+)
+from repro.sz.unpredictable import read_outliers, write_outliers
+
+_MAGIC = 0x535A5250  # 'SZRP'
+_VERSION = 1
+
+
+class SZCompressor:
+    """SZ-style error-bounded lossy codec (paper baseline).
+
+    Parameters
+    ----------
+    capacity:
+        Number of linear quantization bins (power of two, default 65536 as
+        in SZ 1.4's adaptive maximum).
+    order:
+        Fixed predictor order 1–3, or ``None`` (default) for sampled
+        best-fit selection per stream.
+    """
+
+    name = "sz"
+
+    def __init__(self, capacity: int = 65536, order: int | None = None) -> None:
+        if capacity < 4 or capacity & (capacity - 1) or capacity > 1 << 20:
+            raise ParameterError("capacity must be a power of two in [4, 2^20]")
+        self.capacity = capacity
+        self.order = order
+
+    def compress(self, data: np.ndarray, error_bound: float) -> bytes:
+        data = api.validate_input(data)
+        eb = api.validate_error_bound(error_bound)
+        try:
+            grid = grid_quantize(data, eb)
+        except ParameterError:
+            # Bound below the float64 grid's headroom: store verbatim
+            # (exact reconstruction trivially satisfies any bound).
+            w = BitWriter()
+            w.write_uint(_MAGIC, 32)
+            w.write_uint(_VERSION, 8)
+            w.write_bit(1)  # raw-mode flag
+            w.write_uint(data.size, 48)
+            w.write_uint_array(data.view(np.uint64), 64)
+            return w.getvalue()
+        order = self.order or choose_order(grid, self.capacity // 2)
+        res = residuals(grid, order)
+
+        radius = self.capacity // 2
+        predictable = np.abs(res) < radius
+        symbols = np.where(predictable, res + radius, 0).astype(np.int64)
+        outliers = res[~predictable]
+
+        w = BitWriter()
+        w.write_uint(_MAGIC, 32)
+        w.write_uint(_VERSION, 8)
+        w.write_bit(0)  # grid mode
+        w.write_double(eb)
+        w.write_uint(data.size, 48)
+        w.write_uint(order, 2)
+        w.write_uint(int(np.log2(self.capacity)), 5)
+        w.write_uint(outliers.size, 48)
+
+        freqs = np.bincount(symbols, minlength=self.capacity)
+        code = HuffmanCode.from_frequencies(freqs)
+        code.write_table(w)
+        payload_bits = int(code.lengths[symbols].sum())
+        w.write_uint(payload_bits, 48)
+        code.encode(w, symbols)
+        write_outliers(w, outliers)
+        return w.getvalue()
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        r = BitReader(blob)
+        if r.read_uint(32) != _MAGIC:
+            raise FormatError("not an SZ stream (bad magic)")
+        if r.read_uint(8) != _VERSION:
+            raise FormatError("unsupported SZ stream version")
+        if r.read_bit():  # raw mode
+            n = r.read_uint(48)
+            return r.read_uint_array(n, 64).view(np.float64).copy()
+        eb = r.read_double()
+        if not (eb > 0 and np.isfinite(eb)):
+            raise FormatError(f"bad error bound {eb}")
+        n = r.read_uint(48)
+        order = r.read_uint(2)
+        if not 1 <= order <= 3:
+            raise FormatError(f"bad predictor order {order}")
+        capacity = 1 << r.read_uint(5)
+        n_unpred = r.read_uint(48)
+        # Every symbol costs at least one bit; bogus counts stop here
+        # instead of driving allocations.
+        if n > r.remaining or n_unpred > n:
+            raise FormatError("symbol counts exceed the stream length")
+
+        code = HuffmanCode.read_table(r)
+        payload_bits = r.read_uint(48)
+        symbols, end = code.decode(r.bits, r.pos, n, payload_bits=payload_bits)
+        r.seek(end)
+        outliers = read_outliers(r, n_unpred)
+
+        radius = capacity // 2
+        res = symbols - radius
+        marker = symbols == 0
+        if int(marker.sum()) != n_unpred:
+            raise FormatError("outlier count mismatch")
+        res[marker] = outliers
+        grid = reconstruct(res, order)
+        return grid_dequantize(grid, eb)
+
+
+def _factory(**kwargs) -> SZCompressor:
+    return SZCompressor(**kwargs)
+
+
+api.register_codec("sz", _factory)

@@ -1,0 +1,34 @@
+"""Fixed-width storage of unpredictable points for the SZ baseline.
+
+Residuals that fall outside the quantization radius are stored verbatim as
+fixed-width signed integers on the error-bound grid (SZ's binary-
+representation analysis reduces, on the integer grid, to exactly this:
+keep ``ceil(log2(range/EB))`` bits per outlier).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitio import BitReader, BitWriter
+from repro.errors import FormatError
+from repro.core.quantize import bits_for_symmetric_range
+
+
+def write_outliers(w: BitWriter, values: np.ndarray) -> int:
+    """Store signed int64 outliers; returns the field width used."""
+    ext = int(np.abs(values).max(initial=0))
+    kbits = bits_for_symmetric_range(ext)
+    w.write_uint(kbits, 7)
+    if values.size:
+        w.write_uint_array((values + (1 << (kbits - 1))).astype(np.uint64), kbits)
+    return kbits
+
+
+def read_outliers(r: BitReader, count: int) -> np.ndarray:
+    """Inverse of :func:`write_outliers`."""
+    kbits = r.read_uint(7)
+    if not 1 <= kbits <= 64:
+        raise FormatError(f"corrupt outlier field width {kbits}")
+    vals = r.read_uint_array(count, kbits).astype(np.int64)
+    return vals - (1 << (kbits - 1))

@@ -1,0 +1,14 @@
+"""ZFP-style fixed-accuracy transform compressor (baseline 2).
+
+A faithful 1-D reimplementation of ZFP's compression pipeline (Lindstrom,
+TVCG 2014): 4-sample blocks, block-floating-point exponent alignment, the
+reversible-modulo-guard-bits lifting transform, negabinary mapping, and
+embedded group-tested bit-plane coding truncated at the accuracy-derived
+precision.  Reproduces ZFP's characteristic weakness on 1-D streams that
+the paper reports (§II: "ZFP ... suffers from the low compression ratio for
+1D datasets").
+"""
+
+from repro.zfp.compressor import ZFPCompressor
+
+__all__ = ["ZFPCompressor"]

@@ -1,0 +1,94 @@
+"""ZFP block transform: block-float scaling, lifting, negabinary mapping.
+
+All functions operate on ``(n_blocks, 4)`` arrays — every stage before the
+bit-plane coder is vectorised across blocks.
+
+The lifting pair is ZFP's: the forward transform's ``>>= 1`` steps drop low
+bits, so forward+inverse is exact only modulo a few ULPs of the scaled
+integers; the fixed-point headroom (values scaled to ≤ 2^60, tolerance
+planes far above the ULP floor) keeps that noise below any achievable
+accuracy target, exactly as in ZFP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Fixed-point position: block values are scaled to |q| <= 2^SCALE_BITS.
+SCALE_BITS = 60
+
+#: Negabinary mask 0b1010...10 over 64 bits.
+NB_MASK = np.uint64(0xAAAAAAAAAAAAAAAA)
+
+#: Top encoded bit plane (negabinary of transformed values fits below it).
+TOP_PLANE = 62
+
+
+def block_exponents(blocks: np.ndarray) -> np.ndarray:
+    """Per-block binary exponent of the largest magnitude (0 for all-zero)."""
+    amax = np.abs(blocks).max(axis=1)
+    e = np.zeros(blocks.shape[0], dtype=np.int64)
+    nz = amax > 0
+    if nz.any():
+        e[nz] = np.frexp(amax[nz])[1]  # amax = m * 2^e, m in [0.5, 1)
+    return e
+
+
+def to_fixed_point(blocks: np.ndarray, e: np.ndarray) -> np.ndarray:
+    """Scale each block by ``2^(SCALE_BITS - e)`` and round to int64."""
+    return np.rint(np.ldexp(blocks, (SCALE_BITS - e)[:, None])).astype(np.int64)
+
+
+def from_fixed_point(q: np.ndarray, e: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`to_fixed_point`."""
+    return np.ldexp(q.astype(np.float64), (e - SCALE_BITS)[:, None])
+
+
+def fwd_lift(v: np.ndarray) -> np.ndarray:
+    """ZFP forward decorrelating lift on (n, 4) int64 blocks."""
+    x = v[:, 0].copy()
+    y = v[:, 1].copy()
+    z = v[:, 2].copy()
+    w = v[:, 3].copy()
+    x += w; x >>= 1; w -= x
+    z += y; z >>= 1; y -= z
+    x += z; x >>= 1; z -= x
+    w += y; w >>= 1; y -= w
+    w += y >> 1; y -= w >> 1
+    return np.stack([x, y, z, w], axis=1)
+
+
+def inv_lift(v: np.ndarray) -> np.ndarray:
+    """ZFP inverse lift (exact inverse modulo the dropped low bits)."""
+    x = v[:, 0].copy()
+    y = v[:, 1].copy()
+    z = v[:, 2].copy()
+    w = v[:, 3].copy()
+    y += w >> 1; w -= y >> 1
+    y += w; w <<= 1; w -= y
+    z += x; x <<= 1; x -= z
+    y += z; z <<= 1; z -= y
+    w += x; x <<= 1; x -= w
+    return np.stack([x, y, z, w], axis=1)
+
+
+def to_negabinary(i: np.ndarray) -> np.ndarray:
+    """Two's-complement int64 -> negabinary uint64 (sign-free magnitude order)."""
+    u = i.astype(np.uint64)
+    return (u + NB_MASK) ^ NB_MASK
+
+
+def from_negabinary(u: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`to_negabinary`."""
+    return ((u ^ NB_MASK) - NB_MASK).astype(np.int64)
+
+
+def max_precision(e: np.ndarray, tolerance: float) -> np.ndarray:
+    """Bit planes to keep per block in fixed-accuracy mode.
+
+    ZFP's rule for 1-D: ``maxprec = max(0, e - minexp + 2·(dims + 1))`` with ``minexp =
+    floor(log2 tolerance)``, plus one guard plane so the bound also covers
+    the lifting's dropped low bits (making the tolerance a hard guarantee).
+    """
+    minexp = int(np.floor(np.log2(tolerance)))
+    return np.clip(e - minexp + 5, 0, TOP_PLANE + 1)

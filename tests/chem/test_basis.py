@@ -1,0 +1,104 @@
+"""Unit tests for shells and basis sets (repro.chem.basis)."""
+
+import numpy as np
+import pytest
+
+from repro.chem import basis as bs
+from repro.chem.molecules import benzene
+from repro.errors import BasisError
+
+
+def test_cartesian_component_counts():
+    for l in range(6):
+        assert len(bs.cartesian_components(l)) == bs.ncart(l) == (l + 1) * (l + 2) // 2
+
+
+def test_gamess_d_order():
+    assert bs.cartesian_components(2) == (
+        (2, 0, 0), (0, 2, 0), (0, 0, 2), (1, 1, 0), (1, 0, 1), (0, 1, 1),
+    )
+
+
+def test_gamess_f_order_starts_with_principals():
+    f = bs.cartesian_components(3)
+    assert f[:3] == ((3, 0, 0), (0, 3, 0), (0, 0, 3))
+    assert f[-1] == (1, 1, 1)
+    assert all(sum(t) == 3 for t in f)
+
+
+def test_high_l_components_are_complete():
+    g = bs.cartesian_components(4)
+    assert len(set(g)) == 15
+    assert all(sum(t) == 4 for t in g)
+
+
+def test_double_factorial():
+    assert [bs.double_factorial(n) for n in (-1, 0, 1, 2, 3, 5, 7)] == [1, 1, 1, 2, 3, 15, 105]
+
+
+def test_primitive_norm_normalises_s_gaussian():
+    # <g|g> for normalized s primitive = 1: integral of N^2 exp(-2ar^2) = N^2 (pi/2a)^{3/2}
+    a = 0.73
+    n = bs.primitive_norm(a, 0)
+    assert n * n * (np.pi / (2 * a)) ** 1.5 == pytest.approx(1.0)
+
+
+def test_component_norm_ratios_d_shell():
+    r = bs.component_norm_ratios(2)
+    # (2,0,0) is the reference; cross terms xy get sqrt(3!!/1) = sqrt(3)
+    assert r[0] == pytest.approx(1.0)
+    assert r[3] == pytest.approx(np.sqrt(3.0))
+
+
+def test_shell_validation():
+    with pytest.raises(BasisError):
+        bs.Shell(-1, (0, 0, 0), (1.0,), (1.0,))
+    with pytest.raises(BasisError):
+        bs.Shell(0, (0, 0, 0), (1.0, 2.0), (1.0,))
+    with pytest.raises(BasisError):
+        bs.Shell(0, (0, 0, 0), (-1.0,), (1.0,))
+    with pytest.raises(BasisError):
+        bs.Shell(0, (0, 0, 0), (), ())
+
+
+def test_contraction_is_normalised():
+    sh = bs.Shell(2, (0, 0, 0), (0.8, 0.3), (0.6, 0.5))
+    alphas, coefs = sh.contraction()
+    psum = alphas[:, None] + alphas[None, :]
+    s = bs.double_factorial(3) / (2 * psum) ** 2 * (np.pi / psum) ** 1.5
+    assert coefs @ s @ coefs == pytest.approx(1.0)
+
+
+def test_shell_letter_names():
+    assert bs.Shell(0, (0, 0, 0), (1.0,), (1.0,)).letter == "s"
+    assert bs.Shell(3, (0, 0, 0), (1.0,), (1.0,)).letter == "f"
+
+
+def test_polarization_basis_heavy_atoms_only():
+    basis = bs.polarization_basis(benzene(), "d")
+    assert len(basis) == 6
+    assert all(sh.l == 2 for sh in basis.shells)
+    assert basis.n_basis_functions == 36
+
+
+def test_polarization_basis_exponent_scales():
+    basis = bs.polarization_basis(benzene(), "f", exponent_scale=(1.0, 2.0))
+    assert len(basis) == 12
+    exps = sorted({sh.exponents[0] for sh in basis.shells})
+    assert exps[1] == pytest.approx(2 * exps[0])
+
+
+def test_polarization_basis_rejects_s():
+    with pytest.raises(BasisError):
+        bs.polarization_basis(benzene(), "s")
+
+
+def test_shells_of_type():
+    basis = bs.polarization_basis(benzene(), "d")
+    assert basis.shells_of_type("d") == list(range(6))
+    assert basis.shells_of_type("f") == []
+
+
+def test_empty_basis_rejected():
+    with pytest.raises(BasisError):
+        bs.BasisSet(benzene(), ())

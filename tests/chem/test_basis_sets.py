@@ -1,0 +1,73 @@
+"""Tests for the STO-3G tables and builders (repro.chem.basis_sets)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.basis import BasisSet
+from repro.chem.basis_sets import sto3g_basis, sto3g_shells_for_atom, water
+from repro.chem.molecule import Atom, Molecule
+from repro.chem.scf import RHFSolver
+from repro.errors import BasisError, ChemistryError
+
+
+def test_hydrogen_sto3g_exponents_match_literature():
+    (sh,) = sto3g_shells_for_atom("H", (0, 0, 0))
+    # zeta = 1.24: alpha_1 = 2.227660584 * 1.24^2 = 3.42525...
+    assert sh.exponents[0] == pytest.approx(3.425250914, rel=1e-6)
+    assert sh.coefficients == pytest.approx(
+        (0.1543289673, 0.5353281423, 0.4446345422)
+    )
+
+
+def test_row2_atoms_get_sp_manifold():
+    shells = sto3g_shells_for_atom("O", (0, 0, 0))
+    assert [s.l for s in shells] == [0, 0, 1]
+    # 2s and 2p share exponents (an SP shell)
+    assert shells[1].exponents == shells[2].exponents
+
+
+def test_unknown_element_rejected():
+    with pytest.raises(BasisError):
+        sto3g_shells_for_atom("Ne" + "x", (0, 0, 0))
+    with pytest.raises(BasisError):
+        sto3g_shells_for_atom("P", (0, 0, 0))  # not tabulated here
+
+
+def test_water_basis_size():
+    basis = sto3g_basis(water())
+    assert basis.n_basis_functions == 7  # O: 1s,2s,2p(3); H,H: 1s each
+
+
+def test_water_rhf_energy_matches_literature():
+    """RHF/STO-3G for H2O ≈ -74.963 hartree at the experimental geometry."""
+    res = RHFSolver(sto3g_basis(water())).run(max_iterations=60)
+    assert res.converged
+    assert res.energy == pytest.approx(-74.963, abs=5e-3)
+
+
+def test_water_orbital_structure():
+    res = RHFSolver(sto3g_basis(water())).run(max_iterations=60)
+    # 5 doubly-occupied orbitals below 2 virtuals
+    assert np.sum(res.orbital_energies < 0) >= 5
+    assert res.orbital_energies[0] < -15  # O 1s core level ~ -20.2 hartree
+
+
+def test_hehp_cation_matches_szabo():
+    """HeH+ at R=1.4632 a0 — Szabo & Ostlund's worked example: E ≈ -2.8606."""
+    mol = Molecule("hehp", (Atom("He", (0, 0, 0)), Atom("H", (0, 0, 1.4632))))
+    shells = tuple(
+        s
+        for i, a in enumerate(mol.atoms)
+        for s in sto3g_shells_for_atom(a.symbol, a.position, i)
+    )
+    res = RHFSolver(BasisSet(mol, shells), charge=1).run()
+    assert res.converged
+    assert res.energy == pytest.approx(-2.8606, abs=2e-3)
+
+
+def test_charge_validation():
+    basis = sto3g_basis(water())
+    with pytest.raises(ChemistryError):
+        RHFSolver(basis, charge=1)  # odd electron count
+    with pytest.raises(ChemistryError):
+        RHFSolver(basis, charge=10)  # no electrons left

@@ -1,0 +1,56 @@
+"""Unit tests for the Boys function (repro.chem.boys)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.boys import boys, boys_reference
+
+
+def test_f0_at_zero_is_one():
+    assert boys(0, np.array([0.0]))[0, 0] == pytest.approx(1.0)
+
+
+def test_fm_at_zero_is_reciprocal_odd():
+    vals = boys(4, np.array([0.0]))[:, 0]
+    assert np.allclose(vals, [1.0, 1 / 3, 1 / 5, 1 / 7, 1 / 9])
+
+
+def test_f0_closed_form():
+    # F0(T) = sqrt(pi/(4T)) * erf(sqrt(T))
+    from scipy.special import erf
+
+    T = np.array([0.5, 2.0, 10.0, 50.0])
+    want = np.sqrt(np.pi / (4 * T)) * erf(np.sqrt(T))
+    assert np.allclose(boys(0, T)[0], want, rtol=1e-13)
+
+
+@pytest.mark.parametrize("m", [0, 1, 3, 6])
+@pytest.mark.parametrize("T", [1e-14, 1e-8, 0.1, 1.0, 7.5, 40.0])
+def test_against_quadrature(m, T):
+    got = boys(m, np.array([T]))[m, 0]
+    want = boys_reference(m, T)
+    assert got == pytest.approx(want, rel=1e-9)
+
+
+def test_downward_recurrence_identity():
+    # F_{m-1}(T) = (2T F_m(T) + e^-T) / (2m - 1)
+    T = np.array([0.3, 3.0, 12.0])
+    F = boys(5, T)
+    for m in range(5, 0, -1):
+        lhs = F[m - 1]
+        rhs = (2 * T * F[m] + np.exp(-T)) / (2 * m - 1)
+        assert np.allclose(lhs, rhs, rtol=1e-12)
+
+
+def test_monotone_decreasing_in_m_and_T():
+    T = np.linspace(0.0, 30.0, 50)
+    F = boys(3, T)
+    assert np.all(np.diff(F, axis=0) <= 0)  # decreasing in m
+    assert np.all(np.diff(F[0]) < 0)  # decreasing in T
+
+
+def test_multidimensional_T_shapes():
+    T = np.abs(np.random.default_rng(0).standard_normal((4, 5)))
+    F = boys(2, T)
+    assert F.shape == (3, 4, 5)
+    assert np.allclose(F[1], boys(2, T.ravel())[1].reshape(4, 5))

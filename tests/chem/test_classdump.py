@@ -1,0 +1,78 @@
+"""Tests for per-class ERI dumps (repro.chem.classdump)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.basis_sets import sto3g_basis, water
+from repro.chem.classdump import ClassDumpResult, class_dump, compress_class_dump, quartet_class
+from repro.errors import ParameterError
+
+EB = 1e-10
+
+
+@pytest.fixture(scope="module")
+def water_dump():
+    return class_dump(sto3g_basis(water()), max_blocks_per_class=40)
+
+
+def test_quartet_class_labels():
+    basis = sto3g_basis(water())
+    # shells: O 1s(s), O 2s(s), O 2p(p), H 1s, H 1s
+    assert quartet_class(basis, (0, 1, 3, 4)) == "(ss|ss)"
+    assert quartet_class(basis, (2, 2, 2, 2)) == "(pp|pp)"
+    assert quartet_class(basis, (2, 0, 2, 4)) == "(ps|ps)"
+
+
+def test_dump_covers_expected_classes(water_dump):
+    # with s and p shells: every bra/ket in {ss, sp, ps, pp} occurs
+    labels = set(water_dump)
+    assert "(ss|ss)" in labels
+    assert "(pp|pp)" in labels
+    assert any("p" in l for l in labels)
+
+
+def test_class_geometries_are_uniform(water_dump):
+    for label, ds in water_dump.items():
+        assert ds.config == label
+        assert ds.data.size == ds.n_blocks * ds.spec.block_size
+
+
+def test_block_cap_respected():
+    dump = class_dump(sto3g_basis(water()), max_blocks_per_class=5)
+    assert all(ds.n_blocks <= 5 for ds in dump.values())
+
+
+def test_compress_class_dump_bounds_and_ratio(water_dump):
+    res = compress_class_dump(water_dump, EB)
+    assert isinstance(res, ClassDumpResult)
+    assert res.max_abs_error <= EB
+    # water/STO-3G is a tiny dump (single-digit blocks per class with
+    # near-unit integrals), so only modest gains are possible here; the
+    # realistic-scale check lives in test_glutamine_dump_compresses_well.
+    assert res.ratio > 1.3
+    assert set(res.per_class) == set(water_dump)
+    for stats in res.per_class.values():
+        assert stats["max_error"] <= EB
+        assert stats["ratio"] > 0.8
+
+
+def test_whole_dump_totals_consistent(water_dump):
+    res = compress_class_dump(water_dump, EB)
+    assert res.original_bytes == sum(s["bytes"] for s in res.per_class.values())
+    assert res.compressed_bytes == sum(s["compressed"] for s in res.per_class.values())
+
+
+def test_empty_dump_rejected():
+    with pytest.raises(ParameterError):
+        compress_class_dump({}, EB)
+
+
+def test_glutamine_dump_compresses_well():
+    """A molecule-scale all-electron dump reaches ERI-typical ratios."""
+    from repro.chem.molecules import glutamine
+
+    dump = class_dump(sto3g_basis(glutamine()), max_blocks_per_class=25, seed=1)
+    assert len(dump) >= 6  # many shell-letter classes
+    res = compress_class_dump(dump, EB)
+    assert res.max_abs_error <= EB
+    assert res.ratio > 4.0

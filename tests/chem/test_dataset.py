@@ -1,0 +1,86 @@
+"""Unit/integration tests for ERI dataset generation (repro.chem.dataset)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.dataset import (
+    ERIDataset,
+    basis_for_config,
+    canonical_quartets,
+    generate_dataset,
+)
+from repro.chem.molecules import benzene
+from repro.core.blocking import BlockSpec
+from repro.errors import ParameterError
+
+
+def test_canonical_quartets_same_group_counts():
+    g = list(range(4))
+    quartets = canonical_quartets((g, g, g, g))
+    # pairs = 4*5/2 = 10; unique pair-of-pairs = 10*11/2 = 55
+    assert len(quartets) == 55
+    assert len(set(quartets)) == 55
+
+
+def test_canonical_quartets_distinct_groups_full_product():
+    quartets = canonical_quartets(([0], [1, 2], [3], [4]))
+    assert len(quartets) == 2
+
+
+def test_basis_for_config_mixed_letters():
+    basis = basis_for_config(benzene(), "(fd|ff)")
+    assert len(basis.shells_of_type("d")) == 6
+    assert len(basis.shells_of_type("f")) == 6
+
+
+def test_generate_dataset_block_geometry(tiny_eri_dataset):
+    ds = tiny_eri_dataset
+    assert ds.spec.dims == (6, 6, 6, 6)
+    assert ds.n_blocks == 30
+    assert ds.data.size == 30 * 1296
+    assert ds.config == "(dd|dd)"
+
+
+def test_generate_dataset_deterministic_sampling():
+    a = generate_dataset(benzene(), "(dd|dd)", n_blocks=5, seed=11)
+    b = generate_dataset(benzene(), "(dd|dd)", n_blocks=5, seed=11)
+    assert np.array_equal(a.data, b.data)
+    c = generate_dataset(benzene(), "(dd|dd)", n_blocks=5, seed=12)
+    assert not np.array_equal(a.data, c.data)
+
+
+def test_generate_dataset_oversampling_tiles():
+    ds = generate_dataset(benzene(), "(dd|dd)", n_blocks=240)
+    assert ds.n_blocks == 240  # only 231 unique quartets: tiling kicks in
+    assert len(ds.quartets) == 240
+
+
+def test_generate_dataset_screening_zeroes_blocks():
+    ds = generate_dataset(benzene(), "(dd|dd)", n_blocks=20, screen_threshold=1e10)
+    # absurd threshold screens everything -> all-zero stream
+    assert np.all(ds.data == 0.0)
+
+
+def test_blocks_view_shape(tiny_eri_dataset):
+    b = tiny_eri_dataset.blocks()
+    assert b.shape == (30, 36, 36)
+    assert np.shares_memory(b, tiny_eri_dataset.data)
+
+
+def test_save_load_roundtrip(tmp_path, tiny_eri_dataset):
+    path = str(tmp_path / "ds.npz")
+    tiny_eri_dataset.save(path)
+    again = ERIDataset.load(path)
+    assert np.array_equal(again.data, tiny_eri_dataset.data)
+    assert again.spec == tiny_eri_dataset.spec
+    assert again.molecule_name == tiny_eri_dataset.molecule_name
+
+
+def test_dataset_rejects_misaligned_length():
+    with pytest.raises(ParameterError):
+        ERIDataset(data=np.zeros(100), spec=BlockSpec((6, 6, 6, 6)))
+
+
+def test_dataset_rejects_bad_config():
+    with pytest.raises(ParameterError):
+        generate_dataset(benzene(), "(dd|d)")

@@ -1,0 +1,147 @@
+"""Integration tests for the McMurchie–Davidson ERI engine (repro.chem.eri)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.basis import BasisSet, Shell, primitive_norm
+from repro.chem.boys import boys
+from repro.chem.eri import ERIEngine
+from repro.chem.molecule import Atom, Molecule
+
+MOL = Molecule("probe", (Atom("H", (0, 0, 0)),))
+
+
+def analytic_ssss(a, b, c, d, A, B, C, D):
+    """Closed-form primitive (ss|ss) with normalised Gaussians."""
+    A, B, C, D = map(np.asarray, (A, B, C, D))
+    p, q = a + b, c + d
+    P = (a * A + b * B) / p
+    Q = (c * C + d * D) / q
+    alpha = p * q / (p + q)
+    T = alpha * np.dot(P - Q, P - Q)
+    F0 = boys(0, np.array([T]))[0, 0]
+    val = (
+        2 * np.pi**2.5 / (p * q * np.sqrt(p + q))
+        * np.exp(-(a * b / p) * np.dot(A - B, A - B))
+        * np.exp(-(c * d / q) * np.dot(C - D, C - D))
+        * F0
+    )
+    for e in (a, b, c, d):
+        val *= primitive_norm(e, 0)
+    return val
+
+
+def s_basis(centers, exps):
+    shells = tuple(Shell(0, c, (e,), (1.0,)) for c, e in zip(centers, exps))
+    return BasisSet(MOL, shells)
+
+
+def test_ssss_matches_closed_form():
+    centers = [(0, 0, 0), (0.5, -0.3, 0.8), (1.1, 0.2, -0.4), (-0.7, 0.9, 0.3)]
+    exps = [0.8, 1.3, 0.5, 2.1]
+    eng = ERIEngine(s_basis(centers, exps))
+    got = eng.shell_quartet(0, 1, 2, 3)[0, 0, 0, 0]
+    want = analytic_ssss(*exps, *centers)
+    assert got == pytest.approx(want, rel=1e-13)
+
+
+def test_contracted_ssss_is_sum_of_primitives():
+    A, B = (0.0, 0.0, 0.0), (0.0, 0.0, 1.5)
+    contracted = BasisSet(
+        MOL,
+        (
+            Shell(0, A, (1.2, 0.4), (0.7, 0.5)),
+            Shell(0, B, (0.9,), (1.0,)),
+        ),
+    )
+    eng = ERIEngine(contracted)
+    val = eng.shell_quartet(0, 1, 0, 1)[0, 0, 0, 0]
+    # Contraction must not break the Schwarz-diagonal positivity.
+    assert val > 0
+
+
+@pytest.mark.parametrize(
+    "perm,axes",
+    [
+        ((1, 0, 2, 3), (1, 0, 2, 3)),
+        ((0, 1, 3, 2), (0, 1, 3, 2)),
+        ((2, 3, 0, 1), (2, 3, 0, 1)),
+        ((3, 2, 1, 0), (3, 2, 1, 0)),
+    ],
+)
+def test_eightfold_permutation_symmetry(eri_engine, perm, axes):
+    base = eri_engine.shell_quartet(0, 1, 2, 3)
+    other = eri_engine.shell_quartet(*perm)
+    assert np.allclose(base, other.transpose(np.argsort(axes)), atol=1e-14)
+
+
+def test_diagonal_blocks_are_positive(eri_engine):
+    for i in range(4):
+        block = eri_engine.shell_quartet(i, i, i, i)
+        n = block.shape[0]
+        diag = block.reshape(n * n, n * n).diagonal()
+        assert np.all(diag > 0)
+
+
+def test_schwarz_inequality_holds(eri_engine):
+    t = eri_engine.shell_quartet(2, 3, 0, 1)
+    q_ab = eri_engine.shell_quartet(2, 3, 2, 3)
+    q_cd = eri_engine.shell_quartet(0, 1, 0, 1)
+    ub = (
+        np.sqrt(np.einsum("abab->ab", q_ab))[:, :, None, None]
+        * np.sqrt(np.einsum("cdcd->cd", q_cd))[None, None, :, :]
+    )
+    assert np.all(np.abs(t) <= ub * (1 + 1e-9) + 1e-16)
+
+
+def test_block_shapes_follow_shell_sizes(eri_engine):
+    assert eri_engine.shell_quartet(0, 1, 2, 3).shape == (1, 3, 6, 10)
+    assert eri_engine.eri_block(0, 1, 2, 3).shape == (180,)
+
+
+def test_eri_block_is_row_major_flattening(eri_engine):
+    t = eri_engine.shell_quartet(3, 2, 1, 0)
+    flat = eri_engine.eri_block(3, 2, 1, 0)
+    assert flat[0] == t[0, 0, 0, 0]
+    assert flat[-1] == t[-1, -1, -1, -1]
+    assert np.array_equal(flat, t.ravel())
+
+
+def test_pair_cache_reused(eri_engine):
+    eri_engine.clear_cache()
+    eri_engine.shell_quartet(0, 1, 0, 1)
+    assert (0, 1) in eri_engine._pair_cache
+    n = len(eri_engine._pair_cache)
+    eri_engine.shell_quartet(0, 1, 2, 3)
+    assert len(eri_engine._pair_cache) == n + 1
+
+
+def test_coulomb_decay_with_distance():
+    """|(ab|cd)| decays ~1/R for well-separated charge distributions."""
+    vals = []
+    for R in (10.0, 20.0, 40.0):
+        shells = (
+            Shell(0, (0, 0, 0), (1.0,), (1.0,)),
+            Shell(0, (0, 0, 0.5), (1.0,), (1.0,)),
+            Shell(0, (0, 0, R), (1.0,), (1.0,)),
+            Shell(0, (0, 0, R + 0.5), (1.0,), (1.0,)),
+        )
+        eng = ERIEngine(BasisSet(MOL, shells))
+        vals.append(eng.shell_quartet(0, 1, 2, 3)[0, 0, 0, 0])
+    assert vals[0] / vals[1] == pytest.approx(2.0, rel=1e-3)
+    assert vals[1] / vals[2] == pytest.approx(2.0, rel=1e-3)
+
+
+def test_asymptotic_outer_product_structure():
+    """Paper Eq. 3: distant blocks factor into bra ⊗ ket shape tensors."""
+    shells = (
+        Shell(2, (0, 0, 0), (0.9,), (1.0,)),
+        Shell(2, (0.8, 0.3, 0.2), (1.1,), (1.0,)),
+        Shell(2, (0.1, 0.4, 25.0), (0.8,), (1.0,)),
+        Shell(2, (0.5, -0.2, 25.7), (1.0,), (1.0,)),
+    )
+    eng = ERIEngine(BasisSet(MOL, shells))
+    block = eng.shell_quartet(0, 1, 2, 3).reshape(36, 36)
+    # rank-1 dominance: second singular value far below the first
+    s = np.linalg.svd(block, compute_uv=False)
+    assert s[1] < 1e-3 * s[0]

@@ -1,0 +1,96 @@
+"""Unit tests for the Hermite E/R recursions (repro.chem.hermite)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.boys import boys
+from repro.chem.hermite import e_coefficients, r_tensor
+
+
+def test_e00_is_gaussian_prefactor():
+    a = np.array([0.9])
+    b = np.array([1.3])
+    A = np.array([0.0, 0.0, 0.0])
+    B = np.array([1.0, -0.5, 0.2])
+    Ex, Ey, Ez = e_coefficients(0, 0, a, b, A, B)
+    mu = a[0] * b[0] / (a[0] + b[0])
+    assert Ex[0, 0, 0, 0] == pytest.approx(np.exp(-mu * 1.0))
+    assert Ey[0, 0, 0, 0] == pytest.approx(np.exp(-mu * 0.25))
+    assert Ez[0, 0, 0, 0] == pytest.approx(np.exp(-mu * 0.04))
+
+
+def test_e_sum_gives_overlap():
+    # The t=0 coefficient integrates the product: S = E_0^{ij} (pi/p)^{1/2} per axis.
+    a = np.array([0.7])
+    b = np.array([0.4])
+    A = np.array([0.0, 0.0, 0.0])
+    B = np.array([0.9, 0.0, 0.0])
+    Ex, _, _ = e_coefficients(1, 1, a, b, A, B)
+    p = a[0] + b[0]
+    S_x = Ex[0, 1, 1, 0] * np.sqrt(np.pi / p)
+    # Analytic <x_A | x_B> overlap along one axis:
+    mu = a[0] * b[0] / p
+    xab = -0.9
+    xpa = -(b[0] / p) * xab
+    xpb = (a[0] / p) * xab
+    want = (xpa * xpb + 0.5 / p) * np.exp(-mu * xab * xab) * np.sqrt(np.pi / p)
+    assert S_x == pytest.approx(want, rel=1e-12)
+
+
+def test_e_shapes_and_vectorisation():
+    a = np.array([0.5, 1.0, 2.0])
+    b = np.array([0.8, 0.8, 0.8])
+    A = np.zeros(3)
+    B = np.array([1.0, 1.0, 1.0])
+    Ex, Ey, Ez = e_coefficients(2, 3, a, b, A, B)
+    assert Ex.shape == (3, 3, 4, 6)
+    # per-pair results equal scalar invocations
+    for k in range(3):
+        Exk, _, _ = e_coefficients(2, 3, a[k : k + 1], b[k : k + 1], A, B)
+        assert np.allclose(Ex[k], Exk[0])
+
+
+def test_r000_is_boys_times_scale():
+    alpha = np.array([0.8])
+    PQ = np.array([[1.0, 2.0, -0.5]])
+    T = alpha * (PQ**2).sum()
+    R = r_tensor(2, 2, 2, alpha, PQ)
+    F = boys(0, T)[0]
+    assert R[0, 0, 0, 0] == pytest.approx(F[0])
+
+
+def test_r_symmetry_under_axis_swap():
+    alpha = np.array([0.5])
+    PQ = np.array([[1.1, 1.1, 1.1]])
+    R = r_tensor(3, 3, 3, alpha, PQ)
+    assert R[2, 1, 0, 0] == pytest.approx(R[0, 1, 2, 0], rel=1e-12)
+    assert R[1, 2, 0, 0] == pytest.approx(R[0, 2, 1, 0], rel=1e-12)
+
+
+def test_r_odd_orders_vanish_at_origin():
+    # At PQ = 0 odd Hermite derivatives are zero.
+    R = r_tensor(3, 3, 3, np.array([1.0]), np.zeros((1, 3)))
+    assert R[1, 0, 0, 0] == 0.0
+    assert R[0, 3, 0, 0] == 0.0
+    assert R[1, 1, 1, 0] == 0.0
+
+
+def test_r_derivative_consistency():
+    # R_{t=1} = d/dPQ_x R_{t=0}: check with central differences.
+    alpha = np.array([0.9])
+    h = 1e-6
+    base = np.array([[0.7, -0.4, 1.2]])
+    Rp = r_tensor(0, 0, 0, alpha, base + [[h, 0, 0]])[0, 0, 0, 0]
+    Rm = r_tensor(0, 0, 0, alpha, base - [[h, 0, 0]])[0, 0, 0, 0]
+    R = r_tensor(1, 0, 0, alpha, base)
+    assert R[1, 0, 0, 0] == pytest.approx((Rp - Rm) / (2 * h), rel=1e-6)
+
+
+def test_r_batched_matches_single():
+    rng = np.random.default_rng(5)
+    alpha = rng.uniform(0.3, 2.0, 4)
+    PQ = rng.standard_normal((4, 3))
+    R = r_tensor(2, 2, 2, alpha, PQ)
+    for k in range(4):
+        Rk = r_tensor(2, 2, 2, alpha[k : k + 1], PQ[k : k + 1])
+        assert np.allclose(R[..., k], Rk[..., 0], rtol=1e-12)

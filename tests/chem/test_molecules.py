@@ -1,0 +1,61 @@
+"""Tests for the built-in benchmark molecules (repro.chem.molecules)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.constants import ANGSTROM_TO_BOHR
+from repro.chem.molecules import benzene, glutamine, molecule_by_name, trialanine
+from repro.errors import GeometryError
+
+
+def min_distance(mol):
+    c = mol.coordinates
+    d = np.linalg.norm(c[:, None] - c[None, :], axis=2)
+    d[np.diag_indices(len(mol))] = np.inf
+    return d.min()
+
+
+def test_benzene_formula_and_geometry():
+    mol = benzene()
+    assert mol.formula == "C6H6"
+    # C-C distance should be 1.397 Å
+    c = mol.coordinates[:6]
+    d01 = np.linalg.norm(c[0] - c[1]) / ANGSTROM_TO_BOHR
+    assert d01 == pytest.approx(1.397, abs=1e-6)
+    # planar
+    assert np.abs(mol.coordinates[:, 2]).max() == 0.0
+
+
+def test_glutamine_formula():
+    assert glutamine().formula == "C5H10N2O3"
+
+
+def test_trialanine_formula():
+    assert trialanine().formula == "C9H17N3O4"
+
+
+@pytest.mark.parametrize("factory", [benzene, glutamine, trialanine])
+def test_no_atom_collisions(factory):
+    # Approximate model geometries must still be physically plausible.
+    assert min_distance(factory()) > 0.7 * ANGSTROM_TO_BOHR
+
+
+@pytest.mark.parametrize("factory", [glutamine, trialanine])
+def test_molecules_are_three_dimensional(factory):
+    coords = factory().coordinates
+    spans = coords.max(axis=0) - coords.min(axis=0)
+    assert np.count_nonzero(spans > 0.5) == 3
+
+
+def test_molecule_by_name_lookup():
+    assert molecule_by_name("Benzene").name == "benzene"
+    assert molecule_by_name("tri-alanine").name == "trialanine"
+    assert molecule_by_name("alanine").name == "trialanine"  # paper's label
+    with pytest.raises(GeometryError):
+        molecule_by_name("caffeine")
+
+
+def test_heavy_atom_counts():
+    assert len(benzene().heavy_atom_indices) == 6
+    assert len(glutamine().heavy_atom_indices) == 10
+    assert len(trialanine().heavy_atom_indices) == 16

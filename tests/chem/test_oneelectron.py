@@ -1,0 +1,120 @@
+"""Tests for one-electron integrals (repro.chem.oneelectron).
+
+The s-function values are checked against the Szabo & Ostlund H2/STO-3G
+reference numbers; higher angular momenta are checked by quadrature,
+translational invariance, and operator positivity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem.basis import BasisSet, Shell
+from repro.chem.molecule import Atom, Molecule
+from repro.chem.oneelectron import (
+    build_one_electron_matrices,
+    kinetic_block,
+    nuclear_attraction_block,
+    overlap_block,
+)
+
+STO3G_H = ((3.42525091, 0.62391373, 0.16885540), (0.15432897, 0.53532814, 0.44463454))
+
+
+@pytest.fixture(scope="module")
+def h2_basis():
+    mol = Molecule("h2", (Atom("H", (0, 0, 0)), Atom("H", (0, 0, 1.4))))
+    shells = tuple(Shell(0, a.position, *STO3G_H) for a in mol.atoms)
+    return BasisSet(mol, shells)
+
+
+def test_szabo_ostlund_reference_values(h2_basis):
+    """H2/STO-3G at R=1.4 a.u. — the textbook integral table."""
+    S, T, V = build_one_electron_matrices(h2_basis)
+    assert S[0, 0] == pytest.approx(1.0, abs=1e-10)
+    assert S[0, 1] == pytest.approx(0.6593, abs=2e-4)
+    assert T[0, 0] == pytest.approx(0.7600, abs=2e-4)
+    assert T[0, 1] == pytest.approx(0.2365, abs=2e-4)
+    assert V[0, 0] == pytest.approx(-1.8804, abs=2e-4)
+
+
+def test_matrices_symmetric(h2_basis):
+    S, T, V = build_one_electron_matrices(h2_basis)
+    for M in (S, T, V):
+        assert np.allclose(M, M.T, atol=1e-12)
+
+
+def test_overlap_quadrature_p_d_pair():
+    """<p|d> overlap against brute-force grid integration."""
+    sa = Shell(1, (0.0, 0.0, 0.0), (0.9,), (1.0,))
+    sb = Shell(2, (0.4, -0.2, 0.6), (0.7,), (1.0,))
+    got = overlap_block(sa, sb)
+
+    # quadrature on a uniform grid
+    n, lim = 61, 6.0
+    x = np.linspace(-lim, lim + 0.6, n)
+    X, Y, Z = np.meshgrid(x, x, x, indexing="ij")
+    dV = (x[1] - x[0]) ** 3
+    from repro.chem.basis import cartesian_components, component_norm_ratios, primitive_norm
+
+    def value(shell, comp_idx):
+        lx, ly, lz = cartesian_components(shell.l)[comp_idx]
+        cx, cy, cz = shell.center
+        r2 = (X - cx) ** 2 + (Y - cy) ** 2 + (Z - cz) ** 2
+        _, coefs = shell.contraction()
+        norm = component_norm_ratios(shell.l)[comp_idx]
+        return (
+            norm
+            * coefs[0]
+            * (X - cx) ** lx
+            * (Y - cy) ** ly
+            * (Z - cz) ** lz
+            * np.exp(-shell.exponents[0] * r2)
+        )
+
+    for ca in (0, 2):
+        for cb in (0, 3, 5):
+            want = float((value(sa, ca) * value(sb, cb)).sum() * dV)
+            assert got[ca, cb] == pytest.approx(want, abs=5e-4)
+
+
+def test_translational_invariance():
+    shift = np.array([1.3, -0.8, 2.1])
+    sa1 = Shell(2, (0, 0, 0), (0.8,), (1.0,))
+    sb1 = Shell(3, (0.5, 0.2, -0.3), (1.1,), (1.0,))
+    sa2 = Shell(2, tuple(shift), (0.8,), (1.0,))
+    sb2 = Shell(3, tuple(np.array([0.5, 0.2, -0.3]) + shift), (1.1,), (1.0,))
+    assert np.allclose(overlap_block(sa1, sb1), overlap_block(sa2, sb2), atol=1e-12)
+    assert np.allclose(kinetic_block(sa1, sb1), kinetic_block(sa2, sb2), atol=1e-12)
+
+
+def test_kinetic_matrix_positive_definite():
+    mol = Molecule("m", (Atom("C", (0, 0, 0)), Atom("O", (0, 0, 2.2))))
+    shells = (
+        Shell(0, (0, 0, 0), (1.2,), (1.0,)),
+        Shell(1, (0, 0, 0), (0.8,), (1.0,)),
+        Shell(2, (0, 0, 2.2), (0.9,), (1.0,)),
+    )
+    basis = BasisSet(mol, shells)
+    _, T, _ = build_one_electron_matrices(basis)
+    assert np.linalg.eigvalsh(T).min() > 0
+
+
+def test_nuclear_attraction_negative_diagonal():
+    mol = Molecule("m", (Atom("N", (0, 0, 0)),))
+    shells = (Shell(2, (0, 0, 0), (0.9,), (1.0,)), Shell(0, (0, 0, 0), (1.3,), (1.0,)))
+    basis = BasisSet(mol, shells)
+    _, _, V = build_one_electron_matrices(basis)
+    assert np.all(V.diagonal() < 0)
+
+
+def test_overlap_matrix_positive_definite_mixed_shells():
+    mol = Molecule("m", (Atom("C", (0, 0, 0)), Atom("C", (0, 0, 2.8))))
+    shells = (
+        Shell(0, (0, 0, 0), (0.5,), (1.0,)),
+        Shell(1, (0, 0, 0), (0.7,), (1.0,)),
+        Shell(2, (0, 0, 2.8), (0.8,), (1.0,)),
+        Shell(3, (0, 0, 2.8), (0.6,), (1.0,)),
+    )
+    S, _, _ = build_one_electron_matrices(BasisSet(mol, shells))
+    assert np.linalg.eigvalsh(S).min() > 0
+    assert np.allclose(S.diagonal(), 1.0, atol=1e-10)

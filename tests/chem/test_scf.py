@@ -1,0 +1,108 @@
+"""Tests for the restricted Hartree–Fock solver (repro.chem.scf)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.basis import BasisSet, Shell
+from repro.chem.molecule import Atom, Molecule
+from repro.chem.scf import RHFSolver
+from repro.core import PaSTRICompressor
+from repro.errors import ChemistryError
+from repro.pipeline import CompressedERIStore
+
+STO3G_H = ((3.42525091, 0.62391373, 0.16885540), (0.15432897, 0.53532814, 0.44463454))
+
+
+def h2(r=1.4):
+    mol = Molecule("h2", (Atom("H", (0, 0, 0)), Atom("H", (0, 0, r))))
+    shells = tuple(Shell(0, a.position, *STO3G_H) for a in mol.atoms)
+    return BasisSet(mol, shells)
+
+
+def test_h2_sto3g_energy_matches_literature():
+    """Szabo & Ostlund: E(RHF/STO-3G, R=1.4) = -1.1167 hartree."""
+    res = RHFSolver(h2()).run()
+    assert res.converged
+    assert res.energy == pytest.approx(-1.1167, abs=2e-4)
+
+
+def test_orbital_energies_signs():
+    res = RHFSolver(h2()).run()
+    # bonding orbital below zero, antibonding above
+    assert res.orbital_energies[0] < 0 < res.orbital_energies[1]
+
+
+def test_variational_improvement_with_p_shells():
+    basis = h2()
+    augmented = BasisSet(
+        basis.molecule,
+        basis.shells + tuple(
+            Shell(1, a.position, (1.1,), (1.0,)) for a in basis.molecule.atoms
+        ),
+    )
+    e_small = RHFSolver(basis).run().energy
+    e_big = RHFSolver(augmented).run(max_iterations=200).energy
+    assert e_big < e_small  # variational principle
+
+
+def test_energy_monotone_once_converging():
+    res = RHFSolver(h2()).run()
+    hist = res.energy_history
+    assert abs(hist[-1] - hist[-2]) < 1e-9
+
+
+def test_dissociation_curve_has_minimum():
+    energies = {r: RHFSolver(h2(r)).run().energy for r in (1.0, 1.4, 2.2)}
+    assert energies[1.4] < energies[1.0]
+    assert energies[1.4] < energies[2.2]
+
+
+def test_compressed_store_reproduces_direct_energy():
+    """The paper's claim: 1e-10-bounded ERIs leave the SCF solution intact."""
+    direct = RHFSolver(h2()).run()
+    store = CompressedERIStore(PaSTRICompressor(dims=(1, 1, 1, 1)), error_bound=1e-10)
+    stored = RHFSolver(h2(), store=store).run()
+    assert abs(stored.energy - direct.energy) < 1e-8
+    assert store.stats.gets > 0 or store.stats.puts > 0
+
+
+def test_loose_bound_perturbs_energy_more():
+    direct = RHFSolver(h2()).run()
+    loose = CompressedERIStore(PaSTRICompressor(dims=(1, 1, 1, 1)), error_bound=1e-3)
+    res = RHFSolver(h2(), store=loose).run()
+    assert abs(res.energy - direct.energy) < 0.05  # still roughly right
+    # and a tight bound is strictly better
+    tight = CompressedERIStore(PaSTRICompressor(dims=(1, 1, 1, 1)), error_bound=1e-12)
+    res_t = RHFSolver(h2(), store=tight).run()
+    assert abs(res_t.energy - direct.energy) <= abs(res.energy - direct.energy)
+
+
+def test_diis_accelerates_water():
+    from repro.chem.basis_sets import sto3g_basis, water
+
+    basis = sto3g_basis(water())
+    plain = RHFSolver(basis).run(diis=False)
+    accel = RHFSolver(basis).run(diis=True)
+    assert plain.converged and accel.converged
+    assert accel.energy == pytest.approx(plain.energy, abs=1e-8)
+    assert accel.iterations < plain.iterations
+
+
+def test_diis_harmless_on_trivial_case():
+    res = RHFSolver(h2()).run(diis=True)
+    assert res.converged
+    assert res.energy == pytest.approx(-1.1167, abs=2e-4)
+
+
+def test_odd_electron_count_rejected():
+    mol = Molecule("heh", (Atom("He", (0, 0, 0)), Atom("H", (0, 0, 1.5))))
+    shells = tuple(Shell(0, a.position, *STO3G_H) for a in mol.atoms)
+    with pytest.raises(ChemistryError):
+        RHFSolver(BasisSet(mol, shells))
+
+
+def test_too_few_basis_functions_rejected():
+    mol = Molecule("o2ish", (Atom("O", (0, 0, 0)), Atom("O", (0, 0, 2.3))))
+    shells = (Shell(0, (0, 0, 0), (1.0,), (1.0,)),)
+    with pytest.raises(ChemistryError):
+        RHFSolver(BasisSet(mol, shells))

@@ -1,0 +1,32 @@
+"""Unit tests for Schwarz screening (repro.chem.screening)."""
+
+import numpy as np
+
+from repro.chem.screening import quartet_bound, schwarz_matrix, screen_quartets
+
+
+def test_schwarz_matrix_is_symmetric_positive(eri_engine):
+    Q = schwarz_matrix(eri_engine, [0, 1, 2, 3])
+    assert np.allclose(Q, Q.T)
+    assert np.all(Q > 0)
+
+
+def test_schwarz_bound_dominates_actual_extrema(eri_engine):
+    Q = schwarz_matrix(eri_engine, [0, 1, 2, 3])
+    for quartet in [(0, 1, 2, 3), (2, 2, 3, 3), (0, 3, 1, 2)]:
+        block = eri_engine.shell_quartet(*quartet)
+        assert np.abs(block).max() <= quartet_bound(Q, *quartet) * (1 + 1e-9)
+
+
+def test_screen_quartets_filters_by_threshold():
+    Q = np.array([[1.0, 1e-4], [1e-4, 1.0]])
+    quartets = [(0, 0, 0, 0), (0, 1, 0, 1), (0, 0, 1, 1)]
+    kept = screen_quartets(Q, quartets, threshold=1e-6)
+    assert (0, 0, 0, 0) in kept and (0, 0, 1, 1) in kept
+    assert (0, 1, 0, 1) not in kept  # bound 1e-8 below threshold
+
+
+def test_screen_quartets_zero_threshold_keeps_all():
+    Q = np.ones((2, 2))
+    quartets = [(0, 0, 0, 0), (1, 1, 1, 1)]
+    assert screen_quartets(Q, quartets, 0.0) == quartets

@@ -1,0 +1,70 @@
+"""Unit tests for the asymptotic-model generator (repro.chem.synthetic)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.synthetic import SyntheticERIModel
+from repro.core import PaSTRICompressor
+from repro.errors import ParameterError
+
+
+def model(**kw):
+    kw.setdefault("zero_fraction", 0.0)
+    return SyntheticERIModel.from_config("(dd|dd)", **kw)
+
+
+def test_generation_is_deterministic_per_seed():
+    a = model(seed=3).generate(10)
+    b = model(seed=3).generate(10)
+    assert np.array_equal(a.data, b.data)
+    assert not np.array_equal(a.data, model(seed=4).generate(10).data)
+
+
+def test_block_geometry_from_config():
+    ds = model().generate(5)
+    assert ds.spec.dims == (6, 6, 6, 6)
+    assert ds.n_blocks == 5
+
+
+def test_zero_fraction_produces_zero_blocks():
+    m = SyntheticERIModel.from_config("(dd|dd)", zero_fraction=0.5, seed=0)
+    blocks = m.generate_blocks(400)
+    zero = np.count_nonzero(np.abs(blocks).max(axis=(1, 2)) == 0)
+    assert 120 < zero < 280
+
+
+def test_amplitudes_span_configured_range():
+    m = model(amp_range=(1e-9, 1e-3), seed=1)
+    amps = np.abs(m.generate_blocks(300)).max(axis=(1, 2))
+    assert amps.min() > 1e-10 and amps.max() < 1e-1
+
+
+def test_zero_deviation_blocks_are_exact_outer_products():
+    m = model(rel_deviation=0.0, seed=2)
+    blocks = m.generate_blocks(5)
+    for blk in blocks:
+        s = np.linalg.svd(blk, compute_uv=False)
+        assert s[1] <= 1e-12 * s[0]
+
+
+def test_stream_chunks_concatenate_to_generate():
+    m = model(seed=9)
+    whole = m.generate(20).data
+    parts = np.concatenate(list(m.stream(20, chunk_blocks=7)))
+    assert np.array_equal(whole, parts)
+
+
+def test_synthetic_data_compresses_like_eri(rng):
+    ds = SyntheticERIModel.from_config("(dd|dd)", seed=5).generate(60)
+    codec = PaSTRICompressor(dims=ds.spec.dims)
+    blob = codec.compress(ds.data, 1e-10)
+    assert ds.nbytes / len(blob) > 8  # calibrated to the paper's regime
+
+
+def test_parameter_validation():
+    with pytest.raises(ParameterError):
+        SyntheticERIModel.from_config("(dd|dd)", amp_range=(1e-3, 1e-9))
+    with pytest.raises(ParameterError):
+        SyntheticERIModel.from_config("(dd|dd)", zero_fraction=1.5)
+    with pytest.raises(ParameterError):
+        SyntheticERIModel.from_config("(dd|dd)", rel_deviation=-0.1)

@@ -1,0 +1,63 @@
+"""Shared fixtures: RNG, synthetic patterned streams, tiny real ERI data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chem import ERIEngine, benzene, generate_dataset
+from repro.chem.basis import BasisSet, Shell
+from repro.chem.molecule import Atom, Molecule
+from repro.core.blocking import BlockSpec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_patterned_stream(
+    rng: np.random.Generator,
+    n_blocks: int = 20,
+    dims: tuple[int, int, int, int] = (6, 6, 6, 6),
+    amp: float = 1e-7,
+    rel_dev: float = 1e-3,
+    zero_blocks: int = 2,
+) -> np.ndarray:
+    """ERI-like stream: outer-product blocks with small deviations."""
+    spec = BlockSpec(dims)
+    M, L = spec.num_sb, spec.sb_size
+    bra = rng.standard_normal((n_blocks, M, 1))
+    ket = rng.standard_normal((n_blocks, 1, L))
+    blocks = amp * bra * ket * (1.0 + rel_dev * rng.standard_normal((n_blocks, M, L)))
+    blocks[:zero_blocks] = 0.0
+    return blocks.reshape(-1)
+
+
+@pytest.fixture
+def patterned_stream(rng) -> np.ndarray:
+    return make_patterned_stream(rng)
+
+
+@pytest.fixture(scope="session")
+def tiny_eri_dataset():
+    """A small real (dd|dd) dataset from the integral engine (cached)."""
+    return generate_dataset(benzene(), "(dd|dd)", n_blocks=30, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_shell_basis():
+    """Four single-primitive shells (s, p, d, f) on spread-out centers."""
+    mol = Molecule("probe", (Atom("H", (0, 0, 0)), Atom("H", (0, 0, 2.0))))
+    shells = (
+        Shell(0, (0.0, 0.0, 0.0), (0.9,), (1.0,)),
+        Shell(1, (0.6, -0.4, 0.8), (1.1,), (1.0,)),
+        Shell(2, (1.2, 0.5, -0.3), (0.8,), (1.0,)),
+        Shell(3, (-0.7, 1.0, 0.4), (0.7,), (1.0,)),
+    )
+    return BasisSet(mol, shells)
+
+
+@pytest.fixture(scope="session")
+def eri_engine(small_shell_basis):
+    return ERIEngine(small_shell_basis)

@@ -1,0 +1,60 @@
+"""Tests for automatic block-structure detection (repro.core.autodetect)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PaSTRICompressor
+from repro.core.autodetect import detect_block_spec, period_scores
+from repro.errors import ParameterError
+from tests.conftest import make_patterned_stream
+
+
+def test_period_scores_peak_at_true_period(rng):
+    data = make_patterned_stream(rng, n_blocks=20, dims=(1, 8, 1, 24), zero_blocks=0)
+    cands = np.array([8, 12, 24, 30, 48])
+    scores = period_scores(data, cands)
+    # 24 and its multiple 48 score near 1; off-periods score lower
+    assert scores[2] > 0.99
+    assert scores[2] > scores[1] + 0.1
+
+
+def test_detects_synthetic_geometry(rng):
+    data = make_patterned_stream(rng, n_blocks=30, dims=(1, 12, 1, 36), zero_blocks=0)
+    res = detect_block_spec(data)
+    assert res.spec.sb_size == 36
+    assert res.confident
+    assert res.trial_ratio > 10
+
+
+def test_detected_spec_compresses_close_to_true_spec(rng):
+    data = make_patterned_stream(rng, n_blocks=30, dims=(6, 6, 6, 6))
+    res = detect_block_spec(data)
+    assert res.spec.sb_size == 36  # the true ket sweep
+    detected = PaSTRICompressor(dims=res.spec.dims)
+    true = PaSTRICompressor(dims=(6, 6, 6, 6))
+    size_detected = len(detected.compress(data, 1e-10))
+    size_true = len(true.compress(data, 1e-10))
+    assert size_detected < 1.3 * size_true
+    out = detected.decompress(detected.compress(data, 1e-10))
+    assert np.max(np.abs(out - data)) <= 1e-10
+
+
+def test_unstructured_data_is_not_confident(rng):
+    data = rng.standard_normal(50_000)
+    res = detect_block_spec(data)
+    assert not res.confident
+    assert res.trial_ratio < 2.0
+
+
+def test_smooth_non_periodic_data(rng):
+    data = np.sin(np.linspace(0, 20, 30_000)) * 1e-6
+    res = detect_block_spec(data)
+    # valid spec regardless; compression still honours the bound
+    codec = PaSTRICompressor(dims=res.spec.dims)
+    out = codec.decompress(codec.compress(data, 1e-10))
+    assert np.max(np.abs(out - data)) <= 1e-10
+
+
+def test_too_little_data_rejected():
+    with pytest.raises(ParameterError):
+        detect_block_spec(np.zeros(4))

@@ -1,0 +1,32 @@
+"""Unit tests for block-type classification (repro.core.classify)."""
+
+import pytest
+
+from repro.core.classify import TYPE2_MAX_ECB, BlockType
+
+
+@pytest.mark.parametrize(
+    "ecb,expected",
+    [
+        (0, BlockType.TYPE0),
+        (1, BlockType.TYPE0),
+        (2, BlockType.TYPE1),
+        (3, BlockType.TYPE2),
+        (6, BlockType.TYPE2),
+        (7, BlockType.TYPE3),
+        (22, BlockType.TYPE3),
+    ],
+)
+def test_from_ec_b_max(ecb, expected):
+    assert BlockType.from_ec_b_max(ecb) is expected
+
+
+def test_type_boundary_constant():
+    assert TYPE2_MAX_ECB == 6
+    assert BlockType.from_ec_b_max(TYPE2_MAX_ECB) is BlockType.TYPE2
+    assert BlockType.from_ec_b_max(TYPE2_MAX_ECB + 1) is BlockType.TYPE3
+
+
+def test_types_are_ordered_ints():
+    assert list(BlockType) == sorted(BlockType)
+    assert int(BlockType.TYPE3) == 3

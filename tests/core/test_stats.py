@@ -1,0 +1,68 @@
+"""Unit tests for stream statistics (repro.core.stats)."""
+
+import numpy as np
+
+from repro.core.classify import BlockType
+from repro.core.stats import BlockRecord, StreamStats
+
+
+def rec(**overrides):
+    kw = dict(
+        kind=1,
+        block_type=BlockType.TYPE2,
+        p_b=10,
+        ec_b_max=4,
+        sparse=False,
+        nol=3,
+        bits_header=15,
+        bits_pattern=360,
+        bits_scales=360,
+        bits_ecq=2000,
+    )
+    kw.update(overrides)
+    return BlockRecord(**kw)
+
+
+def test_block_record_total():
+    assert rec().bits_total == 15 + 360 + 360 + 2000
+
+
+def test_stream_accumulation():
+    st = StreamStats(n_points=2592, bits_global_header=100)
+    st.add_block(rec())
+    st.add_block(rec(block_type=BlockType.TYPE0, bits_ecq=0))
+    assert st.n_blocks == 2
+    assert st.bits_ecq == 2000
+    assert st.type_counts[BlockType.TYPE2] == 1
+    assert st.bits_total == 100 + 2 * 15 + 2 * 360 + 2 * 360 + 2000
+
+
+def test_compression_ratio_formula():
+    st = StreamStats(n_points=1000)
+    st.bits_global_header = 64 * 100  # output = 1/10th of input
+    assert st.compression_ratio == 10.0
+
+
+def test_breakdown_fractions_sum_to_one():
+    st = StreamStats(n_points=100, bits_global_header=10)
+    st.add_block(rec())
+    frac = st.breakdown()
+    assert abs(sum(frac.values()) - 1.0) < 1e-12
+    assert frac["ecq"] > frac["pattern"]
+
+
+def test_type_fractions_cover_all_types():
+    st = StreamStats()
+    st.add_block(rec(block_type=BlockType.TYPE1))
+    fr = st.type_fractions()
+    assert set(fr) == set(BlockType)
+    assert fr[BlockType.TYPE1] == 1.0
+
+
+def test_ecq_histogram_accumulates_and_clips():
+    st = StreamStats()
+    st.add_ecq_histogram(BlockType.TYPE3, np.array([1, 1, 2, 50]))
+    st.add_ecq_histogram(BlockType.TYPE3, np.array([2]))
+    h = st.ecq_hist[BlockType.TYPE3]
+    assert h[1] == 2 and h[2] == 2
+    assert h[-1] == 1  # clipped into the last bin

@@ -1,0 +1,48 @@
+"""Tests for standard dataset recipes and caching (repro.harness.datasets)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.harness import datasets as hd
+
+
+def test_standard_dataset_cached(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+    a = hd.standard_dataset("benzene", "(dd|dd)", size="tiny")
+    files = list(tmp_path.glob("*.npz"))
+    assert len(files) == 1
+    b = hd.standard_dataset("benzene", "(dd|dd)", size="tiny")
+    assert np.array_equal(a.data, b.data)
+    assert len(list(tmp_path.glob("*.npz"))) == 1  # cache hit, no new file
+
+
+def test_standard_dataset_block_counts(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+    ds = hd.standard_dataset("glutamine", "(dd|dd)", size="tiny")
+    assert ds.n_blocks == hd.BLOCK_COUNTS["(dd|dd)"]["tiny"]
+
+
+def test_unknown_molecule_rejected():
+    with pytest.raises(ParameterError):
+        hd.standard_dataset("caffeine", "(dd|dd)")
+
+
+def test_unknown_size_rejected():
+    with pytest.raises(ParameterError):
+        hd.standard_dataset("benzene", "(dd|dd)", size="gigantic")
+
+
+def test_corrupt_cache_regenerated(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+    hd.standard_dataset("benzene", "(dd|dd)", size="tiny")
+    path = next(tmp_path.glob("*.npz"))
+    path.write_bytes(b"corrupt")
+    ds = hd.standard_dataset("benzene", "(dd|dd)", size="tiny")
+    assert ds.n_blocks == hd.BLOCK_COUNTS["(dd|dd)"]["tiny"]
+
+
+def test_recipes_cover_paper_grid():
+    assert set(hd.MOLECULES) == {"benzene", "glutamine", "trialanine"}
+    assert set(hd.CONFIGS) == {"(dd|dd)", "(ff|ff)"}
+    assert hd.ERROR_BOUNDS == (1e-11, 1e-10, 1e-9)

@@ -1,0 +1,39 @@
+"""Tests for the whole-basis dump experiment (repro.harness.dump)."""
+
+import pytest
+
+from repro.harness import dump
+from repro.harness.registry import EXPERIMENTS
+
+
+@pytest.fixture(scope="module")
+def result():
+    return dump.run(molecule="benzene", max_blocks_per_class=6, with_d_shells=False)
+
+
+def test_dump_registered():
+    assert "dump" in EXPERIMENTS
+
+
+def test_dump_runs_and_bounds(result):
+    assert result["max_abs_error"] <= result["error_bound"]
+    assert result["ratio"] > 1.0
+    assert result["n_classes"] >= 6  # s/p letter combinations
+
+
+def test_dump_class_accounting(result):
+    for label, st in result["per_class"].items():
+        assert st["blocks"] <= 6
+        assert st["compressed"] > 0
+        assert label.startswith("(") and "|" in label
+
+
+def test_json_export(tmp_path, capsys):
+    import json
+
+    from repro.harness.__main__ import main
+
+    out = tmp_path / "res.json"
+    assert main(["fig10", "--json", str(out)]) == 0
+    data = json.loads(out.read_text())
+    assert "fig10" in data and "ratios" in data["fig10"]

@@ -1,0 +1,115 @@
+"""Integration tests: every paper experiment runs and has the right shape.
+
+These use the "tiny" dataset tier so the whole module stays fast; the
+quantitative reproduction (paper-vs-measured) lives in benchmarks/ and
+EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BlockType
+from repro.harness import breakdown, fig3, fig6, fig9, fig10, fig11, tab_scaling, tab_trees
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _shared_cache(tmp_path_factory):
+    """Give the module one dataset cache so tiny datasets generate once."""
+    import os
+
+    old = os.environ.get("REPRO_CACHE")
+    os.environ["REPRO_CACHE"] = str(tmp_path_factory.mktemp("cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE", None)
+    else:
+        os.environ["REPRO_CACHE"] = old
+
+
+def test_fig3_pattern_structure():
+    res = fig3.run(size="tiny")
+    s = res["summary"]
+    # the rescaled sub-blocks must agree far better than their raw ranges
+    assert s["max_deviation"] < 0.2 * max(s["sb0_range"], s["sb1_range"])
+    assert s["max_compression_error"] <= s["error_bound"]
+    assert res["deviation"].shape == res["sub_block_0"].shape
+
+
+def test_fig4_er_is_competitive_and_valid():
+    res = tab_scaling.run(size="tiny")
+    ratios = {k: v["ratio"] for k, v in res["metrics"].items()}
+    assert set(ratios) == {"FR", "ER", "AR", "AAR", "IS"}
+    assert all(r > 1.0 for r in ratios.values())
+    # paper: ER gives the best, most reliable matching (within a whisker)
+    assert ratios["ER"] >= 0.95 * max(ratios.values())
+
+
+def test_fig6_type_shares_and_histograms():
+    res = fig6.run(size="tiny")
+    fr = res["type_fractions"]
+    assert abs(sum(fr.values()) - 1.0) < 1e-9
+    for t, h in res["histograms"].items():
+        assert isinstance(t, BlockType)
+        assert h.sum() > 0
+    # type-0 blocks contribute only bin-1 (all-zero ECQ) entries
+    if BlockType.TYPE0 in res["histograms"]:
+        h0 = res["histograms"][BlockType.TYPE0]
+        assert h0[2:].sum() == 0
+
+
+def test_fig7_all_trees_beat_raw():
+    res = tab_trees.run(size="tiny")
+    assert set(res["trees"]) == {1, 2, 3, 4, 5}
+    assert all(r > 1.0 for r in res["trees"].values())
+    # tree 5 equals tree 3 on large-EC blocks and wins on type-1 blocks
+    assert res["trees"][5] >= res["trees"][3] * 0.999
+
+
+def test_fig9_ratio_grid_shape():
+    res = fig9.run_ratios(size="tiny", error_bounds=(1e-10,))
+    cells = res["cells"]
+    assert len(cells) == 6 * 3  # 6 datasets x 3 codecs
+    for eb in res["error_bounds"]:
+        avg = res["averages"]
+        # headline: PaSTRI clearly ahead of both baselines on average
+        assert avg[("pastri", eb)] > avg[("sz", eb)]
+        assert avg[("pastri", eb)] > avg[("zfp", eb)]
+
+
+def test_fig9_rate_distortion_dominance():
+    res = fig9.run_rate_distortion(size="tiny")
+    curves = res["curves"]
+    # at matched error bounds PaSTRI spends fewer bits
+    for p_pastri, p_sz in zip(curves["pastri"], curves["sz"]):
+        assert p_pastri.error_bound == p_sz.error_bound
+    mean_bits = {k: np.mean([p.bitrate for p in v]) for k, v in curves.items()}
+    assert mean_bits["pastri"] < mean_bits["sz"]
+    assert mean_bits["pastri"] < mean_bits["zfp"]
+
+
+def test_fig10_shape(tmp_path):
+    res = fig10.run(size="tiny", dataset_bytes=1e12)
+    for name, sweep in res["results"].items():
+        times = [r.dump_time for r in sweep]
+        assert times[0] > times[-1] * 0.99  # falls (or saturates) with cores
+    for i in range(4):
+        assert (
+            res["results"]["pastri"][i].dump_time
+            < min(res["results"]["sz"][i].dump_time, res["results"]["zfp"][i].dump_time)
+        )
+
+
+def test_fig11_reuse_wins_at_paper_rates():
+    res = fig11.run(rates="paper", dataset_bytes=1e9)
+    for (config, eb), t in res["timings"].items():
+        assert t.speedup > 1.0
+        assert t.n_reuse == 20
+
+
+def test_breakdown_structure():
+    res = breakdown.run(size="tiny", lossless_sample=20_000)
+    fr = res["fractions"]
+    assert abs(sum(fr.values()) - 1.0) < 1e-9
+    assert fr["ecq"] > 0.5  # ECQ dominates the output (paper: 70-80%)
+    assert fr["bookkeeping"] < 0.05
+    assert 1.0 < res["lossless_ratios"]["deflate"] < 4.0

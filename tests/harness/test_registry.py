@@ -1,0 +1,28 @@
+"""Tests for the experiment registry (repro.harness.registry)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.harness.registry import EXPERIMENTS, run_experiment
+
+
+def test_all_paper_artefacts_registered():
+    assert set(EXPERIMENTS) >= {
+        "fig3", "fig4", "fig6", "fig7", "fig9", "fig10", "fig11", "breakdown",
+    }
+
+
+def test_entries_have_titles_and_callables():
+    for title, driver, printer in EXPERIMENTS.values():
+        assert isinstance(title, str) and title
+        assert callable(driver) and callable(printer)
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ParameterError):
+        run_experiment("fig99")
+
+
+def test_run_experiment_dispatches():
+    out = run_experiment("fig10", dataset_bytes=1e11, size="tiny")
+    assert "results" in out

@@ -1,0 +1,30 @@
+"""Unit tests for table rendering (repro.harness.report)."""
+
+from repro.harness.report import fmt, render_series, render_table
+
+
+def test_fmt_floats():
+    assert fmt(1.2345) == "1.23"
+    assert fmt(0.0001234) == "0.000123"
+    assert fmt(12345.6) == "1.23e+04"
+    assert fmt(0) == "0"
+    assert fmt("x") == "x"
+
+
+def test_render_table_alignment():
+    out = render_table(["a", "metric"], [["x", 1.5], ["long-name", 22.0]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    widths = {len(l) for l in lines}
+    assert len(widths) == 1  # all lines equal width
+
+
+def test_render_table_header_content():
+    out = render_table(["col"], [[3.14159]])
+    assert "col" in out and "3.14" in out
+
+
+def test_render_series():
+    out = render_series("curve", [(1.0, 2.0), (3.0, 4.0)])
+    assert out.startswith("curve")
+    assert len(out.splitlines()) == 3

@@ -1,0 +1,43 @@
+"""Unit tests for the DEFLATE lossless reference."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.lossless import DeflateCodec
+
+
+def test_exact_roundtrip(rng):
+    data = rng.standard_normal(5000) * 1e-7
+    c = DeflateCodec()
+    assert np.array_equal(c.decompress(c.compress(data)), data)
+
+
+def test_zero_stream_compresses_hugely():
+    data = np.zeros(10000)
+    c = DeflateCodec()
+    assert data.nbytes / len(c.compress(data)) > 100
+
+
+def test_random_doubles_ratio_near_one(rng):
+    data = rng.standard_normal(20000)
+    ratio = data.nbytes / len(DeflateCodec().compress(data))
+    assert 0.9 < ratio < 1.3  # the paper's §II point: lossless ~1.1-2
+
+
+def test_eri_data_in_paper_lossless_band(tiny_eri_dataset):
+    data = tiny_eri_dataset.data
+    ratio = data.nbytes / len(DeflateCodec().compress(data))
+    assert 1.05 < ratio < 4.0
+
+
+def test_level_affects_size(rng):
+    data = np.repeat(rng.standard_normal(500), 10)
+    fast = len(DeflateCodec(level=1).compress(data))
+    best = len(DeflateCodec(level=9).compress(data))
+    assert best <= fast
+
+
+def test_truncated_blob_rejected():
+    with pytest.raises(FormatError):
+        DeflateCodec().decompress(b"\x01")

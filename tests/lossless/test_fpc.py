@@ -1,0 +1,47 @@
+"""Unit tests for the FPC lossless reference."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.lossless import FPCCodec
+
+
+def test_exact_roundtrip_random(rng):
+    data = rng.standard_normal(3000) * 1e-5
+    c = FPCCodec()
+    out = c.decompress(c.compress(data))
+    assert np.array_equal(out, data)
+
+
+def test_exact_roundtrip_special_values():
+    data = np.array([0.0, -0.0, 1.0, -1.0, 1e308, 5e-324, np.pi])
+    c = FPCCodec()
+    assert np.array_equal(c.decompress(c.compress(data)), data)
+
+
+def test_constant_stream_compresses():
+    data = np.full(4000, 2.5)
+    c = FPCCodec()
+    blob = c.compress(data)
+    assert data.nbytes / len(blob) > 4  # FCM predicts repeats perfectly
+    assert np.array_equal(c.decompress(blob), data)
+
+
+def test_linear_ramp_dfcm_wins():
+    data = np.arange(2000, dtype=np.float64)
+    c = FPCCodec()
+    blob = c.compress(data)
+    assert np.array_equal(c.decompress(blob), data)
+    assert data.nbytes / len(blob) > 1.5
+
+
+def test_small_table_still_correct(rng):
+    data = rng.standard_normal(500)
+    c = FPCCodec(table_log2=4)
+    assert np.array_equal(c.decompress(c.compress(data)), data)
+
+
+def test_garbage_rejected():
+    with pytest.raises(FormatError):
+        FPCCodec().decompress(b"nope")

@@ -1,0 +1,42 @@
+"""Unit tests for distortion metrics (repro.metrics.error)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ErrorBoundViolation
+from repro.metrics import assert_error_bound, max_abs_error, mse, psnr
+
+
+def test_max_abs_error_basic():
+    a = np.array([1.0, 2.0, 3.0])
+    b = np.array([1.1, 2.0, 2.7])
+    assert max_abs_error(a, b) == pytest.approx(0.3)
+
+
+def test_mse_basic():
+    a = np.zeros(4)
+    b = np.array([1.0, -1.0, 1.0, -1.0])
+    assert mse(a, b) == 1.0
+
+
+def test_psnr_matches_paper_formula(rng):
+    orig = rng.standard_normal(1000)
+    noisy = orig + rng.standard_normal(1000) * 1e-4
+    want = 20 * np.log10((orig.max() - orig.min()) / np.sqrt(mse(orig, noisy)))
+    assert psnr(orig, noisy) == pytest.approx(want)
+
+
+def test_psnr_perfect_reconstruction_is_inf():
+    a = np.arange(10.0)
+    assert psnr(a, a) == np.inf
+
+
+def test_psnr_constant_signal_with_error():
+    assert psnr(np.ones(5), np.zeros(5)) == -np.inf
+
+
+def test_assert_error_bound_passes_and_fails():
+    a = np.zeros(3)
+    assert_error_bound(a, a + 1e-11, 1e-10)
+    with pytest.raises(ErrorBoundViolation):
+        assert_error_bound(a, a + 1e-9, 1e-10)

@@ -1,0 +1,24 @@
+"""Unit tests for rate-distortion sweeps (repro.metrics.ratedistortion)."""
+
+import numpy as np
+
+from repro.core import PaSTRICompressor
+from repro.metrics import rd_curve
+from tests.conftest import make_patterned_stream
+
+
+def test_rd_curve_monotone_tradeoff(rng):
+    data = make_patterned_stream(rng, n_blocks=10)
+    codec = PaSTRICompressor(dims=(6, 6, 6, 6))
+    curve = rd_curve(codec, data, [1e-12, 1e-10, 1e-8])
+    # tighter bound -> more bits and higher PSNR
+    assert curve[0].bitrate > curve[1].bitrate > curve[2].bitrate
+    assert curve[0].psnr > curve[1].psnr > curve[2].psnr
+
+
+def test_rd_points_respect_bounds(rng):
+    data = make_patterned_stream(rng, n_blocks=5)
+    codec = PaSTRICompressor(dims=(6, 6, 6, 6))
+    for p in rd_curve(codec, data, [1e-11, 1e-9]):
+        assert p.max_abs_error <= p.error_bound
+        assert p.bitrate == 64.0 / p.ratio

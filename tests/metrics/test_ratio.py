@@ -1,0 +1,30 @@
+"""Unit tests for size metrics (repro.metrics.ratio)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.metrics import bitrate, compression_ratio
+
+
+def test_compression_ratio():
+    assert compression_ratio(1000, 100) == 10.0
+
+
+def test_ratio_rejects_zero_compressed_size():
+    with pytest.raises(ParameterError):
+        compression_ratio(10, 0)
+
+
+def test_bitrate_is_64_over_ratio():
+    # paper §V-B: rate = 64 / compression_ratio for doubles
+    assert bitrate(16.0) == 4.0
+    assert bitrate(64.0) == 1.0
+
+
+def test_bitrate_other_word_sizes():
+    assert bitrate(8.0, bits_per_value=32) == 4.0
+
+
+def test_bitrate_rejects_nonpositive():
+    with pytest.raises(ParameterError):
+        bitrate(0.0)

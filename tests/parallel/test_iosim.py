@@ -1,0 +1,49 @@
+"""Unit tests for the Fig. 10 I/O simulator (repro.parallel.iosim)."""
+
+import numpy as np
+
+from repro.core import PaSTRICompressor
+from repro.parallel.iosim import PAPER_RATES, IOSimulator, measure_rates
+from tests.conftest import make_patterned_stream
+
+
+def test_dump_and_load_compose():
+    sim = IOSimulator(dataset_bytes=1e12)
+    r = sim.run("pastri", ratio=16.8, n_cores=256, compress_rate=660e6, decompress_rate=1110e6)
+    assert r.dump_time == r.compress_time + r.write_time
+    assert r.load_time == r.read_time + r.decompress_time
+
+
+def test_higher_ratio_means_less_io_time():
+    sim = IOSimulator(dataset_bytes=1e12)
+    hi = sim.run("pastri", 16.8, 256, 660e6, 1110e6)
+    lo = sim.run("sz", 7.24, 256, 660e6, 1110e6)
+    assert hi.write_time < lo.write_time
+    assert hi.read_time < lo.read_time
+
+
+def test_sweep_shape_matches_fig10():
+    """PaSTRI beats SZ/ZFP on dump+load at every core count (paper: ~2x)."""
+    sim = IOSimulator(dataset_bytes=2e12)
+    sweeps = {
+        name: sim.sweep(name, ratio)
+        for name, ratio in (("sz", 7.24), ("zfp", 5.92), ("pastri", 16.8))
+    }
+    for i in range(4):
+        for other in ("sz", "zfp"):
+            assert sweeps["pastri"][i].dump_time < sweeps[other][i].dump_time
+            assert sweeps["pastri"][i].load_time < sweeps[other][i].load_time
+    # elapsed time falls (or saturates) with more cores
+    dumps = [r.dump_time for r in sweeps["pastri"]]
+    assert dumps[0] > dumps[-1]
+
+
+def test_paper_rates_ordering():
+    assert PAPER_RATES["pastri"][0] > PAPER_RATES["zfp"][0] > PAPER_RATES["sz"][0]
+
+
+def test_measure_rates_returns_positive(rng):
+    data = make_patterned_stream(rng, n_blocks=4)
+    codec = PaSTRICompressor(dims=(6, 6, 6, 6))
+    c, d = measure_rates(codec, data, 1e-10)
+    assert c > 0 and d > 0

@@ -1,0 +1,40 @@
+"""Unit tests for the GPFS model (repro.parallel.pfs)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.parallel.pfs import GPFSModel
+
+
+def test_bandwidth_grows_then_saturates():
+    m = GPFSModel()
+    bw = [m.effective_bandwidth(n) for n in (32, 64, 256, 1024, 4096)]
+    assert bw[0] < bw[1] < bw[2]
+    assert bw[-1] <= m.aggregate_bw
+
+
+def test_contention_reduces_bandwidth_at_scale():
+    m = GPFSModel()
+    assert m.effective_bandwidth(4096) < m.effective_bandwidth(600)
+
+
+def test_reads_faster_than_writes():
+    m = GPFSModel()
+    assert m.effective_bandwidth(256, read=True) > m.effective_bandwidth(256)
+
+
+def test_io_time_decreases_with_cores_small_scale():
+    m = GPFSModel()
+    t = [m.io_time(1e12, n) for n in (64, 128, 256)]
+    assert t[0] > t[1] > t[2]
+
+
+def test_io_time_includes_metadata_floor():
+    m = GPFSModel(metadata_latency=1.0)
+    # moving ~nothing still costs metadata time
+    assert m.io_time(1.0, 64) >= 1.0
+
+
+def test_rejects_zero_processes():
+    with pytest.raises(ParameterError):
+        GPFSModel().effective_bandwidth(0)

@@ -1,0 +1,63 @@
+"""Tests for block-parallel compression (repro.parallel.pool)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.parallel.pool import parallel_compress, parallel_decompress, split_stream
+from tests.conftest import make_patterned_stream
+
+BLOCK = 6**4
+
+
+def test_split_stream_respects_block_boundaries(rng):
+    data = rng.standard_normal(BLOCK * 7 + 13)
+    chunks = split_stream(data, 3, BLOCK)
+    assert sum(c.size for c in chunks) == data.size
+    for c in chunks[:-1]:
+        assert c.size % BLOCK == 0
+    assert np.array_equal(np.concatenate(chunks), data)
+
+
+def test_split_stream_tiny_input(rng):
+    data = rng.standard_normal(10)
+    chunks = split_stream(data, 4, BLOCK)
+    assert len(chunks) == 1 and chunks[0].size == 10
+
+
+def test_serial_path_roundtrip(rng):
+    data = make_patterned_stream(rng, n_blocks=8)
+    blobs = parallel_compress("pastri", data, 1e-10, 1, BLOCK, {"dims": (6, 6, 6, 6)})
+    out = parallel_decompress("pastri", blobs, 1, {"dims": (6, 6, 6, 6)})
+    assert np.max(np.abs(out - data)) <= 1e-10
+
+
+def test_parallel_path_roundtrip(rng):
+    data = make_patterned_stream(rng, n_blocks=16)
+    blobs = parallel_compress("pastri", data, 1e-10, 4, BLOCK, {"dims": (6, 6, 6, 6)})
+    assert len(blobs) == 4
+    out = parallel_decompress("pastri", blobs, 4, {"dims": (6, 6, 6, 6)})
+    assert np.max(np.abs(out - data)) <= 1e-10
+
+
+def test_parallel_equals_serial_result(rng):
+    data = make_patterned_stream(rng, n_blocks=12)
+    serial = parallel_compress("pastri", data, 1e-10, 1, BLOCK, {"dims": (6, 6, 6, 6)})
+    par = parallel_compress("pastri", data, 1e-10, 3, BLOCK, {"dims": (6, 6, 6, 6)})
+    assert b"".join(serial) != b""  # sanity
+    out_s = parallel_decompress("pastri", serial, 1, {"dims": (6, 6, 6, 6)})
+    out_p = parallel_decompress("pastri", par, 3, {"dims": (6, 6, 6, 6)})
+    assert np.array_equal(out_s, out_p)
+
+
+def test_other_codecs_work_in_pool(rng):
+    data = rng.standard_normal(5000) * 1e-7
+    for codec in ("sz", "zfp"):
+        blobs = parallel_compress(codec, data, 1e-10, 2, 1000)
+        out = parallel_decompress(codec, blobs, 2)
+        assert np.max(np.abs(out - data)) <= 1e-10
+
+
+def test_rejects_zero_workers(rng):
+    with pytest.raises(ParameterError):
+        parallel_compress("sz", rng.standard_normal(10), 1e-10, 0, 4)

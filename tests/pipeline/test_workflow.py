@@ -1,0 +1,71 @@
+"""Unit tests for the Fig. 11 cost model (repro.pipeline.workflow)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.pipeline.workflow import (
+    DEFAULT_N_REUSE,
+    GAMESS_GENERATION_RATES,
+    ReuseCostModel,
+)
+
+
+def model(config="(dd|dd)", size=1e9):
+    return ReuseCostModel(size, config)
+
+
+def test_original_time_scales_with_reuse():
+    t5 = model().evaluate(660e6, 1110e6, 1e-10, n_reuse=5)
+    t20 = model().evaluate(660e6, 1110e6, 1e-10, n_reuse=20)
+    assert t20.original_time == pytest.approx(4 * t5.original_time)
+
+
+def test_pastri_infra_beats_recompute_at_paper_rates():
+    for config in GAMESS_GENERATION_RATES:
+        t = model(config).evaluate(660e6, 1110e6, 1e-10, n_reuse=DEFAULT_N_REUSE)
+        assert t.pastri_time < t.original_time
+        assert t.speedup > 1.5
+
+
+def test_normalized_pair():
+    t = model().evaluate(660e6, 1110e6, 1e-10)
+    orig, pastri = t.normalized()
+    assert orig == 1.0
+    assert pastri == pytest.approx(t.pastri_time / t.original_time)
+
+
+def test_single_use_never_wins():
+    t = model().evaluate(660e6, 1110e6, 1e-10, n_reuse=1)
+    # one use: generation plus compression overhead, decompression never runs
+    assert t.decompress_time == 0.0
+    assert t.pastri_time > t.original_time
+
+
+def test_break_even_reuse_formula():
+    m = model()
+    n = m.break_even_reuse(660e6, 1110e6)
+    # evaluate on both sides of the break-even point
+    below = m.evaluate(660e6, 1110e6, 1e-10, n_reuse=max(1, int(n)))
+    above = m.evaluate(660e6, 1110e6, 1e-10, n_reuse=int(n) + 1)
+    assert above.speedup > 1.0
+    assert n < DEFAULT_N_REUSE  # the paper's 20 reuses are comfortably past it
+
+
+def test_break_even_infinite_when_decompress_slower_than_generate():
+    m = model()
+    slow = GAMESS_GENERATION_RATES["(dd|dd)"] / 2
+    assert m.break_even_reuse(660e6, slow) == float("inf")
+
+
+def test_unknown_config_requires_explicit_rate():
+    with pytest.raises(ParameterError):
+        ReuseCostModel(1e9, "(pp|pp)")
+    m = ReuseCostModel(1e9, "(pp|pp)", generation_rate=100e6)
+    assert m.generation_rate == 100e6
+
+
+def test_invalid_parameters():
+    with pytest.raises(ParameterError):
+        ReuseCostModel(0, "(dd|dd)")
+    with pytest.raises(ParameterError):
+        model().evaluate(1e6, 1e6, 1e-10, n_reuse=0)

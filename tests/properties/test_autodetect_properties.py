@@ -1,0 +1,37 @@
+"""Property-based tests for block-structure detection."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PaSTRICompressor
+from repro.core.autodetect import detect_block_spec
+
+
+@given(
+    m=st.sampled_from([4, 6, 9, 12]),
+    L=st.sampled_from([9, 16, 25, 36, 49]),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=25, deadline=None)
+def test_detector_recovers_planted_period(m, L, seed):
+    rng = np.random.default_rng(seed)
+    n_blocks = 24
+    pat = rng.standard_normal((n_blocks, 1, L))
+    s = rng.uniform(-1, 1, (n_blocks, m, 1))
+    data = (1e-6 * pat * s * (1 + 1e-4 * rng.standard_normal((n_blocks, m, L)))).ravel()
+    res = detect_block_spec(data)
+    assert res.confident
+    assert res.spec.sb_size == L
+
+
+@given(seed=st.integers(0, 30), n=st.integers(500, 5000))
+@settings(max_examples=20, deadline=None)
+def test_detected_spec_always_safe_to_use(seed, n):
+    """Whatever the detector returns, compression stays correct."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(n) * 10.0 ** rng.integers(-9, 0)
+    res = detect_block_spec(data)
+    codec = PaSTRICompressor(dims=res.spec.dims)
+    out = codec.decompress(codec.compress(data, 1e-10))
+    assert np.max(np.abs(out - data)) <= 1e-10

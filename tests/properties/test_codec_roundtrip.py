@@ -1,0 +1,77 @@
+"""Property-based tests: the error-bound contract of every codec.
+
+The single most important invariant in this package: for any finite input
+and any positive error bound, ``max |x - decompress(compress(x))| <= EB``
+— and the lossless codecs reconstruct exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import PaSTRICompressor
+from repro.lossless import DeflateCodec, FPCCodec
+from repro.sz import SZCompressor
+from repro.zfp import ZFPCompressor
+
+finite_doubles = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+arrays = hnp.arrays(np.float64, st.integers(1, 600), elements=finite_doubles)
+error_bounds = st.sampled_from([1e-13, 1e-10, 1e-7, 1e-4, 1e-1])
+
+
+@given(data=arrays, eb=error_bounds)
+@settings(max_examples=60, deadline=None)
+def test_pastri_error_bound(data, eb):
+    codec = PaSTRICompressor(dims=(2, 2, 3, 3))
+    out = codec.decompress(codec.compress(data, eb))
+    assert out.size == data.size
+    assert np.max(np.abs(out - data)) <= eb
+
+
+@given(data=arrays, eb=error_bounds)
+@settings(max_examples=60, deadline=None)
+def test_sz_error_bound(data, eb):
+    codec = SZCompressor(capacity=256)
+    out = codec.decompress(codec.compress(data, eb))
+    assert np.max(np.abs(out - data)) <= eb
+
+
+@given(data=hnp.arrays(np.float64, st.integers(1, 200), elements=finite_doubles), eb=error_bounds)
+@settings(max_examples=40, deadline=None)
+def test_zfp_error_bound(data, eb):
+    codec = ZFPCompressor()
+    out = codec.decompress(codec.compress(data, eb))
+    assert np.max(np.abs(out - data)) <= eb
+
+
+@given(data=hnp.arrays(np.float64, st.integers(1, 300), elements=finite_doubles))
+@settings(max_examples=30, deadline=None)
+def test_deflate_is_lossless(data):
+    codec = DeflateCodec()
+    assert np.array_equal(codec.decompress(codec.compress(data)), data)
+
+
+@given(data=hnp.arrays(np.float64, st.integers(1, 150), elements=finite_doubles))
+@settings(max_examples=20, deadline=None)
+def test_fpc_is_lossless(data):
+    codec = FPCCodec(table_log2=8)
+    assert np.array_equal(codec.decompress(codec.compress(data)), data)
+
+
+@given(
+    scales=hnp.arrays(np.float64, 4, elements=st.floats(-1, 1)),
+    pattern=hnp.arrays(np.float64, 9, elements=st.floats(-1e-6, 1e-6)),
+    eb=st.sampled_from([1e-12, 1e-10, 1e-8]),
+)
+@settings(max_examples=60, deadline=None)
+def test_pastri_on_exact_scaled_patterns(scales, pattern, eb):
+    """Perfectly scalable blocks must honour the bound and compress well."""
+    block = np.outer(scales, pattern).ravel()
+    codec = PaSTRICompressor(dims=(2, 2, 3, 3))
+    blob = codec.compress(block, eb)
+    out = codec.decompress(blob)
+    assert np.max(np.abs(out - block)) <= eb

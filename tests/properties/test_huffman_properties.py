@@ -1,0 +1,58 @@
+"""Property-based tests for canonical Huffman coding."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitio import BitReader, BitWriter
+from repro.sz.huffman import HuffmanCode, code_lengths
+
+
+@st.composite
+def symbol_streams(draw):
+    alphabet = draw(st.integers(1, 500))
+    n = draw(st.integers(1, 400))
+    symbols = draw(st.lists(st.integers(0, alphabet - 1), min_size=n, max_size=n))
+    return np.array(symbols, dtype=np.int64), alphabet
+
+
+@given(stream=symbol_streams())
+@settings(max_examples=120, deadline=None)
+def test_encode_decode_identity(stream):
+    symbols, alphabet = stream
+    freqs = np.bincount(symbols, minlength=alphabet)
+    code = HuffmanCode.from_frequencies(freqs)
+    w = BitWriter()
+    nbits = code.encode(w, symbols)
+    bits = np.unpackbits(np.frombuffer(w.getvalue(), np.uint8))
+    out, end = code.decode(bits, 0, symbols.size, payload_bits=nbits)
+    assert end == nbits
+    assert np.array_equal(out, symbols)
+
+
+@given(stream=symbol_streams())
+@settings(max_examples=80, deadline=None)
+def test_kraft_and_compactness(stream):
+    symbols, alphabet = stream
+    freqs = np.bincount(symbols, minlength=alphabet)
+    lengths = code_lengths(freqs)
+    present = lengths[freqs > 0]
+    assert np.all(present > 0)
+    assert np.sum(2.0 ** -present.astype(float)) <= 1.0 + 1e-12
+    # a prefix code can never beat the entropy bound
+    p = freqs[freqs > 0] / symbols.size
+    entropy = -(p * np.log2(p)).sum()
+    avg_len = (freqs[freqs > 0] * present).sum() / symbols.size
+    assert avg_len >= entropy - 1e-9
+
+
+@given(stream=symbol_streams())
+@settings(max_examples=60, deadline=None)
+def test_table_serialisation_identity(stream):
+    symbols, alphabet = stream
+    code = HuffmanCode.from_frequencies(np.bincount(symbols, minlength=alphabet))
+    w = BitWriter()
+    code.write_table(w)
+    got = HuffmanCode.read_table(BitReader(w.getvalue()))
+    assert np.array_equal(got.lengths, code.lengths)
+    assert np.array_equal(got.codes, code.codes)

@@ -1,0 +1,38 @@
+"""Property-based tests for the SZ predictor stack."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sz.predictor import reconstruct, residuals
+
+grids = hnp.arrays(
+    np.int64, st.integers(1, 300), elements=st.integers(-(2**55), 2**55)
+)
+
+
+@given(grid=grids, order=st.integers(1, 3))
+@settings(max_examples=150, deadline=None)
+def test_residual_reconstruct_bijection(grid, order):
+    assert np.array_equal(reconstruct(residuals(grid, order), order), grid)
+
+
+@given(grid=grids, order=st.integers(1, 3))
+@settings(max_examples=80, deadline=None)
+def test_residuals_do_not_alias_input(grid, order):
+    copy = grid.copy()
+    residuals(grid, order)
+    assert np.array_equal(grid, copy)
+
+
+@given(
+    start=st.integers(-1000, 1000),
+    slope=st.integers(-50, 50),
+    n=st.integers(3, 200),
+)
+@settings(max_examples=80, deadline=None)
+def test_linear_sequences_have_sparse_order2_residuals(start, slope, n):
+    g = start + slope * np.arange(n, dtype=np.int64)
+    r = residuals(g, 2)
+    assert np.all(r[2:] == 0)

@@ -1,0 +1,88 @@
+"""Unit + integration tests for the SZ baseline (repro.sz.compressor)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ParameterError
+from repro.sz import SZCompressor
+
+EB = 1e-10
+
+
+def test_roundtrip_error_bound_smooth_signal():
+    data = np.sin(np.linspace(0, 50, 30000)) * 1e-6
+    c = SZCompressor()
+    out = c.decompress(c.compress(data, EB))
+    assert np.max(np.abs(out - data)) <= EB
+
+
+def test_smooth_signal_compresses_well():
+    data = np.sin(np.linspace(0, 50, 30000)) * 1e-6
+    blob = SZCompressor().compress(data, EB)
+    assert data.nbytes / len(blob) > 15
+
+
+def test_roundtrip_with_unpredictable_points(rng):
+    data = np.linspace(0, 1e-6, 5000)
+    data[::100] += rng.standard_normal(50) * 1e-5  # spikes -> outliers
+    c = SZCompressor(capacity=256)
+    out = c.decompress(c.compress(data, EB))
+    assert np.max(np.abs(out - data)) <= EB
+
+
+def test_all_outliers_stream(rng):
+    data = rng.standard_normal(2000) * 1.0
+    c = SZCompressor(capacity=16)
+    out = c.decompress(c.compress(data, 1e-8))
+    assert np.max(np.abs(out - data)) <= 1e-8
+
+
+def test_zero_and_constant_streams():
+    c = SZCompressor()
+    for data in (np.zeros(5000), np.full(5000, 3.25)):
+        blob = c.compress(data, EB)
+        assert np.max(np.abs(c.decompress(blob) - data)) <= EB
+        assert data.nbytes / len(blob) > 40
+
+
+@pytest.mark.parametrize("order", [1, 2, 3])
+def test_fixed_predictor_orders_roundtrip(order, rng):
+    data = rng.standard_normal(4000).cumsum() * 1e-8
+    c = SZCompressor(order=order)
+    out = c.decompress(c.compress(data, EB))
+    assert np.max(np.abs(out - data)) <= EB
+
+
+def test_capacity_validation():
+    for bad in (3, 100, 2**21):
+        with pytest.raises(ParameterError):
+            SZCompressor(capacity=bad)
+
+
+def test_single_value_stream():
+    c = SZCompressor()
+    out = c.decompress(c.compress(np.array([42.0]), EB))
+    assert abs(out[0] - 42.0) <= EB
+
+
+def test_garbage_stream_rejected():
+    with pytest.raises(FormatError):
+        SZCompressor().decompress(b"garbage bytes everywhere....")
+
+
+def test_real_eri_dataset(tiny_eri_dataset):
+    ds = tiny_eri_dataset
+    c = SZCompressor()
+    blob = c.compress(ds.data, EB)
+    out = c.decompress(blob)
+    assert np.max(np.abs(out - ds.data)) <= EB
+    assert ds.nbytes / len(blob) > 2  # lossy ratio well above lossless
+
+
+def test_eb_stored_in_stream(rng):
+    data = rng.standard_normal(1000) * 1e-7
+    c = SZCompressor()
+    blob = c.compress(data, 1e-9)
+    # decompress with a fresh instance: EB must come from the stream
+    out = SZCompressor(capacity=256).decompress(blob)
+    assert np.max(np.abs(out - data)) <= 1e-9

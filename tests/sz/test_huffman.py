@@ -1,0 +1,105 @@
+"""Unit tests for canonical Huffman coding (repro.sz.huffman)."""
+
+import numpy as np
+import pytest
+
+from repro.bitio import BitReader, BitWriter
+from repro.errors import FormatError, ParameterError
+from repro.sz.huffman import HuffmanCode, canonical_codes, code_lengths
+
+
+def roundtrip(symbols, n_alphabet):
+    freqs = np.bincount(symbols, minlength=n_alphabet)
+    code = HuffmanCode.from_frequencies(freqs)
+    w = BitWriter()
+    nbits = code.encode(w, symbols)
+    bits = np.unpackbits(np.frombuffer(w.getvalue(), np.uint8))
+    out, end = code.decode(bits, 0, len(symbols), payload_bits=nbits)
+    assert end == nbits
+    return out
+
+
+def test_kraft_inequality_holds(rng):
+    freqs = rng.integers(0, 1000, 64)
+    freqs[0] = 1  # ensure at least one present
+    lengths = code_lengths(freqs)
+    present = lengths[lengths > 0]
+    assert np.sum(2.0 ** -present) <= 1.0 + 1e-12
+
+
+def test_more_frequent_symbols_get_shorter_codes():
+    freqs = np.array([1000, 100, 10, 1])
+    lengths = code_lengths(freqs)
+    assert lengths[0] <= lengths[1] <= lengths[2] <= lengths[3]
+
+
+def test_canonical_codes_are_prefix_free():
+    lengths = np.array([1, 2, 3, 3])
+    codes = canonical_codes(lengths)
+    strings = [format(int(c), f"0{l}b") for c, l in zip(codes, lengths)]
+    for i, a in enumerate(strings):
+        for j, b in enumerate(strings):
+            if i != j:
+                assert not b.startswith(a)
+
+
+def test_single_symbol_alphabet():
+    out = roundtrip(np.zeros(20, dtype=np.int64), 1)
+    assert np.all(out == 0)
+
+
+def test_roundtrip_skewed_distribution(rng):
+    symbols = np.minimum(rng.geometric(0.3, 5000) - 1, 63).astype(np.int64)
+    out = roundtrip(symbols, 64)
+    assert np.array_equal(out, symbols)
+
+
+def test_roundtrip_large_alphabet(rng):
+    symbols = rng.integers(0, 4096, 3000)
+    out = roundtrip(symbols, 4096)
+    assert np.array_equal(out, symbols)
+
+
+def test_depth_limit_enforced():
+    # Fibonacci-like frequencies force deep optimal trees.
+    freqs = np.array([1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377,
+                      610, 987, 1597, 2584, 4181, 6765, 10946, 17711], dtype=np.int64)
+    lengths = code_lengths(freqs, max_len=8)
+    assert lengths.max() <= 8
+
+
+def test_table_serialisation_roundtrip_sparse(rng):
+    freqs = np.zeros(65536, dtype=np.int64)
+    freqs[[5, 100, 40000]] = [10, 20, 30]
+    code = HuffmanCode.from_frequencies(freqs)
+    w = BitWriter()
+    code.write_table(w)
+    assert w.nbits < 1000  # sparse layout, not 5*65536 bits
+    got = HuffmanCode.read_table(BitReader(w.getvalue()))
+    assert np.array_equal(got.lengths, code.lengths)
+    assert np.array_equal(got.codes, code.codes)
+
+
+def test_table_serialisation_roundtrip_dense():
+    freqs = np.arange(1, 33)
+    code = HuffmanCode.from_frequencies(freqs)
+    w = BitWriter()
+    code.write_table(w)
+    got = HuffmanCode.read_table(BitReader(w.getvalue()))
+    assert np.array_equal(got.lengths, code.lengths)
+
+
+def test_encode_rejects_symbol_without_code():
+    code = HuffmanCode.from_frequencies(np.array([5, 0, 5]))
+    with pytest.raises(ParameterError):
+        code.encode(BitWriter(), np.array([1]))
+
+
+def test_read_table_rejects_corruption():
+    with pytest.raises(FormatError):
+        HuffmanCode.read_table(BitReader(b"\x00\x00\x00\x00\x00"))
+
+
+def test_empty_frequencies_rejected():
+    with pytest.raises(ParameterError):
+        code_lengths(np.zeros(8, dtype=np.int64))

@@ -1,0 +1,66 @@
+"""Unit tests for SZ grid quantization and predictors (repro.sz.predictor)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.sz.predictor import (
+    choose_order,
+    grid_dequantize,
+    grid_quantize,
+    reconstruct,
+    residuals,
+)
+
+
+def test_grid_roundtrip_error_at_most_eb(rng):
+    data = rng.standard_normal(1000) * 1e-6
+    eb = 1e-10
+    g = grid_quantize(data, eb)
+    back = grid_dequantize(g, eb)
+    assert np.max(np.abs(back - data)) <= eb
+
+
+def test_grid_rejects_overflowing_magnitudes():
+    with pytest.raises(ParameterError):
+        grid_quantize(np.array([1e10]), 1e-10)
+
+
+@pytest.mark.parametrize("order", [1, 2, 3])
+def test_residual_reconstruct_inverse(order, rng):
+    g = rng.integers(-10000, 10000, 500)
+    assert np.array_equal(reconstruct(residuals(g, order), order), g)
+
+
+def test_order1_residuals_are_first_differences():
+    g = np.array([5, 7, 4, 4], dtype=np.int64)
+    assert residuals(g, 1).tolist() == [5, 2, -3, 0]
+
+
+def test_order2_residuals_vanish_on_linear_ramps():
+    g = np.arange(100, dtype=np.int64) * 7
+    r = residuals(g, 2)
+    assert np.all(r[2:] == 0)
+
+
+def test_order3_residuals_vanish_on_quadratics():
+    i = np.arange(50, dtype=np.int64)
+    g = 3 * i * i + 2 * i + 11
+    r = residuals(g, 3)
+    assert np.all(r[3:] == 0)
+
+
+def test_invalid_order_rejected():
+    g = np.zeros(4, dtype=np.int64)
+    for bad in (0, 4):
+        with pytest.raises(ParameterError):
+            residuals(g, bad)
+        with pytest.raises(ParameterError):
+            reconstruct(g, bad)
+
+
+def test_choose_order_prefers_matching_model(rng):
+    i = np.arange(5000, dtype=np.int64)
+    assert choose_order(i * i, radius=512) >= 2  # quadratic: order 2/3 win
+    noisy = rng.integers(-3, 4, 5000).cumsum()
+    assert choose_order(noisy, radius=512) == 1  # random walk: order 1 wins

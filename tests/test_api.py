@@ -1,0 +1,68 @@
+"""Tests for the codec registry and validation helpers (repro.api)."""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.errors import ParameterError
+
+
+def test_all_five_codecs_registered():
+    assert set(api.available_codecs()) >= {"pastri", "sz", "zfp", "deflate", "fpc"}
+
+
+def test_get_codec_passes_kwargs():
+    codec = api.get_codec("pastri", config="(dd|dd)")
+    assert codec.spec.dims == (6, 6, 6, 6)
+
+
+def test_get_codec_case_insensitive():
+    assert api.get_codec("SZ").name == "sz"
+
+
+def test_unknown_codec_rejected():
+    with pytest.raises(ParameterError):
+        api.get_codec("lzma")
+
+
+def test_every_registered_codec_satisfies_protocol(rng):
+    data = rng.standard_normal(2000) * 1e-7
+    for name in api.available_codecs():
+        kwargs = {"dims": (2, 2, 2, 2)} if name == "pastri" else {}
+        codec = api.get_codec(name, **kwargs)
+        assert isinstance(codec, api.Codec)
+        blob = codec.compress(data, 1e-10)
+        out = codec.decompress(blob)
+        assert np.max(np.abs(out - data)) <= 1e-10
+
+
+def test_validate_input_coerces_and_checks():
+    out = api.validate_input([[1, 2], [3, 4]])
+    assert out.dtype == np.float64 and out.shape == (4,)
+    with pytest.raises(ParameterError):
+        api.validate_input(np.array([]))
+    with pytest.raises(ParameterError):
+        api.validate_input(np.array([1.0, np.inf]))
+
+
+def test_validate_error_bound():
+    assert api.validate_error_bound(1e-10) == 1e-10
+    for bad in (0.0, -1.0, np.nan):
+        with pytest.raises(ParameterError):
+            api.validate_error_bound(bad)
+
+
+def test_custom_codec_registration():
+    class Echo:
+        name = "echo"
+
+        def compress(self, data, error_bound):
+            return data.tobytes()
+
+        def decompress(self, blob):
+            return np.frombuffer(blob, dtype=np.float64)
+
+    api.register_codec("echo-test", lambda: Echo())
+    codec = api.get_codec("echo-test")
+    data = np.arange(4.0)
+    assert np.array_equal(codec.decompress(codec.compress(data, 0)), data)

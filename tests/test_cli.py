@@ -1,0 +1,106 @@
+"""Tests for the `pastri` command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.dataset import ERIDataset
+from repro.cli import main
+from repro.core.blocking import BlockSpec
+from tests.conftest import make_patterned_stream
+
+
+@pytest.fixture
+def npz_dataset(tmp_path, rng):
+    data = make_patterned_stream(rng, n_blocks=4)
+    ds = ERIDataset(data=data, spec=BlockSpec((6, 6, 6, 6)), molecule_name="t", config="(dd|dd)")
+    path = tmp_path / "ds.npz"
+    ds.save(str(path))
+    return path, data
+
+
+def test_compress_decompress_cycle(tmp_path, npz_dataset, capsys):
+    src, data = npz_dataset
+    comp = tmp_path / "out.pastri"
+    dec = tmp_path / "out.npy"
+    assert main(["compress", str(src), str(comp), "--eb", "1e-10"]) == 0
+    assert "ratio" in capsys.readouterr().out
+    assert main(["decompress", str(comp), str(dec)]) == 0
+    out = np.load(dec)
+    assert np.max(np.abs(out - data)) <= 1e-10
+
+
+def test_compress_raw_npy_requires_config(tmp_path, rng, capsys):
+    src = tmp_path / "raw.npy"
+    np.save(src, make_patterned_stream(rng, n_blocks=2))
+    with pytest.raises(SystemExit):
+        main(["compress", str(src), str(tmp_path / "x.pastri")])
+    assert main(
+        ["compress", str(src), str(tmp_path / "x.pastri"), "--config", "(dd|dd)"]
+    ) == 0
+
+
+def test_compress_with_auto_detected_structure(tmp_path, rng, capsys):
+    src = tmp_path / "raw.npy"
+    data = make_patterned_stream(rng, n_blocks=20, zero_blocks=0)
+    np.save(src, data)
+    comp = tmp_path / "auto.pastri"
+    assert main(["compress", str(src), str(comp), "--config", "auto"]) == 0
+    out = capsys.readouterr().out
+    assert "detected block structure" in out
+    dec = tmp_path / "auto.npy"
+    assert main(["decompress", str(comp), str(dec)]) == 0
+    assert np.max(np.abs(np.load(dec) - data)) <= 1e-10
+
+
+def test_info_prints_header_fields(tmp_path, npz_dataset, capsys):
+    src, _ = npz_dataset
+    comp = tmp_path / "o.pastri"
+    main(["compress", str(src), str(comp), "--eb", "1e-9"])
+    capsys.readouterr()
+    assert main(["info", str(comp)]) == 0
+    out = capsys.readouterr().out
+    assert "1e-09" in out and "(dd|dd)" in out
+
+
+def test_cli_metric_and_tree_options(tmp_path, npz_dataset):
+    src, data = npz_dataset
+    comp = tmp_path / "o.pastri"
+    assert main(["compress", str(src), str(comp), "--metric", "aar", "--tree", "1"]) == 0
+    dec = tmp_path / "o.npy"
+    assert main(["decompress", str(comp), str(dec)]) == 0
+    assert np.max(np.abs(np.load(dec) - data)) <= 1e-10
+
+
+def test_gen_creates_dataset(tmp_path, capsys):
+    out = tmp_path / "ds.npz"
+    assert main(["gen", "benzene", "(dd|dd)", str(out), "--blocks", "5"]) == 0
+    assert "5 blocks" in capsys.readouterr().out
+    from repro.chem.dataset import ERIDataset
+
+    ds = ERIDataset.load(str(out))
+    assert ds.n_blocks == 5 and ds.spec.dims == (6, 6, 6, 6)
+
+
+def test_gen_rejects_unknown_molecule(tmp_path, capsys):
+    assert main(["gen", "caffeine", "(dd|dd)", str(tmp_path / "x.npz")]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_assess_reports_quality(tmp_path, npz_dataset, capsys):
+    src, _ = npz_dataset
+    assert main(["assess", str(src), "--eb", "1e-10"]) == 0
+    out = capsys.readouterr().out
+    assert "compression ratio" in out and "bound satisfied" in out and "True" in out
+
+
+def test_assess_other_codec(tmp_path, npz_dataset, capsys):
+    src, _ = npz_dataset
+    assert main(["assess", str(src), "--codec", "sz"]) == 0
+    assert "PSNR" in capsys.readouterr().out
+
+
+def test_cli_reports_repro_errors(tmp_path, capsys):
+    bad = tmp_path / "bad.pastri"
+    bad.write_bytes(b"garbage")
+    assert main(["info", str(bad)]) == 1
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,113 @@
+"""End-to-end integration tests: the full paper workflow in one place.
+
+Chains the substrates the way a user (or the paper's evaluation) would:
+integral engine → dataset → codecs → metrics → store → solver → container.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import (
+    CompressedERIStore,
+    PaSTRICompressor,
+    SZCompressor,
+    ZFPCompressor,
+    assert_error_bound,
+    compression_ratio,
+    generate_dataset,
+    get_codec,
+    glutamine,
+    psnr,
+)
+from repro.chem import RHFSolver, class_dump, compress_class_dump, sto3g_basis, water
+from repro.chem.synthetic import SyntheticERIModel
+from repro.metrics import assess
+from repro.streamio import compress_stream, decompress_stream, read_stream_header
+
+EB = 1e-10
+
+
+@pytest.fixture(scope="module")
+def real_dataset():
+    return generate_dataset(glutamine(), "(dd|dd)", n_blocks=60, seed=9)
+
+
+def test_engine_to_codec_to_metrics(real_dataset):
+    """The headline path: real ERIs through all three lossy codecs."""
+    ratios = {}
+    for name in ("pastri", "sz", "zfp"):
+        kwargs = {"dims": real_dataset.spec.dims} if name == "pastri" else {}
+        codec = get_codec(name, **kwargs)
+        blob = codec.compress(real_dataset.data, EB)
+        dec = codec.decompress(blob)
+        assert_error_bound(real_dataset.data, dec, EB)
+        assert psnr(real_dataset.data, dec) > 100
+        ratios[name] = compression_ratio(real_dataset.nbytes, len(blob))
+    assert ratios["pastri"] > ratios["sz"]
+    assert ratios["pastri"] > ratios["zfp"]
+
+
+def test_assessment_battery_on_real_data(real_dataset):
+    a = assess(PaSTRICompressor(dims=real_dataset.spec.dims), real_dataset.data, EB)
+    assert a.bound_satisfied
+    assert a.pearson_correlation > 1 - 1e-9
+    assert abs(a.error_mean) < a.error_std
+
+
+def test_synthetic_matches_real_statistics(real_dataset):
+    """The synthetic generator must land in the real data's ratio regime."""
+    synth = SyntheticERIModel.from_config("(dd|dd)", seed=11).generate(60)
+    codec = PaSTRICompressor(dims=(6, 6, 6, 6))
+    r_real = compression_ratio(
+        real_dataset.nbytes, len(codec.compress(real_dataset.data, EB))
+    )
+    r_synth = compression_ratio(synth.nbytes, len(codec.compress(synth.data, EB)))
+    assert 0.3 * r_real < r_synth < 4.0 * r_real
+
+
+def test_store_roundtrip_through_container(real_dataset, tmp_path):
+    """Dataset -> chunked container file -> identical reconstruction."""
+    codec = PaSTRICompressor(dims=real_dataset.spec.dims)
+    chunks = np.array_split(real_dataset.data, 4)
+    buf = io.BytesIO()
+    summary = compress_stream(chunks, codec, EB, buf)
+    assert summary.ratio > 3
+    buf.seek(0)
+    assert read_stream_header(buf) == "pastri"
+    out = np.concatenate(list(decompress_stream(buf, codec)))
+    assert_error_bound(real_dataset.data, out, EB)
+
+
+def test_scf_on_compressed_class_dump():
+    """The complete application: HF energy from PaSTRI-stored integrals."""
+    basis = sto3g_basis(water())
+    direct = RHFSolver(basis).run()
+    store = CompressedERIStore(PaSTRICompressor(dims=(1, 1, 1, 1)), error_bound=EB)
+    stored = RHFSolver(basis, store=store).run()
+    assert stored.converged
+    assert abs(stored.energy - direct.energy) < 1e-7
+    assert store.stats.n_entries > 0
+    assert store.stats.ratio > 0.5  # tiny near-unit blocks barely compress
+
+
+def test_class_dump_pipeline():
+    dump = class_dump(sto3g_basis(water()), max_blocks_per_class=10)
+    res = compress_class_dump(dump, EB)
+    assert res.max_abs_error <= EB
+    # labels partition the quartets: no block counted twice
+    total = sum(s["blocks"] for s in res.per_class.values())
+    assert total == sum(ds.n_blocks for ds in dump.values())
+
+
+def test_cross_codec_streams_are_rejected(real_dataset):
+    """A blob from one codec must not decode as another."""
+    from repro.errors import ReproError
+
+    pastri_blob = PaSTRICompressor(dims=real_dataset.spec.dims).compress(
+        real_dataset.data[:1296], EB
+    )
+    for other in (SZCompressor(), ZFPCompressor()):
+        with pytest.raises(ReproError):
+            other.decompress(pastri_blob)

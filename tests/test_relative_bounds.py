@@ -1,0 +1,40 @@
+"""Tests for relative error-bound resolution (repro.api.resolve_error_bound)."""
+
+import numpy as np
+import pytest
+
+from repro.api import get_codec, resolve_error_bound
+from repro.errors import ParameterError
+from tests.conftest import make_patterned_stream
+
+
+def test_abs_mode_passthrough(rng):
+    data = rng.standard_normal(100)
+    assert resolve_error_bound(data, 1e-10, "abs") == 1e-10
+
+
+def test_rel_mode_scales_by_range():
+    data = np.array([0.0, 2.0, 4.0])
+    assert resolve_error_bound(data, 1e-3, "rel") == pytest.approx(4e-3)
+
+
+def test_rel_mode_rejects_constant_data():
+    with pytest.raises(ParameterError):
+        resolve_error_bound(np.ones(10), 1e-3, "rel")
+
+
+def test_unknown_mode_rejected(rng):
+    with pytest.raises(ParameterError):
+        resolve_error_bound(rng.standard_normal(4), 1e-3, "relative")
+
+
+@pytest.mark.parametrize("name", ["pastri", "sz", "zfp"])
+def test_relative_bound_holds_through_codecs(name, rng):
+    data = make_patterned_stream(rng, n_blocks=5, amp=3.7)  # O(1) values
+    rel = 1e-6
+    eb = resolve_error_bound(data, rel, "rel")
+    kwargs = {"dims": (6, 6, 6, 6)} if name == "pastri" else {}
+    codec = get_codec(name, **kwargs)
+    out = codec.decompress(codec.compress(data, eb))
+    rng_span = data.max() - data.min()
+    assert np.max(np.abs(out - data)) <= rel * rng_span

@@ -1,0 +1,100 @@
+"""Tests for the out-of-core streaming container (repro.streamio)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.chem.synthetic import SyntheticERIModel
+from repro.core import PaSTRICompressor
+from repro.errors import FormatError
+from repro.streamio import (
+    StreamSummary,
+    compress_dataset_to_file,
+    compress_stream,
+    decompress_file,
+    decompress_stream,
+    read_stream_header,
+)
+from repro.sz import SZCompressor
+
+EB = 1e-10
+
+
+def codec():
+    return PaSTRICompressor(dims=(6, 6, 6, 6))
+
+
+def test_roundtrip_in_memory():
+    model = SyntheticERIModel.from_config("(dd|dd)", seed=1)
+    chunks = list(model.stream(40, chunk_blocks=16))
+    buf = io.BytesIO()
+    summary = compress_stream(chunks, codec(), EB, buf)
+    assert summary.n_chunks == 3
+    assert summary.ratio > 5
+
+    buf.seek(0)
+    assert read_stream_header(buf) == "pastri"
+    out = list(decompress_stream(buf, codec()))
+    assert len(out) == 3
+    for got, want in zip(out, chunks):
+        assert np.max(np.abs(got - want)) <= EB
+
+
+def test_chunked_equals_whole(tmp_path):
+    model = SyntheticERIModel.from_config("(dd|dd)", seed=2)
+    whole = model.generate(32).data
+    path = str(tmp_path / "c.pstf")
+    compress_dataset_to_file(model.stream(32, chunk_blocks=10), codec(), EB, path)
+    out = decompress_file(path, codec())
+    assert out.size == whole.size
+    assert np.max(np.abs(out - whole)) <= EB
+
+
+def test_memory_bounded_iteration(tmp_path):
+    """Frames decompress lazily — consuming one frame reads only one frame."""
+    model = SyntheticERIModel.from_config("(dd|dd)", seed=3)
+    path = str(tmp_path / "c.pstf")
+    compress_dataset_to_file(model.stream(24, chunk_blocks=8), codec(), EB, path)
+    with open(path, "rb") as fh:
+        read_stream_header(fh)
+        it = decompress_stream(fh, codec())
+        first = next(it)
+        assert first.size == 8 * 1296
+
+
+def test_wrong_codec_rejected(tmp_path):
+    path = str(tmp_path / "c.pstf")
+    data = np.sin(np.linspace(0, 5, 4000)) * 1e-7
+    compress_dataset_to_file([data], SZCompressor(), EB, path)
+    with pytest.raises(FormatError):
+        decompress_file(path, codec())
+    out = decompress_file(path, SZCompressor())
+    assert np.max(np.abs(out - data)) <= EB
+
+
+def test_empty_stream(tmp_path):
+    path = str(tmp_path / "c.pstf")
+    summary = compress_dataset_to_file([], codec(), EB, path)
+    assert summary.n_chunks == 0
+    assert decompress_file(path, codec()).size == 0
+
+
+def test_truncated_container_rejected(tmp_path):
+    path = str(tmp_path / "c.pstf")
+    compress_dataset_to_file([np.ones(100)], codec(), EB, path)
+    blob = open(path, "rb").read()
+    for cut in (2, 5, len(blob) // 2, len(blob) - 4):
+        buf = io.BytesIO(blob[:cut])
+        with pytest.raises(FormatError):
+            read_stream_header(buf)
+            list(decompress_stream(buf, codec()))
+
+
+def test_summary_accounting():
+    data = np.zeros(5000)
+    buf = io.BytesIO()
+    s = compress_stream([data, data], codec(), EB, buf)
+    assert isinstance(s, StreamSummary)
+    assert s.original_bytes == 2 * data.nbytes
+    assert s.compressed_bytes == buf.getbuffer().nbytes

@@ -1,0 +1,87 @@
+"""Unit + integration tests for the ZFP baseline (repro.zfp.compressor)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.zfp import ZFPCompressor
+
+EB = 1e-10
+
+
+def test_roundtrip_error_bound(rng):
+    data = rng.standard_normal(8192) * 1e-6
+    c = ZFPCompressor()
+    out = c.decompress(c.compress(data, EB))
+    assert np.max(np.abs(out - data)) <= EB
+
+
+def test_partial_final_block_padded(rng):
+    for n in (1, 2, 3, 5, 4097):
+        data = rng.standard_normal(n) * 1e-7
+        out = ZFPCompressor().decompress(ZFPCompressor().compress(data, EB))
+        assert out.size == n
+        assert np.max(np.abs(out - data)) <= EB
+
+
+def test_zero_stream_costs_one_bit_per_block():
+    data = np.zeros(4000)
+    blob = ZFPCompressor().compress(data, EB)
+    assert len(blob) < 200  # 1000 zero flags + header
+    assert np.array_equal(ZFPCompressor().decompress(blob), data)
+
+
+def test_blocks_below_tolerance_cost_only_header_bits():
+    data = np.full(400, 1e-20)
+    blob = ZFPCompressor().compress(data, EB)
+    out = ZFPCompressor().decompress(blob)
+    # reconstructed as zero: still within the bound
+    assert np.max(np.abs(out - data)) <= EB
+    assert len(blob) < 400
+
+
+def test_mixed_magnitude_blocks(rng):
+    data = (rng.standard_normal(4096) * np.exp(rng.uniform(-30, 2, 4096)))
+    c = ZFPCompressor()
+    out = c.decompress(c.compress(data, 1e-9))
+    assert np.max(np.abs(out - data)) <= 1e-9
+
+
+@pytest.mark.parametrize("eb", [1e-6, 1e-9, 1e-12])
+def test_ratio_improves_with_looser_bounds(eb, rng):
+    data = rng.standard_normal(4096) * 1e-6
+    blob = ZFPCompressor().compress(data, eb)
+    out = ZFPCompressor().decompress(blob)
+    assert np.max(np.abs(out - data)) <= eb
+
+
+def test_looser_bound_smaller_output(rng):
+    data = rng.standard_normal(4096) * 1e-6
+    sizes = [len(ZFPCompressor().compress(data, eb)) for eb in (1e-12, 1e-9, 1e-6)]
+    assert sizes[0] > sizes[1] > sizes[2]
+
+
+def test_smooth_data_beats_random(rng):
+    smooth = np.sin(np.linspace(0, 20, 4096)) * 1e-6
+    noisy = rng.standard_normal(4096) * 1e-6
+    assert len(ZFPCompressor().compress(smooth, EB)) < len(
+        ZFPCompressor().compress(noisy, EB)
+    )
+
+
+def test_garbage_rejected():
+    with pytest.raises(FormatError):
+        ZFPCompressor().decompress(b"definitely not zfp")
+
+
+def test_truncated_stream_rejected(rng):
+    blob = ZFPCompressor().compress(rng.standard_normal(64), EB)
+    with pytest.raises(FormatError):
+        ZFPCompressor().decompress(blob[:12])
+
+
+def test_real_eri_dataset(tiny_eri_dataset):
+    ds = tiny_eri_dataset
+    c = ZFPCompressor()
+    blob = c.compress(ds.data, EB)
+    assert np.max(np.abs(c.decompress(blob) - ds.data)) <= EB

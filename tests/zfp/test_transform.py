@@ -1,0 +1,78 @@
+"""Unit tests for the ZFP block transform (repro.zfp.transform)."""
+
+import numpy as np
+import pytest
+
+from repro.zfp import transform as tf
+
+
+def test_block_exponents_match_frexp():
+    blocks = np.array([[0.75, 0.1, -0.2, 0.0], [0.0, 0.0, 0.0, 0.0], [1e-8, 0, 0, 0]])
+    e = tf.block_exponents(blocks)
+    assert e[0] == 0  # 0.75 = 0.75 * 2^0
+    assert e[1] == 0  # all-zero convention
+    assert e[2] == np.frexp(1e-8)[1]
+
+
+def test_fixed_point_roundtrip_error(rng):
+    blocks = rng.standard_normal((100, 4)) * np.exp(rng.uniform(-10, 10, (100, 1)))
+    e = tf.block_exponents(blocks)
+    q = tf.to_fixed_point(blocks, e)
+    back = tf.from_fixed_point(q, e)
+    # quantization step is 2^(e - SCALE_BITS)
+    step = np.ldexp(1.0, e - tf.SCALE_BITS)
+    assert np.all(np.abs(back - blocks) <= 0.5 * step[:, None])
+    assert np.abs(q).max() <= 2**tf.SCALE_BITS
+
+
+def test_lift_roundtrip_within_ulp(rng):
+    q = rng.integers(-(2**60), 2**60, (1000, 4))
+    back = tf.inv_lift(tf.fwd_lift(q))
+    assert np.abs(back - q).max() <= 4  # dropped low bits only
+
+
+def test_lift_decorrelates_constant_blocks():
+    q = np.full((1, 4), 1 << 20, dtype=np.int64)
+    t = tf.fwd_lift(q)
+    assert t[0, 0] == 1 << 20  # DC coefficient
+    assert np.all(np.abs(t[0, 1:]) <= 1)
+
+
+def test_lift_decorrelates_linear_ramps():
+    q = (np.arange(4, dtype=np.int64) * (1 << 16))[None, :]
+    t = tf.fwd_lift(q)
+    # only DC and first-order coefficients significant
+    assert abs(t[0, 3]) <= 2
+    assert abs(t[0, 2]) <= 2
+
+
+def test_negabinary_roundtrip_extremes(rng):
+    vals = np.concatenate(
+        [rng.integers(-(2**62), 2**62, 1000), np.array([0, 1, -1, 2**61, -(2**61)])]
+    )
+    assert np.array_equal(tf.from_negabinary(tf.to_negabinary(vals)), vals)
+
+
+def test_negabinary_magnitude_ordering():
+    # negabinary maps small magnitudes to small unsigned values
+    u_small = tf.to_negabinary(np.array([0, 1, -1]))
+    u_big = tf.to_negabinary(np.array([1 << 40, -(1 << 40)]))
+    assert u_small.max() < u_big.min()
+
+
+def test_negabinary_fits_below_top_plane(rng):
+    vals = rng.integers(-(2**61), 2**61, 5000)
+    u = tf.to_negabinary(tf.fwd_lift(vals.reshape(-1, 4)))
+    assert np.all(u >> np.uint64(tf.TOP_PLANE + 1) == 0)
+
+
+def test_max_precision_scales_with_exponent():
+    e = np.array([0, -20, -40])
+    mp = tf.max_precision(e, 1e-10)
+    assert mp[0] > mp[1] > mp[2]
+    assert np.all(mp >= 0)
+
+
+def test_max_precision_zero_below_tolerance():
+    # a block at 2^-60 with tolerance 1e-10: nothing to encode
+    assert tf.max_precision(np.array([-60]), 1e-10)[0] == 0
