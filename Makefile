@@ -1,0 +1,22 @@
+# Convenience entry points.  Everything assumes an in-tree run
+# (PYTHONPATH=src) so no install step is required.
+
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-record harness
+
+test:
+	$(PY) -m pytest tests/ -q
+
+## Timed paper benchmarks (pytest-benchmark, shape assertions included).
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only -q
+
+## Record codec throughput + machine info into BENCH_pr1.json so future
+## PRs have a trajectory to compare against (see benchmarks/record.py).
+bench-record:
+	$(PY) -m benchmarks.record
+
+harness:
+	$(PY) -m repro.harness all

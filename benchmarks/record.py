@@ -1,0 +1,166 @@
+"""Record codec throughput to a ``BENCH_*.json`` trajectory file.
+
+Runs the Fig. 9c/9d rate measurements (PaSTRI compress / decompress on the
+cached ``trialanine_dd_dd_400`` dataset) plus a Fig. 11-style SCF-store
+reuse timing, and writes machine-annotated results so future PRs have a
+baseline to compare against::
+
+    python -m benchmarks.record              # writes BENCH_pr1.json
+    python -m benchmarks.record -o out.json --reps 30
+
+Methodology: wall-clock ``perf_counter`` around single codec calls, a few
+warmup calls first, reporting the **minimum** over ``--reps`` repetitions
+(and the median, for context).  On shared/noisy hosts the minimum is the
+stable estimator — means drift by tens of percent between scheduler
+phases, the floor does not.  Decompression is reported both *cold* (fresh
+codec, full index pass) and *warm* (same codec re-reading a held stream,
+the paper's SCF access pattern, which hits the memoised index pass).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import PaSTRICompressor
+from repro.harness.datasets import standard_dataset
+
+#: Throughput of the per-block implementation this PR replaced, measured on
+#: the same dataset/protocol (min over 20 reps, interleaved with the batched
+#: build to share machine conditions) at the seed commit.  Kept here so the
+#: written JSON always carries its point of comparison.
+PRE_PR_REFERENCE = {
+    "commit": "0c9783c (pre-batching seed)",
+    "compress_ms": 31.9,
+    "decompress_cold_ms": 73.2,
+    "decompress_warm_ms": 73.2,  # no parse memoisation before this PR
+    # The seed's pytest-benchmark figures (bench_fig9c/9d as then configured:
+    # pedantic rounds=2, no warmup, mean) for comparison with CI runs.
+    "fig9c_pedantic_mean_ms": 43.46,
+    "fig9d_pedantic_mean_ms": 80.34,
+    "note": (
+        "min over 20 warm repetitions on the same host, interleaved with the "
+        "batched build; the host timeshares a single vCPU, so per-run means "
+        "fluctuate ~±50% between scheduler phases and even minima move "
+        "~±30% — compare minima from interleaved runs only"
+    ),
+}
+
+EB = 1e-10
+REUSE_COUNT = 20  # the paper's Fig. 11 assumption: 20 uses per integral
+
+
+def _best(fn, reps: int, warmup: int = 2) -> tuple[float, float]:
+    """(min, median) wall seconds of ``fn()`` over ``reps`` repetitions."""
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times), float(np.median(times))
+
+
+def run(reps: int = 15) -> dict:
+    """Measure and return the full benchmark record (pure; no I/O)."""
+    ds = standard_dataset("trialanine", "(dd|dd)", "small")
+    data = ds.data
+    nbytes = data.nbytes
+
+    codec = PaSTRICompressor(config="(dd|dd)")
+    blob = codec.compress(data, EB)
+
+    c_min, c_med = _best(lambda: codec.compress(data, EB), reps)
+    cold_min, cold_med = _best(
+        lambda: PaSTRICompressor(config="(dd|dd)").decompress(blob), reps
+    )
+    codec.decompress(blob)  # prime the parse cache
+    warm_min, warm_med = _best(lambda: codec.decompress(blob), reps)
+
+    # SCF-store reuse: one compression amortised over REUSE_COUNT re-reads
+    # through the same held codec (Fig. 11's workload shape).
+    store = PaSTRICompressor(config="(dd|dd)")
+    t0 = time.perf_counter()
+    held = store.compress(data, EB)
+    for _ in range(REUSE_COUNT):
+        store.decompress(held)
+    reuse_s = time.perf_counter() - t0
+
+    mbs = lambda s: nbytes / s / 1e6  # noqa: E731
+    return {
+        "bench": "pr1 group-by-class batched codec kernels",
+        "recorded_unix": int(time.time()),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpus": 1,
+        },
+        "dataset": {
+            "name": "trialanine_dd_dd_400",
+            "config": "(dd|dd)",
+            "n_points": int(data.size),
+            "mb": nbytes / 1e6,
+        },
+        "protocol": {
+            "reps": reps,
+            "statistic": "min (median in *_med_ms)",
+            "error_bound": EB,
+        },
+        "pastri": {
+            "compress_ms": round(c_min * 1e3, 2),
+            "compress_med_ms": round(c_med * 1e3, 2),
+            "compress_mb_s": round(mbs(c_min), 1),
+            "decompress_cold_ms": round(cold_min * 1e3, 2),
+            "decompress_cold_med_ms": round(cold_med * 1e3, 2),
+            "decompress_cold_mb_s": round(mbs(cold_min), 1),
+            "decompress_warm_ms": round(warm_min * 1e3, 2),
+            "decompress_warm_med_ms": round(warm_med * 1e3, 2),
+            "decompress_warm_mb_s": round(mbs(warm_min), 1),
+            "ratio": round(nbytes / len(blob), 2),
+            "scf_reuse": {
+                "n_uses": REUSE_COUNT,
+                "total_ms": round(reuse_s * 1e3, 1),
+                "amortized_mb_s": round(
+                    nbytes * REUSE_COUNT / reuse_s / 1e6, 1
+                ),
+            },
+        },
+        "pre_pr_reference": PRE_PR_REFERENCE,
+        "speedup_vs_pre_pr": {
+            "compress": round(PRE_PR_REFERENCE["compress_ms"] / (c_min * 1e3), 2),
+            "decompress_cold": round(
+                PRE_PR_REFERENCE["decompress_cold_ms"] / (cold_min * 1e3), 2
+            ),
+            "decompress_warm": round(
+                PRE_PR_REFERENCE["decompress_warm_ms"] / (warm_min * 1e3), 2
+            ),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("-o", "--output", default="BENCH_pr1.json", type=Path)
+    ap.add_argument("--reps", default=15, type=int)
+    args = ap.parse_args(argv)
+    record = run(reps=args.reps)
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    p = record["pastri"]
+    print(f"wrote {args.output}")
+    print(
+        f"compress {p['compress_ms']} ms ({p['compress_mb_s']} MB/s)  "
+        f"decompress cold {p['decompress_cold_ms']} ms / warm "
+        f"{p['decompress_warm_ms']} ms  ratio {p['ratio']}x"
+    )
+    print(f"speedups vs pre-PR: {record['speedup_vs_pre_pr']}")
+
+
+if __name__ == "__main__":
+    main()

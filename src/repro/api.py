@@ -75,7 +75,10 @@ def validate_input(data: np.ndarray) -> np.ndarray:
         arr = arr.ravel()
     if arr.size == 0:
         raise ParameterError("cannot compress an empty array")
-    if not np.isfinite(arr).all():
+    # Fast path: a finite sum proves every element is finite without a
+    # boolean temp.  A non-finite sum can also mean legitimate overflow,
+    # so only then pay for the exact elementwise check.
+    if not np.isfinite(arr.sum()) and not np.isfinite(arr).all():
         raise ParameterError("input contains NaN or Inf; codecs require finite data")
     return arr
 

@@ -41,22 +41,43 @@ def token_start_positions(
         return np.zeros(0, dtype=np.int64)
     nbits = len_at.size
     # next[i] = offset of the following token (clamped to a sink at nbits).
-    idx = np.arange(nbits + 1, dtype=np.int64)
-    nxt = np.minimum(idx[:-1] + len_at.astype(np.int64), nbits)
+    idx = np.arange(nbits, dtype=np.int64)
+    nxt = np.minimum(idx + len_at.astype(np.int64), nbits)
     nxt = np.append(nxt, nbits)  # sink: nbits maps to itself
 
-    positions = np.zeros(n_tokens, dtype=np.int64) + start
-    steps = np.arange(n_tokens, dtype=np.int64)  # token k needs k jumps
-    level = 0
-    jump = nxt
-    max_steps = int(steps.max(initial=0))
-    while (1 << level) <= max_steps:
-        mask = (steps >> level) & 1 == 1
-        if mask.any():
-            positions[mask] = jump[positions[mask]]
-        level += 1
-        if (1 << level) <= max_steps:
-            jump = jump[jump]
+    if n_tokens <= 256:
+        # A scalar walk beats building jump tables for short token runs.
+        positions = np.empty(n_tokens, dtype=np.int64)
+        p = start
+        for k in range(n_tokens):
+            positions[k] = p
+            p = int(nxt[p])
+        return positions
+
+    # Blocked binary lifting: full-table doubling costs O(nbits) random
+    # gathers per level, so instead of log2(n_tokens) levels we build only
+    # L small-stride tables (stride 2^L chosen so the anchor walk below
+    # stays ~256 scalar steps), walk coarse anchors sequentially with the
+    # largest stride, then fan each anchor out over its 2^L tokens with the
+    # small tables.  Same orbit, ~3x fewer full-table doublings.
+    level_count = max(1, min(16, (n_tokens // 256).bit_length()))
+    tables = [nxt]
+    for _ in range(level_count - 1):
+        tables.append(tables[-1][tables[-1]])
+    big = tables[-1][tables[-1]]  # stride 2^level_count
+    stride = 1 << level_count
+    n_anchor = (n_tokens + stride - 1) >> level_count
+    anchors = np.empty(n_anchor, dtype=np.int64)
+    p = start
+    for a in range(n_anchor):
+        anchors[a] = p
+        p = int(big[p])
+
+    ks = np.arange(n_tokens, dtype=np.int64)
+    positions = anchors[ks >> level_count]
+    for level in range(level_count):
+        mask = (ks >> level) & 1 == 1
+        positions[mask] = tables[level][positions[mask]]
     if positions.max(initial=0) >= nbits + 1:
         raise FormatError("prefix stream ran past end of buffer")
     return positions
@@ -114,6 +135,30 @@ def sliding_windows_u16(bits: np.ndarray, width: int) -> np.ndarray:
     w24 = (by[byte] << 16) | (by[byte + 1] << 8) | (by[byte + 2])
     win16 = (w24 >> (8 - sh)) & 0xFFFF
     return win16 >> (16 - width)
+
+
+def gather_bit_windows_bytes(
+    by: np.ndarray, offsets: np.ndarray, width: int
+) -> np.ndarray:
+    """Extract ``width``-bit big-endian windows from a *packed* byte stream.
+
+    ``by`` is the ``np.packbits`` form of the bit stream (MSB-first), padded
+    with at least 6 trailing guard bytes so every 7-byte read is in range.
+    Assembles a 56-bit accumulator from 7 byte gathers per offset — ~2x
+    cheaper than the per-bit matrix gather for wide windows.  ``width`` must
+    be ≤ 48 (window start is at most 7 bits into the first byte).
+    """
+    if width > 48:
+        raise FormatError("packed window wider than 48 bits")
+    if offsets.size == 0:
+        return np.zeros(0, dtype=np.uint64)
+    q = offsets >> 3
+    acc = by[q].astype(np.uint64)
+    for j in range(1, 7):
+        acc <<= np.uint64(8)
+        acc |= by[q + j]
+    sh = np.uint64(56 - width) - (offsets & 7).astype(np.uint64)
+    return (acc >> sh) & np.uint64((1 << width) - 1)
 
 
 def gather_bit_windows(bits: np.ndarray, offsets: np.ndarray, width: int) -> np.ndarray:

@@ -143,7 +143,9 @@ def _degenerate(block2d: np.ndarray, p_idx: int) -> PatternFit:
 
 
 def fit_pattern_batch(
-    blocks3d: np.ndarray, metric: ScalingMetric | str
+    blocks3d: np.ndarray,
+    metric: ScalingMetric | str,
+    abs3d: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Vectorised :func:`fit_pattern` over a whole batch of blocks.
 
@@ -151,6 +153,9 @@ def fit_pattern_batch(
     ----------
     blocks3d:
         ``(n_blocks, num_sb, sb_size)`` float64 array.
+    abs3d:
+        optional precomputed ``np.abs(blocks3d)`` (same shape), reused by
+        the magnitude-driven metrics to skip one full-batch pass.
 
     Returns
     -------
@@ -171,7 +176,7 @@ def fit_pattern_batch(
         ref = firsts[rows, p_idx]
         scales = _safe_divide(firsts, ref)
     elif metric is ScalingMetric.ER:
-        flat = np.abs(blocks3d).reshape(B, M * L)
+        flat = (np.abs(blocks3d) if abs3d is None else abs3d).reshape(B, M * L)
         arg = np.argmax(flat, axis=1)
         p_idx, ref_col = np.divmod(arg, L)
         ref = blocks3d[rows, p_idx, ref_col]
@@ -183,7 +188,7 @@ def fit_pattern_batch(
         ref = means[rows, p_idx]
         scales = _safe_divide(means, ref)
     elif metric is ScalingMetric.AAR:
-        ameans = np.abs(blocks3d).mean(axis=2)
+        ameans = (np.abs(blocks3d) if abs3d is None else abs3d).mean(axis=2)
         p_idx = np.argmax(ameans, axis=1)
         ref = ameans[rows, p_idx]
         scales = _safe_divide(ameans, ref)

@@ -74,6 +74,24 @@ class StreamStats:
         clipped = np.minimum(bins, MAX_HIST_BIN)
         hist += np.bincount(clipped, minlength=MAX_HIST_BIN + 1)
 
+    def add_ecq_histograms(self, block_types: np.ndarray, bins2d: np.ndarray) -> None:
+        """Batched :meth:`add_ecq_histogram`: one bin matrix, one type per row.
+
+        Histogram accumulation commutes, so grouping rows by type and doing
+        one ``bincount`` per type yields exactly the per-block result; this
+        keeps stats collection vectorised when the compressor emits blocks
+        in class batches rather than one at a time.
+        """
+        block_types = np.asarray(block_types)
+        clipped = np.minimum(np.asarray(bins2d), MAX_HIST_BIN)
+        for t in np.unique(block_types):
+            btype = BlockType(int(t))
+            hist = self.ecq_hist.setdefault(
+                btype, np.zeros(MAX_HIST_BIN + 1, dtype=np.int64)
+            )
+            rows = clipped[block_types == t]
+            hist += np.bincount(rows.ravel(), minlength=MAX_HIST_BIN + 1)
+
     @property
     def bits_total(self) -> int:
         return (

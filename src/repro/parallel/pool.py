@@ -21,6 +21,20 @@ from repro.errors import ParameterError
 _WORKER_CODEC = None
 
 
+def pool_context() -> mp.context.BaseContext:
+    """The multiprocessing context used for worker pools.
+
+    Prefers ``fork`` — workers inherit the codec registry and the parent's
+    page cache, so startup is near-free — but falls back to ``spawn`` on
+    platforms where fork is unavailable or unsafe (Windows, and macOS
+    since Python 3.8 defaults away from fork).
+    """
+    try:
+        return mp.get_context("fork")
+    except ValueError:
+        return mp.get_context("spawn")
+
+
 def _init_worker(codec_name: str, codec_kwargs: dict) -> None:
     global _WORKER_CODEC
     _WORKER_CODEC = api.get_codec(codec_name, **codec_kwargs)
@@ -71,7 +85,7 @@ def parallel_compress(
     if n_workers == 1 or len(chunks) == 1:
         codec = api.get_codec(codec_name, **(codec_kwargs or {}))
         return [codec.compress(c, error_bound) for c in chunks]
-    with mp.get_context("fork").Pool(
+    with pool_context().Pool(
         n_workers, initializer=_init_worker, initargs=(codec_name, codec_kwargs or {})
     ) as pool:
         return pool.map(_compress_chunk, [(c, error_bound) for c in chunks])
@@ -88,7 +102,7 @@ def parallel_decompress(
         codec = api.get_codec(codec_name, **(codec_kwargs or {}))
         parts = [codec.decompress(b) for b in blobs]
     else:
-        with mp.get_context("fork").Pool(
+        with pool_context().Pool(
             n_workers, initializer=_init_worker, initargs=(codec_name, codec_kwargs or {})
         ) as pool:
             parts = pool.map(_decompress_chunk, list(blobs))

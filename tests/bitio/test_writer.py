@@ -143,3 +143,39 @@ def test_getvalue_is_idempotent():
     assert w.getvalue() == w.getvalue()
     w.write_uint(0xBB, 8)
     assert w.getvalue() == b"\xaa\xbb"
+
+
+def test_staged_write_bit_matches_array_writes(rng):
+    """write_bit's staged scalar buffer must not change getvalue output.
+
+    Interleaves single-bit writes with every other write kind so the lazy
+    flush points are exercised, and checks against one bulk reference.
+    """
+    flags = rng.integers(0, 2, size=37)
+    w = BitWriter()
+    for f in flags[:5]:
+        w.write_bit(int(f))
+    w.write_uint(0x2B, 6)
+    for f in flags[5:9]:
+        w.write_bit(int(f))
+    w.write_uint_array(np.array([3, 1, 2], dtype=np.uint64), 2)
+    for f in flags[9:]:
+        w.write_bit(int(f))
+
+    ref = BitWriter()
+    ref.write_bits_array(flags[:5].astype(np.uint8))
+    ref.write_uint(0x2B, 6)
+    ref.write_bits_array(flags[5:9].astype(np.uint8))
+    ref.write_uint_array(np.array([3, 1, 2], dtype=np.uint64), 2)
+    ref.write_bits_array(flags[9:].astype(np.uint8))
+
+    assert w.nbits == ref.nbits == 37 + 6 + 6
+    assert w.getvalue() == ref.getvalue()
+
+
+def test_write_bit_nbits_counts_before_flush():
+    w = BitWriter()
+    w.write_bit(1)
+    w.write_bit(0)
+    assert w.nbits == 2  # staged but not yet flushed
+    assert w.getvalue() == bytes([0b10000000])

@@ -167,3 +167,60 @@ def test_real_eri_dataset_roundtrip(tiny_eri_dataset):
     for eb in (1e-9, 1e-10, 1e-11):
         out = c.decompress(c.compress(ds.data, eb))
         assert np.max(np.abs(out - ds.data)) <= eb
+
+
+# -- corrupt sparse-ECQ streams ---------------------------------------------
+#
+# The compressor emits sparse outlier entries in flatnonzero order, so a
+# valid stream's indices are strictly increasing within a block.  The
+# decompressor scatter-adds them; without validation a corrupt stream with a
+# duplicated index would be folded silently instead of rejected.
+
+
+def _sparse_stream(entries):
+    """A 1-block stream whose ECQ is sparse with the given (index, value) list."""
+    from repro.bitio import BitWriter
+    from repro.core import header as fmt
+    from repro.core.blocking import BlockSpec
+
+    spec = BlockSpec(DIMS)
+    w = BitWriter()
+    fmt.write_header(
+        w,
+        fmt.StreamHeader(
+            error_bound=EB, spec=spec, n_blocks=1, n_tail=0,
+            tree_id=5, metric=ScalingMetric.ER,
+        ),
+    )
+    w.write_uint(fmt.KIND_PATTERNED, 2)
+    w.write_uint(1, 6)  # P_b = 1
+    for _ in range(spec.sb_size + spec.num_sb):
+        w.write_uint(1, 1)  # PQ/SQ values 0, offset-binary
+    w.write_uint(2, 6)  # EC_b,max
+    w.write_uint(1, 1)  # sparse flag
+    w.write_uint(len(entries), spec.block_size.bit_length())
+    idx_bits = (spec.block_size - 1).bit_length()
+    for idx, val in entries:
+        w.write_uint((idx << 2) | (val + 2), idx_bits + 2)
+    return w.getvalue()
+
+
+def test_sparse_increasing_indices_accepted():
+    out = codec().decompress(_sparse_stream([(3, 1), (7, -1)]))
+    assert out.size == DIMS[0] ** 4
+    assert out[3] > 0 and out[7] < 0
+
+
+def test_sparse_duplicate_index_rejected():
+    with pytest.raises(FormatError, match="strictly increasing"):
+        codec().decompress(_sparse_stream([(5, 1), (5, 1)]))
+
+
+def test_sparse_decreasing_index_rejected():
+    with pytest.raises(FormatError, match="strictly increasing"):
+        codec().decompress(_sparse_stream([(7, 1), (3, -1)]))
+
+
+def test_sparse_out_of_range_index_rejected():
+    with pytest.raises(FormatError, match="out of range"):
+        codec().decompress(_sparse_stream([(1500, 1)]))

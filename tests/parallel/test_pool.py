@@ -1,10 +1,18 @@
 """Tests for block-parallel compression (repro.parallel.pool)."""
 
+import multiprocessing as mp
+
 import numpy as np
 import pytest
 
+import repro.parallel.pool as pool_mod
 from repro.errors import ParameterError
-from repro.parallel.pool import parallel_compress, parallel_decompress, split_stream
+from repro.parallel.pool import (
+    parallel_compress,
+    parallel_decompress,
+    pool_context,
+    split_stream,
+)
 from tests.conftest import make_patterned_stream
 
 BLOCK = 6**4
@@ -61,3 +69,55 @@ def test_other_codecs_work_in_pool(rng):
 def test_rejects_zero_workers(rng):
     with pytest.raises(ParameterError):
         parallel_compress("sz", rng.standard_normal(10), 1e-10, 0, 4)
+
+
+def test_pool_context_prefers_fork(monkeypatch):
+    real_get_context = mp.get_context
+    seen = []
+
+    def fake_get_context(method):
+        seen.append(method)
+        return real_get_context(method)
+
+    monkeypatch.setattr(pool_mod.mp, "get_context", fake_get_context)
+    ctx = pool_context()
+    assert seen == ["fork"]
+    assert ctx.get_start_method() == "fork"
+
+
+def test_pool_context_falls_back_to_spawn(monkeypatch):
+    """Spawn-only platforms (Windows/macOS defaults) must not crash."""
+    real_get_context = mp.get_context
+    seen = []
+
+    def fork_unavailable(method):
+        seen.append(method)
+        if method == "fork":
+            raise ValueError("cannot find context for 'fork'")
+        return real_get_context(method)
+
+    monkeypatch.setattr(pool_mod.mp, "get_context", fork_unavailable)
+    ctx = pool_context()
+    assert seen == ["fork", "spawn"]
+    assert ctx.get_start_method() == "spawn"
+
+
+def test_parallel_compress_uses_selected_context(rng, monkeypatch):
+    """The pool is built from pool_context(), not a hardcoded fork."""
+
+    class RecordingContext:
+        def __init__(self):
+            self.calls = []
+            self._ctx = mp.get_context("fork")
+
+        def Pool(self, *args, **kwargs):
+            self.calls.append((args, kwargs))
+            return self._ctx.Pool(*args, **kwargs)
+
+    recorder = RecordingContext()
+    monkeypatch.setattr(pool_mod, "pool_context", lambda: recorder)
+    data = make_patterned_stream(rng, n_blocks=4)
+    blobs = parallel_compress("pastri", data, 1e-10, 2, BLOCK, {"dims": (6, 6, 6, 6)})
+    assert len(recorder.calls) == 1
+    out = parallel_decompress("pastri", blobs, 1, {"dims": (6, 6, 6, 6)})
+    assert np.max(np.abs(out - data)) <= 1e-10

@@ -1,0 +1,141 @@
+"""Property tests for the group-by-class batched codec kernels.
+
+Two invariant families:
+
+* **Stream level** — random mixes of every block class (zero / raw / sparse
+  / dense / tail) must round-trip within the bound, with exact tails, a
+  consistent ``StreamStats`` bit accounting, and identical output on warm
+  (memoised index pass) re-decodes.
+* **Kernel level** — the batched tree encoders must emit exactly the bits
+  of their per-block counterparts, and the moments-based dense sizing must
+  equal the exact per-row count.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitio import varlen_bits
+from repro.core import PaSTRICompressor
+from repro.core.blocking import BlockSpec
+from repro.core.trees import (
+    encode_ecq,
+    encode_ecq2_bits,
+    encode_ecq_rows,
+    encode_ecq_rows_bits,
+    encoded_size_bits,
+    encoded_size_bits_from_moments,
+)
+
+DIMS = (2, 2, 3, 3)
+SPEC = BlockSpec(DIMS)
+N = SPEC.block_size
+
+#: Per-class block factories; each returns one (num_sb, sb_size) block.
+_CLASSES = ("zero", "dense", "sparse", "raw")
+
+
+def _make_block(kind: str, rng: np.random.Generator) -> np.ndarray:
+    M, L = SPEC.num_sb, SPEC.sb_size
+    if kind == "zero":
+        return np.zeros((M, L))
+    if kind == "raw":
+        return rng.standard_normal((M, L)) * 1e6  # incompressible at tight EB
+    base = 1e-7 * rng.standard_normal((M, 1)) * rng.standard_normal((1, L))
+    if kind == "dense":
+        return base * (1.0 + 1e-3 * rng.standard_normal((M, L)))
+    # sparse: a patterned block plus a handful of large point deviations
+    block = base.copy()
+    k = rng.integers(1, 4)
+    flat = block.reshape(-1)
+    flat[rng.choice(flat.size, size=k, replace=False)] += 1e-7 * rng.standard_normal(k)
+    return block
+
+
+@given(
+    kinds=st.lists(st.sampled_from(_CLASSES), min_size=1, max_size=12),
+    n_tail=st.integers(0, 7),
+    seed=st.integers(0, 2**32 - 1),
+    eb=st.sampled_from([1e-12, 1e-10, 1e-8]),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_class_mix_roundtrips(kinds, n_tail, seed, eb):
+    rng = np.random.default_rng(seed)
+    blocks = [_make_block(k, rng) for k in kinds]
+    data = np.concatenate(
+        [np.stack(blocks).reshape(-1), rng.standard_normal(n_tail)]
+    )
+    codec = PaSTRICompressor(dims=DIMS, collect_stats=True)
+    blob = codec.compress(data, eb)
+    st_ = codec.last_stats
+    assert st_.bits_total <= 8 * len(blob) < st_.bits_total + 8
+    assert st_.n_blocks == len(kinds)
+    out = codec.decompress(blob)
+    assert out.size == data.size
+    assert np.max(np.abs(out - data)) <= eb
+    if n_tail:
+        assert np.array_equal(out[-n_tail:], data[-n_tail:])
+    # warm re-decode (memoised index pass) must be indistinguishable
+    assert np.array_equal(codec.decompress(blob), out)
+
+
+ecq_rows = st.lists(
+    st.tuples(
+        st.integers(2, 13),  # EC_b,max: prefix (≤3) + payload stays ≤ 16 bits
+        st.integers(0, 2**32 - 1),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _rows_from(spec_rows):
+    """Random ECQ rows with per-row EC_b,max-bounded magnitudes."""
+    ecqs, ecbs = [], []
+    for ecb, seed in spec_rows:
+        rng = np.random.default_rng(seed)
+        hi = 1 << (ecb - 1)
+        row = rng.integers(-hi + 1, hi, size=N)
+        row[rng.random(N) < 0.6] = 0  # realistic zero-heavy residuals
+        ecqs.append(row)
+        ecbs.append(ecb)
+    return np.asarray(ecqs, dtype=np.int64), np.asarray(ecbs, dtype=np.int64)
+
+
+@given(spec_rows=ecq_rows, tree_id=st.sampled_from([1, 2, 3]))
+@settings(max_examples=60, deadline=None)
+def test_batched_row_encoders_match_per_block(spec_rows, tree_id):
+    ecq2d, ecbs = _rows_from(spec_rows)
+    codes, lengths = encode_ecq_rows(ecq2d, ecbs, tree_id)
+    ref_bits = []
+    for row, ecb in zip(ecq2d, ecbs):
+        c, l = encode_ecq(row, int(ecb), tree_id)
+        ref_bits.append(varlen_bits(c, l))
+    ref = np.concatenate(ref_bits)
+    assert np.array_equal(varlen_bits(codes, lengths), ref)
+    # the fused encode-to-bits path must agree too (int64 and int32 inputs)
+    assert np.array_equal(encode_ecq_rows_bits(ecq2d, ecbs, tree_id), ref)
+    assert np.array_equal(
+        encode_ecq_rows_bits(ecq2d.astype(np.int32), ecbs, tree_id), ref
+    )
+
+
+@given(spec_rows=ecq_rows, tree_id=st.sampled_from([1, 3, 5]))
+@settings(max_examples=60, deadline=None)
+def test_moment_sizing_matches_exact_count(spec_rows, tree_id):
+    ecq2d, ecbs = _rows_from(spec_rows)
+    a = np.abs(ecq2d)
+    nnz = np.count_nonzero(a, axis=1)
+    s = np.minimum(a, 2).sum(axis=1)
+    sizes = encoded_size_bits_from_moments(N, nnz, s, ecbs, tree_id)
+    for k, (row, ecb) in enumerate(zip(ecq2d, ecbs)):
+        assert sizes[k] == encoded_size_bits(row, int(ecb), tree_id)
+
+
+@given(seed=st.integers(0, 2**32 - 1), n_rows=st.integers(1, 6))
+@settings(max_examples=40, deadline=None)
+def test_three_leaf_fused_encoder_matches_tree5(seed, n_rows):
+    rng = np.random.default_rng(seed)
+    ecq2d = rng.integers(-1, 2, size=(n_rows, N))
+    codes, lengths = encode_ecq(ecq2d.reshape(-1), 2, 5)
+    assert np.array_equal(encode_ecq2_bits(ecq2d), varlen_bits(codes, lengths))
