@@ -4,17 +4,28 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-record harness
+.PHONY: test ci bench bench-record harness
 
 test:
 	$(PY) -m pytest tests/ -q
+
+## What .github/workflows/ci.yml runs: the tier-1 suite plus the linter
+## (skipped with a note when ruff isn't installed locally).
+ci:
+	$(PY) -m pytest -x -q
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/; \
+	else \
+		echo "ruff not installed; lint runs in CI"; \
+	fi
 
 ## Timed paper benchmarks (pytest-benchmark, shape assertions included).
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -q
 
-## Record codec throughput + machine info into BENCH_pr1.json so future
-## PRs have a trajectory to compare against (see benchmarks/record.py).
+## Record codec + container throughput and machine info into
+## BENCH_pr2.json so future PRs have a trajectory to compare against
+## (see benchmarks/record.py).
 bench-record:
 	$(PY) -m benchmarks.record
 

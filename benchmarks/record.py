@@ -1,11 +1,13 @@
 """Record codec throughput to a ``BENCH_*.json`` trajectory file.
 
 Runs the Fig. 9c/9d rate measurements (PaSTRI compress / decompress on the
-cached ``trialanine_dd_dd_400`` dataset) plus a Fig. 11-style SCF-store
-reuse timing, and writes machine-annotated results so future PRs have a
-baseline to compare against::
+cached ``trialanine_dd_dd_400`` dataset), a Fig. 11-style SCF-store reuse
+timing, and — since PR 2 — a PSTF-v2 *container* dump/load (compress +
+write one indexed container file, then open it with no codec arguments and
+decode through the frame index), and writes machine-annotated results so
+future PRs have a baseline to compare against::
 
-    python -m benchmarks.record              # writes BENCH_pr1.json
+    python -m benchmarks.record              # writes BENCH_pr2.json
     python -m benchmarks.record -o out.json --reps 30
 
 Methodology: wall-clock ``perf_counter`` around single codec calls, a few
@@ -21,7 +23,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import tempfile
 import time
 from pathlib import Path
 
@@ -92,9 +96,59 @@ def run(reps: int = 15) -> dict:
         store.decompress(held)
     reuse_s = time.perf_counter() - t0
 
+    # PSTF-v2 container dump/load (PR 2's storage stack): compress + write an
+    # indexed container, then open it self-describingly and decode through
+    # the frame index.  min over reps like the codec measurements.
+    from repro.parallel.pool import (
+        parallel_compress_to_container,
+        parallel_decompress_container,
+    )
+
+    tmp = tempfile.mktemp(suffix=".pstf")
+    try:
+        def dump():
+            return parallel_compress_to_container(
+                "pastri", data, EB, 1, ds.spec.block_size, tmp,
+                codec_kwargs={"dims": ds.spec.dims}, n_frames=8,
+            )
+
+        dump_min, dump_med = _best(dump, reps)
+        summary = dump()
+        load_min, load_med = _best(lambda: parallel_decompress_container(tmp, 1), reps)
+        container_bytes = summary.compressed_bytes
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+    # Spillable store: the same reuse workload with a bounded memory budget,
+    # most blobs served back through the PSTF spill container on disk.
+    from repro.pipeline.store import CompressedERIStore, ContainerBackend
+
+    n_blocks = data.size // ds.spec.block_size
+    blocks = data[: n_blocks * ds.spec.block_size].reshape(n_blocks, -1)
+    spill_path = tempfile.mktemp(suffix=".pstf")
+    spill_store = CompressedERIStore(
+        PaSTRICompressor(config="(dd|dd)"),
+        EB,
+        backend=ContainerBackend(spill_path, memory_budget_bytes=64 << 10),
+    )
+    try:
+        t0 = time.perf_counter()
+        for i in range(n_blocks):
+            spill_store.put(i, blocks[i], dims=ds.spec.dims)
+        for _ in range(REUSE_COUNT):
+            for i in range(n_blocks):
+                spill_store.get(i)
+        spill_s = time.perf_counter() - t0
+        spill_stats = spill_store.stats
+    finally:
+        spill_store.close()
+        if os.path.exists(spill_path):
+            os.unlink(spill_path)
+
     mbs = lambda s: nbytes / s / 1e6  # noqa: E731
     return {
-        "bench": "pr1 group-by-class batched codec kernels",
+        "bench": "pr2 unified storage stack: PSTF-v2 container + spillable store",
         "recorded_unix": int(time.time()),
         "machine": {
             "platform": platform.platform(),
@@ -132,6 +186,26 @@ def run(reps: int = 15) -> dict:
                 ),
             },
         },
+        "container": {
+            "format": "PSTF-v2 (footer frame index, per-frame CRC32, codec spec)",
+            "n_frames": 8,
+            "container_bytes": container_bytes,
+            "dump_ms": round(dump_min * 1e3, 2),
+            "dump_med_ms": round(dump_med * 1e3, 2),
+            "dump_mb_s": round(mbs(dump_min), 1),
+            "load_ms": round(load_min * 1e3, 2),
+            "load_med_ms": round(load_med * 1e3, 2),
+            "load_mb_s": round(mbs(load_min), 1),
+            "spillable_store": {
+                "memory_budget_kb": 64,
+                "n_blocks": int(n_blocks),
+                "n_uses": REUSE_COUNT,
+                "total_ms": round(spill_s * 1e3, 1),
+                "amortized_mb_s": round(nbytes * REUSE_COUNT / spill_s / 1e6, 1),
+                "spills": spill_stats.spills,
+                "disk_reads": spill_stats.disk_reads,
+            },
+        },
         "pre_pr_reference": PRE_PR_REFERENCE,
         "speedup_vs_pre_pr": {
             "compress": round(PRE_PR_REFERENCE["compress_ms"] / (c_min * 1e3), 2),
@@ -147,17 +221,23 @@ def run(reps: int = 15) -> dict:
 
 def main(argv: list[str] | None = None) -> None:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("-o", "--output", default="BENCH_pr1.json", type=Path)
+    ap.add_argument("-o", "--output", default="BENCH_pr2.json", type=Path)
     ap.add_argument("--reps", default=15, type=int)
     args = ap.parse_args(argv)
     record = run(reps=args.reps)
     args.output.write_text(json.dumps(record, indent=2) + "\n")
     p = record["pastri"]
+    c = record["container"]
     print(f"wrote {args.output}")
     print(
         f"compress {p['compress_ms']} ms ({p['compress_mb_s']} MB/s)  "
         f"decompress cold {p['decompress_cold_ms']} ms / warm "
         f"{p['decompress_warm_ms']} ms  ratio {p['ratio']}x"
+    )
+    print(
+        f"container dump {c['dump_ms']} ms ({c['dump_mb_s']} MB/s)  "
+        f"load {c['load_ms']} ms ({c['load_mb_s']} MB/s)  "
+        f"spillable store {c['spillable_store']['amortized_mb_s']} MB/s amortized"
     )
     print(f"speedups vs pre-PR: {record['speedup_vs_pre_pr']}")
 

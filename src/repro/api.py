@@ -68,6 +68,34 @@ def available_codecs() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def codec_spec(codec: Codec) -> dict:
+    """Serializable description of ``codec``: registry name + constructor kwargs.
+
+    The returned dict is pure JSON (strings, numbers, lists, dicts) so it can
+    be embedded in container headers; :func:`codec_from_spec` inverts it.
+    Codecs advertise their constructor state through an optional
+    ``spec_kwargs()`` method — codecs without one (e.g. ad-hoc test codecs)
+    serialize as name-only and must be reconstructible with no arguments.
+    """
+    kwargs = codec.spec_kwargs() if hasattr(codec, "spec_kwargs") else {}
+    return {"name": codec.name, "kwargs": kwargs}
+
+
+def codec_from_spec(spec: dict) -> Codec:
+    """Reconstruct a codec from a :func:`codec_spec` dict.
+
+    >>> codec = codec_from_spec({"name": "pastri", "kwargs": {"dims": [6, 6, 6, 6]}})
+    """
+    if not isinstance(spec, dict) or not isinstance(spec.get("name"), str):
+        raise ParameterError(
+            f"codec spec must be a dict with a string 'name', got {spec!r}"
+        )
+    kwargs = spec.get("kwargs") or {}
+    if not isinstance(kwargs, dict):
+        raise ParameterError(f"codec spec kwargs must be a dict, got {kwargs!r}")
+    return get_codec(spec["name"], **kwargs)
+
+
 def validate_input(data: np.ndarray) -> np.ndarray:
     """Coerce codec input to a contiguous 1-D float64 array."""
     arr = np.ascontiguousarray(data, dtype=np.float64)

@@ -3,15 +3,23 @@
 Subcommands::
 
     pastri gen        <molecule> <config> <out.npz> [--blocks N] [--seed S]
-    pastri compress   <in.npy|in.npz> <out.pastri> --eb 1e-10 [--config '(dd|dd)']
+    pastri compress   <in.npy|in.npz> <out.pastri> --eb 1e-10 [--eb-mode abs|rel]
     pastri decompress <in.pastri> <out.npy>
-    pastri info       <in.pastri>
-    pastri assess     <in.npz> [--eb 1e-10] [--codec pastri]
+    pastri info       <in.pastri|in.pstf>
+    pastri pack       <in.npy|in.npz> <out.pstf> [--codec pastri] [--workers N]
+    pastri unpack     <in.pstf> <out.npy> [--workers N]
+    pastri ls         <in.pstf>
+    pastri assess     <in.npz> [--eb 1e-10] [--eb-mode abs|rel] [--codec pastri]
     pastri bench      [experiment ids ...]
 
-``compress`` accepts a raw ``.npy`` float64 array (``--config`` required)
-or an ``.npz`` saved by :meth:`repro.chem.dataset.ERIDataset.save` (block
-geometry taken from the file).
+``compress`` writes one bare PaSTRI bitstream; ``pack`` writes a seekable
+PSTF-v2 *container* (frame index, per-frame CRC32, codec spec in the
+header) that ``unpack``/``ls`` and :func:`repro.streamio.open_container`
+read back with no codec arguments.  ``compress``/``pack`` accept a raw
+``.npy`` float64 array (``--config`` required) or an ``.npz`` saved by
+:meth:`repro.chem.dataset.ERIDataset.save` (block geometry taken from the
+file).  Error bounds are absolute by default; ``--eb-mode rel`` interprets
+``--eb`` as value-range-relative (SZ's REL mode).
 """
 
 from __future__ import annotations
@@ -21,11 +29,14 @@ import sys
 
 import numpy as np
 
+from repro.api import resolve_error_bound
 from repro.bitio import BitReader
 from repro.chem.dataset import ERIDataset
 from repro.core import PaSTRICompressor
 from repro.core import header as fmt
 from repro.errors import ReproError
+
+_PSTF_MAGIC = b"PSTF"
 
 
 def _load_input(path: str, config: str | None):
@@ -49,22 +60,45 @@ def _load_input(path: str, config: str | None):
     return data, BlockSpec.from_config(config).dims
 
 
+def _is_container(path: str) -> bool:
+    """True when ``path`` starts with the PSTF container magic."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(4) == _PSTF_MAGIC
+    except OSError:
+        return False
+
+
+def _resolve_eb(data: np.ndarray, args: argparse.Namespace) -> float:
+    """Apply ``--eb-mode`` (abs passthrough / rel = bound x value range)."""
+    eb = resolve_error_bound(data, args.eb, getattr(args, "eb_mode", "abs"))
+    if getattr(args, "eb_mode", "abs") == "rel":
+        print(f"relative bound {args.eb:g} -> absolute {eb:g}")
+    return eb
+
+
 def cmd_compress(args: argparse.Namespace) -> int:
     """Handle ``pastri compress``."""
     data, dims = _load_input(args.input, args.config)
+    eb = _resolve_eb(data, args)
     codec = PaSTRICompressor(dims=dims, metric=args.metric, tree_id=args.tree)
-    blob = codec.compress(data, args.eb)
+    blob = codec.compress(data, eb)
     with open(args.output, "wb") as fh:
         fh.write(blob)
     print(
         f"{args.input}: {data.nbytes} B -> {len(blob)} B "
-        f"(ratio {data.nbytes / len(blob):.2f}, EB {args.eb:g})"
+        f"(ratio {data.nbytes / len(blob):.2f}, EB {eb:g})"
     )
     return 0
 
 
 def cmd_decompress(args: argparse.Namespace) -> int:
     """Handle ``pastri decompress``."""
+    if _is_container(args.input):
+        raise ReproError(
+            f"{args.input} is a PSTF container, not a bare PaSTRI stream; "
+            "use `pastri unpack` (or `pastri ls` to inspect it)"
+        )
     with open(args.input, "rb") as fh:
         blob = fh.read()
     hdr = fmt.read_header(BitReader(blob))
@@ -75,8 +109,28 @@ def cmd_decompress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_container_summary(path: str) -> None:
+    from repro.streamio import open_container
+
+    with open_container(path) as r:
+        n_bytes = sum(f.length for f in r.frames)
+        print(f"PSTF container (v{r.version}): {path}")
+        print(f"  codec       : {r.codec_name}  {r.codec_spec['kwargs']}")
+        print(f"  frames      : {len(r)}")
+        print(f"  payload     : {n_bytes} B compressed, {r.n_elements} elements")
+        if r.meta:
+            print(f"  meta        : {r.meta}")
+        keyed = sum(1 for f in r.frames if f.key is not None)
+        if keyed:
+            print(f"  keyed frames: {keyed} (an ERI-store snapshot)")
+        print("  (use `pastri ls` for the per-frame index, `pastri unpack` to decode)")
+
+
 def cmd_info(args: argparse.Namespace) -> int:
-    """Handle ``pastri info``: print the stream header."""
+    """Handle ``pastri info``: print the stream/container header."""
+    if _is_container(args.input):
+        _print_container_summary(args.input)
+        return 0
     with open(args.input, "rb") as fh:
         blob = fh.read()
     hdr = fmt.read_header(BitReader(blob))
@@ -85,6 +139,73 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"  block dims  : {hdr.spec.dims}  {hdr.spec.config}")
     print(f"  blocks      : {hdr.n_blocks} (+{hdr.n_tail} tail values)")
     print(f"  tree / metric: {hdr.tree_id} / {hdr.metric.name}")
+    return 0
+
+
+def cmd_pack(args: argparse.Namespace) -> int:
+    """Handle ``pastri pack``: write a seekable PSTF-v2 container."""
+    from repro.parallel.pool import parallel_compress_to_container
+
+    data, dims = _load_input(args.input, args.config)
+    eb = _resolve_eb(data, args)
+    codec_kwargs = {"dims": dims} if args.codec == "pastri" else {}
+    block = int(np.prod(dims))
+    frame_elems = block * max(args.chunk_blocks, 1)
+    n_frames = max(-(-data.size // frame_elems), args.workers)
+    summary = parallel_compress_to_container(
+        args.codec,
+        data,
+        eb,
+        args.workers,
+        block,
+        args.output,
+        codec_kwargs=codec_kwargs,
+        meta={"source": args.input},
+        n_frames=n_frames,
+    )
+    print(
+        f"{args.input}: {summary.original_bytes} B -> {summary.compressed_bytes} B "
+        f"in {summary.n_chunks} frames (ratio {summary.ratio:.2f}, EB {eb:g}, "
+        f"{args.workers} workers)"
+    )
+    return 0
+
+
+def cmd_unpack(args: argparse.Namespace) -> int:
+    """Handle ``pastri unpack``: decode a container to .npy."""
+    if not _is_container(args.input):
+        raise ReproError(
+            f"{args.input} is not a PSTF container; "
+            "bare PaSTRI streams decode with `pastri decompress`"
+        )
+    from repro.parallel.pool import parallel_decompress_container
+
+    out = parallel_decompress_container(args.input, args.workers)
+    np.save(args.output, out)
+    print(f"{args.input}: {out.size} doubles -> {args.output} ({args.workers} workers)")
+    return 0
+
+
+def cmd_ls(args: argparse.Namespace) -> int:
+    """Handle ``pastri ls``: print the container's frame index."""
+    if not _is_container(args.input):
+        raise ReproError(f"{args.input} is not a PSTF container")
+    from repro.streamio import open_container
+
+    with open_container(args.input) as r:
+        print(
+            f"{args.input}: PSTF v{r.version}, codec {r.codec_name} "
+            f"{r.codec_spec['kwargs']}, {len(r)} frames"
+        )
+        print(f"{'#':>4} {'offset':>10} {'bytes':>9} {'elements':>9} "
+              f"{'crc32':>10}  {'dims':<14} key")
+        for i, f in enumerate(r.frames):
+            crc = f"{f.crc32:#010x}" if f.crc32 is not None else "-"
+            dims = "x".join(map(str, f.dims)) if f.dims else "-"
+            print(
+                f"{i:>4} {f.offset:>10} {f.length:>9} {f.n_elements or '?':>9} "
+                f"{crc:>10}  {dims:<14} {f.key or '-'}"
+            )
     return 0
 
 
@@ -109,10 +230,11 @@ def cmd_assess(args: argparse.Namespace) -> int:
     from repro.metrics import assess
 
     ds = ERIDataset.load(args.input)
+    eb = _resolve_eb(ds.data, args)
     kwargs = {"dims": ds.spec.dims} if args.codec == "pastri" else {}
     codec = get_codec(args.codec, **kwargs)
-    a = assess(codec, ds.data, args.eb)
-    print(f"{args.codec} on {args.input} at EB={args.eb:g}")
+    a = assess(codec, ds.data, eb)
+    print(f"{args.codec} on {args.input} at EB={eb:g} ({args.eb_mode})")
     for name, value in a.rows():
         print(f"  {name:<26} {value:.6g}")
     print(f"  {'bound satisfied':<26} {a.bound_satisfied}")
@@ -126,6 +248,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return harness_main(args.experiments or ["fig9"])
 
 
+def _add_eb_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--eb", type=float, default=1e-10, help="error bound")
+    p.add_argument(
+        "--eb-mode",
+        choices=("abs", "rel"),
+        default="abs",
+        help="bound semantics: absolute (default) or value-range-relative",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``pastri`` console script."""
     p = argparse.ArgumentParser(prog="pastri", description=__doc__)
@@ -134,7 +266,7 @@ def main(argv: list[str] | None = None) -> int:
     c = sub.add_parser("compress", help="compress an ERI stream")
     c.add_argument("input")
     c.add_argument("output")
-    c.add_argument("--eb", type=float, default=1e-10, help="absolute error bound")
+    _add_eb_args(c)
     c.add_argument("--config", default=None, help="BF configuration, e.g. '(dd|dd)'")
     c.add_argument("--metric", default="er", help="scaling metric (fr/er/ar/aar/is)")
     c.add_argument("--tree", type=int, default=5, help="ECQ encoding tree 1-5")
@@ -145,9 +277,32 @@ def main(argv: list[str] | None = None) -> int:
     d.add_argument("output")
     d.set_defaults(func=cmd_decompress)
 
-    i = sub.add_parser("info", help="print stream header")
+    i = sub.add_parser("info", help="print stream/container header")
     i.add_argument("input")
     i.set_defaults(func=cmd_info)
+
+    pk = sub.add_parser("pack", help="compress into a seekable PSTF-v2 container")
+    pk.add_argument("input")
+    pk.add_argument("output")
+    _add_eb_args(pk)
+    pk.add_argument("--codec", default="pastri", help="registry codec name")
+    pk.add_argument("--config", default=None, help="BF configuration for raw .npy")
+    pk.add_argument("--workers", type=int, default=1, help="compression processes")
+    pk.add_argument(
+        "--chunk-blocks", type=int, default=64,
+        help="shell blocks per container frame (finer = better random access)",
+    )
+    pk.set_defaults(func=cmd_pack)
+
+    up = sub.add_parser("unpack", help="decode a PSTF container to .npy")
+    up.add_argument("input")
+    up.add_argument("output")
+    up.add_argument("--workers", type=int, default=1, help="decompression processes")
+    up.set_defaults(func=cmd_unpack)
+
+    ls = sub.add_parser("ls", help="list a container's frame index")
+    ls.add_argument("input")
+    ls.set_defaults(func=cmd_ls)
 
     g = sub.add_parser("gen", help="generate an ERI dataset with the integral engine")
     g.add_argument("molecule", help="benzene / glutamine / trialanine")
@@ -159,7 +314,7 @@ def main(argv: list[str] | None = None) -> int:
 
     a = sub.add_parser("assess", help="Z-Checker-style quality report")
     a.add_argument("input", help=".npz dataset")
-    a.add_argument("--eb", type=float, default=1e-10)
+    _add_eb_args(a)
     a.add_argument("--codec", default="pastri")
     a.set_defaults(func=cmd_assess)
 

@@ -150,6 +150,15 @@ class PaSTRICompressor:
         # reconstruction.  Entries are read-only once stored.
         self._parse_cache: dict[bytes, tuple] = {}
 
+    def spec_kwargs(self) -> dict:
+        """Constructor kwargs for :func:`repro.api.codec_spec` (JSON-pure)."""
+        return {
+            "dims": list(self.spec.dims),
+            "metric": self.metric.value,
+            "tree_id": self.tree_id,
+            "ecq_mode": self.ecq_mode,
+        }
+
     # -- compression --------------------------------------------------------
 
     def compress(self, data: np.ndarray, error_bound: float) -> bytes:

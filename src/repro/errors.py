@@ -21,6 +21,15 @@ class FormatError(CompressionError):
     """A compressed stream is malformed, truncated, or has a bad magic/version."""
 
 
+class ChecksumError(FormatError):
+    """Stored and recomputed checksums disagree (bit flips, index/payload skew).
+
+    A :class:`FormatError` subclass so existing ``except FormatError``
+    handlers keep working; distinct so callers can tell silent corruption
+    (CRC mismatch on structurally valid bytes) from structural damage.
+    """
+
+
 class ParameterError(ReproError, ValueError):
     """An invalid user-supplied parameter (error bound, block dims, ...)."""
 

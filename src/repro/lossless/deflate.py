@@ -23,6 +23,10 @@ class DeflateCodec:
     def __init__(self, level: int = 6) -> None:
         self.level = level
 
+    def spec_kwargs(self) -> dict:
+        """Constructor kwargs for :func:`repro.api.codec_spec` (JSON-pure)."""
+        return {"level": self.level}
+
     def compress(self, data: np.ndarray, error_bound: float = 0.0) -> bytes:
         data = api.validate_input(data)
         body = zlib.compress(data.tobytes(), self.level)

@@ -33,6 +33,10 @@ class FPCCodec:
     def __init__(self, table_log2: int = 16) -> None:
         self.table_size = 1 << table_log2
 
+    def spec_kwargs(self) -> dict:
+        """Constructor kwargs for :func:`repro.api.codec_spec` (JSON-pure)."""
+        return {"table_log2": self.table_size.bit_length() - 1}
+
     def compress(self, data: np.ndarray, error_bound: float = 0.0) -> bytes:
         data = api.validate_input(data)
         vals = data.view(np.uint64).tolist()

@@ -10,13 +10,20 @@
   combining measured codec rates with the PFS model.
 """
 
-from repro.parallel.pool import parallel_compress, parallel_decompress
+from repro.parallel.pool import (
+    parallel_compress,
+    parallel_compress_to_container,
+    parallel_decompress,
+    parallel_decompress_container,
+)
 from repro.parallel.pfs import GPFSModel
 from repro.parallel.iosim import IOSimulator, IOResult
 
 __all__ = [
     "parallel_compress",
+    "parallel_compress_to_container",
     "parallel_decompress",
+    "parallel_decompress_container",
     "GPFSModel",
     "IOSimulator",
     "IOResult",

@@ -6,6 +6,18 @@ holds for our SZ/ZFP reimplementations at chunk granularity.  This module
 is the real-parallelism counterpart of the analytic model in
 :mod:`repro.parallel.pfs`: it demonstrates near-linear scaling on however
 many cores the host actually has.
+
+Two tiers of API:
+
+* :func:`parallel_compress` / :func:`parallel_decompress` — in-memory blob
+  lists, the original building blocks.
+* :func:`parallel_compress_to_container` /
+  :func:`parallel_decompress_container` — the storage-stack path (paper
+  Fig. 10's dump/load): compression fans chunks out to workers and streams
+  the blobs into one PSTF-v2 container; decompression ships each worker
+  only a *frame-index entry* (offset/length/CRC) — every worker opens the
+  file itself and seeks, so no blob bytes cross the process boundary in
+  either direction on the load side.
 """
 
 from __future__ import annotations
@@ -17,8 +29,10 @@ import numpy as np
 
 from repro import api
 from repro.errors import ParameterError
+from repro.streamio import ContainerWriter, StreamSummary, open_container
 
 _WORKER_CODEC = None
+_WORKER_FH = None
 
 
 def pool_context() -> mp.context.BaseContext:
@@ -106,4 +120,97 @@ def parallel_decompress(
             n_workers, initializer=_init_worker, initargs=(codec_name, codec_kwargs or {})
         ) as pool:
             parts = pool.map(_decompress_chunk, list(blobs))
+    return np.concatenate(parts)
+
+
+# ---------------------------------------------------------------------------
+# container-backed parallel I/O (the PSTF-v2 storage path)
+
+
+def parallel_compress_to_container(
+    codec_name: str,
+    data: np.ndarray,
+    error_bound: float,
+    n_workers: int,
+    block_size: int,
+    path: str,
+    codec_kwargs: dict | None = None,
+    meta: dict | None = None,
+    n_frames: int | None = None,
+) -> StreamSummary:
+    """Compress a stream with ``n_workers`` processes into one v2 container.
+
+    Chunking follows :func:`split_stream` (block-aligned), workers return
+    blobs, and the parent streams them into ``path`` with the footer frame
+    index — so the result is self-describing (:func:`open_container` needs
+    no codec arguments) and every frame is independently random-accessible.
+    ``n_frames`` decouples frame granularity from worker count (default:
+    one frame per worker); more frames mean finer random access on load.
+    """
+    if n_workers < 1:
+        raise ParameterError("n_workers must be >= 1")
+    kwargs = codec_kwargs or {}
+    chunks = split_stream(data, n_frames or n_workers, block_size)
+    if n_workers == 1 or len(chunks) == 1:
+        codec = api.get_codec(codec_name, **kwargs)
+        blobs = [codec.compress(c, error_bound) for c in chunks]
+    else:
+        with pool_context().Pool(
+            n_workers, initializer=_init_worker, initargs=(codec_name, kwargs)
+        ) as pool:
+            blobs = pool.map(_compress_chunk, [(c, error_bound) for c in chunks])
+    codec = api.get_codec(codec_name, **kwargs)
+    full_meta = {"error_bound": error_bound, "block_size": int(block_size)}
+    full_meta.update(meta or {})
+    with open(path, "wb") as fh:
+        with ContainerWriter(fh, codec, error_bound, meta=full_meta) as w:
+            for chunk, blob in zip(chunks, blobs):
+                w.append_blob(blob, chunk.size)
+    return w.summary
+
+
+def _init_container_worker(path: str, codec_spec: dict) -> None:
+    """Each load worker owns a file handle and a codec rebuilt from the spec."""
+    global _WORKER_CODEC, _WORKER_FH
+    _WORKER_CODEC = api.codec_from_spec(codec_spec)
+    _WORKER_FH = open(path, "rb")
+
+
+def _decompress_indexed_frame(entry: tuple[int, int, int | None]) -> np.ndarray:
+    """Decompress one frame addressed by (offset, length, crc32)."""
+    import zlib
+
+    from repro.errors import ChecksumError, FormatError
+
+    offset, length, crc = entry
+    _WORKER_FH.seek(offset)
+    blob = _WORKER_FH.read(length)
+    if len(blob) != length:
+        raise FormatError(f"truncated container: short frame at offset {offset}")
+    if crc is not None and zlib.crc32(blob) & 0xFFFFFFFF != crc:
+        raise ChecksumError(f"frame payload CRC mismatch at offset {offset}")
+    return _WORKER_CODEC.decompress(blob)
+
+
+def parallel_decompress_container(path: str, n_workers: int) -> np.ndarray:
+    """Decompress a container with ``n_workers`` processes via its frame index.
+
+    Workers receive only ``(offset, length, crc)`` triples — the paper's
+    PFS load pattern, where each rank reads its own byte range — and the
+    parent concatenates results in frame order.  Works on v1 streams too
+    (compat index built by :func:`repro.streamio.open_container`).
+    """
+    if n_workers < 1:
+        raise ParameterError("n_workers must be >= 1")
+    with open_container(path) as reader:
+        if n_workers == 1 or len(reader) <= 1:
+            return reader.read_all()
+        spec = reader.codec_spec
+        entries = [(f.offset, f.length, f.crc32) for f in reader.frames]
+    with pool_context().Pool(
+        n_workers, initializer=_init_container_worker, initargs=(path, spec)
+    ) as pool:
+        parts = pool.map(_decompress_indexed_frame, entries)
+    if not parts:
+        return np.zeros(0, dtype=np.float64)
     return np.concatenate(parts)

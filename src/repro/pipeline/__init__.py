@@ -7,7 +7,19 @@ the compute-once / decompress-per-use pattern, and
 full recomputation.
 """
 
-from repro.pipeline.store import CompressedERIStore
+from repro.pipeline.store import (
+    CompressedERIStore,
+    ContainerBackend,
+    MemoryBackend,
+    StoreStats,
+)
 from repro.pipeline.workflow import ReuseCostModel, ReuseTimings
 
-__all__ = ["CompressedERIStore", "ReuseCostModel", "ReuseTimings"]
+__all__ = [
+    "CompressedERIStore",
+    "ContainerBackend",
+    "MemoryBackend",
+    "StoreStats",
+    "ReuseCostModel",
+    "ReuseTimings",
+]

@@ -1,20 +1,43 @@
-"""Compressed in-memory ERI store: compute once, decompress per use.
+"""Compressed ERI store: compute once, decompress per use — now spillable.
 
 The paper's closing observation (§III-A, Fig. 11): with PaSTRI's ratios,
 compressed ERIs for moderate systems *fit in memory*, so every SCF
 iteration after the first replaces an O(N⁴) recomputation with a ~GB/s
-decompression.  This class is that infrastructure piece: a keyed store of
-compressed shell blocks with exact-bound reconstruction.
+decompression.  :class:`CompressedERIStore` is that infrastructure piece: a
+keyed store of compressed shell blocks with exact-bound reconstruction.
+
+Storage is pluggable.  :class:`MemoryBackend` (default) keeps every blob in
+a dict — the original behavior.  :class:`ContainerBackend` keeps a bounded
+hot set in memory and spills least-recently-used blobs to a PSTF-v2
+container on disk (:mod:`repro.streamio`), so stores larger than RAM keep
+working; its spill file finalizes into a valid container on close.  On top
+of either backend the store can keep a small LRU of hot *decompressed*
+blocks (``hot_cache_blocks``), which turns repeat SCF reads of the same
+quartet into plain array returns.  All traffic is accounted in
+:class:`StoreStats` (hits/misses/spills included), and any store can be
+persisted with :meth:`CompressedERIStore.save` and revived — codec and
+error bound included — with :meth:`CompressedERIStore.load`.
 """
 
 from __future__ import annotations
 
+import json
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import api
 from repro.api import Codec
 from repro.errors import ParameterError
+from repro.streamio import ContainerWriter, open_container
+
+__all__ = [
+    "StoreStats",
+    "MemoryBackend",
+    "ContainerBackend",
+    "CompressedERIStore",
+]
 
 
 @dataclass
@@ -26,30 +49,234 @@ class StoreStats:
     compressed_bytes: int = 0
     puts: int = 0
     gets: int = 0
+    #: hot decompressed-block cache traffic (only moves when the cache is on)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: blobs written to the spill container (ContainerBackend only)
+    spills: int = 0
+    #: blob reads served from the spill container rather than memory
+    disk_reads: int = 0
 
     @property
     def ratio(self) -> float:
         return self.original_bytes / max(self.compressed_bytes, 1)
 
 
+@dataclass(frozen=True)
+class _Entry:
+    """One stored blob plus the metadata save/load must preserve."""
+
+    blob: bytes
+    nbytes: int
+    dims: tuple[int, ...] | None
+
+
+class MemoryBackend:
+    """Blob backend holding everything in a dict (the original store)."""
+
+    def __init__(self) -> None:
+        self._entries: dict = {}
+        self.stats: StoreStats | None = None  # bound by the store
+
+    def put(self, key, entry: _Entry) -> _Entry | None:
+        """Insert/overwrite; returns the replaced entry (for accounting)."""
+        prev = self._entries.get(key)
+        self._entries[key] = entry
+        return prev
+
+    def get(self, key) -> _Entry:
+        return self._entries[key]
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self):
+        return self._entries.keys()
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class ContainerBackend:
+    """Blob backend with a bounded hot set that spills to a PSTF container.
+
+    Blobs live in an in-memory LRU up to ``memory_budget_bytes``; beyond
+    that, least-recently-used blobs are appended to the spill container at
+    ``path`` and dropped from memory (``stats.spills``).  Reads of spilled
+    keys seek straight to the recorded frame offset — O(1), CRC-verified —
+    and re-promote the blob to the hot set (``stats.disk_reads``).
+
+    Overwriting a spilled key orphans its old frame (append-only spill; the
+    space is reclaimed by :meth:`CompressedERIStore.save` compaction).
+    :meth:`close` flushes every hot blob and finalizes the footer index, so
+    the spill file is itself a valid container readable by
+    :func:`repro.streamio.open_container`.
+    """
+
+    def __init__(self, path: str, memory_budget_bytes: int = 64 << 20) -> None:
+        if memory_budget_bytes < 0:
+            raise ParameterError("memory_budget_bytes must be >= 0")
+        self.path = str(path)
+        self.memory_budget_bytes = int(memory_budget_bytes)
+        self.stats: StoreStats | None = None  # bound by the store
+        self._hot: OrderedDict = OrderedDict()  # key -> _Entry (MRU at end)
+        self._hot_bytes = 0
+        self._spilled: dict = {}  # key -> (frame offset, length, crc, dims, nbytes)
+        self._writer: ContainerWriter | None = None
+        self._write_fh = None
+        self._read_fh = None
+        self._codec: Codec | None = None
+        self._error_bound: float | None = None
+        self._closed = False
+
+    def bind(self, codec: Codec, error_bound: float, stats: StoreStats) -> None:
+        """Called once by the owning store; spill headers need the codec spec."""
+        self._codec = codec
+        self._error_bound = error_bound
+        self.stats = stats
+
+    # -- spill machinery -----------------------------------------------------
+
+    def _ensure_writer(self) -> ContainerWriter:
+        if self._writer is None:
+            if self._codec is None:
+                raise ParameterError("ContainerBackend used outside a store")
+            self._write_fh = open(self.path, "wb")
+            self._writer = ContainerWriter(
+                self._write_fh,
+                self._codec,
+                self._error_bound,
+                meta={"error_bound": self._error_bound, "role": "eri-store-spill"},
+            )
+        return self._writer
+
+    def _spill_one(self) -> None:
+        key, entry = self._hot.popitem(last=False)  # least recently used
+        self._hot_bytes -= len(entry.blob)
+        w = self._ensure_writer()
+        info = w.append_blob(
+            entry.blob, entry.nbytes // 8, key=json.dumps(key), dims=entry.dims
+        )
+        self._write_fh.flush()
+        self._spilled[key] = (info.offset, info.length, info.crc32, entry.dims, entry.nbytes)
+        if self.stats is not None:
+            self.stats.spills += 1
+
+    def _shrink_to_budget(self) -> None:
+        while self._hot_bytes > self.memory_budget_bytes and len(self._hot) > 1:
+            self._spill_one()
+
+    def _read_spilled(self, key) -> _Entry:
+        import zlib
+
+        from repro.errors import ChecksumError
+
+        offset, length, crc, dims, nbytes = self._spilled[key]
+        if self._read_fh is None:
+            self._write_fh.flush()
+            self._read_fh = open(self.path, "rb")
+        self._read_fh.seek(offset)
+        blob = self._read_fh.read(length)
+        if len(blob) != length:
+            from repro.errors import FormatError
+
+            raise FormatError(f"spill container truncated at frame for key {key!r}")
+        if zlib.crc32(blob) & 0xFFFFFFFF != crc:
+            raise ChecksumError(f"spill container CRC mismatch for key {key!r}")
+        if self.stats is not None:
+            self.stats.disk_reads += 1
+        return _Entry(blob, nbytes, dims)
+
+    # -- backend interface ----------------------------------------------------
+
+    def put(self, key, entry: _Entry) -> _Entry | None:
+        prev = None
+        if key in self._hot:
+            prev = self._hot.pop(key)
+            self._hot_bytes -= len(prev.blob)
+        elif key in self._spilled:
+            prev = self._read_spilled(key)
+            del self._spilled[key]  # old frame is orphaned
+        self._hot[key] = entry
+        self._hot_bytes += len(entry.blob)
+        self._shrink_to_budget()
+        return prev
+
+    def get(self, key) -> _Entry:
+        if key in self._hot:
+            self._hot.move_to_end(key)
+            return self._hot[key]
+        entry = self._read_spilled(key)  # KeyError for unknown keys
+        del self._spilled[key]
+        self._hot[key] = entry
+        self._hot_bytes += len(entry.blob)
+        self._shrink_to_budget()
+        return entry
+
+    def __contains__(self, key) -> bool:
+        return key in self._hot or key in self._spilled
+
+    def __len__(self) -> int:
+        return len(self._hot) + len(self._spilled)
+
+    def keys(self):
+        return list(self._hot.keys()) + list(self._spilled.keys())
+
+    def close(self) -> None:
+        """Flush all hot blobs and finalize the spill container's footer."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._hot or self._writer is not None:
+            while self._hot:
+                self._spill_one()
+            self._writer.close()
+        if self._write_fh is not None:
+            self._write_fh.close()
+        if self._read_fh is not None:
+            self._read_fh.close()
+
+
 @dataclass
 class CompressedERIStore:
     """Keyed store of compressed ERI blocks.
 
-    Keys are arbitrary hashables (canonically shell-quartet tuples).
+    Keys are arbitrary hashables (canonically shell-quartet tuples); for
+    :meth:`save`/:meth:`load` round-trips they must be JSON-serializable
+    (tuples are preserved).
 
     Examples
     --------
     >>> store = CompressedERIStore(codec, error_bound=1e-10)
     >>> store.put((0, 1, 2, 3), block)
     >>> again = store.get((0, 1, 2, 3))   # |again - block| <= 1e-10
+
+    Spillable variant (bounded memory, disk-backed):
+
+    >>> backend = ContainerBackend("eris.pstf", memory_budget_bytes=256 << 20)
+    >>> store = CompressedERIStore(codec, 1e-10, backend=backend, hot_cache_blocks=64)
     """
 
     codec: Codec
     error_bound: float
-    _blobs: dict = field(default_factory=dict, repr=False)
+    backend: MemoryBackend | ContainerBackend | None = None
+    #: max decompressed blocks kept hot (0 disables the array cache)
+    hot_cache_blocks: int = 0
     _shaped: dict = field(default_factory=dict, repr=False)
     stats: StoreStats = field(default_factory=StoreStats)
+    _hot_arrays: OrderedDict = field(default_factory=OrderedDict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.backend is None:
+            self.backend = MemoryBackend()
+        bind = getattr(self.backend, "bind", None)
+        if bind is not None:
+            bind(self.codec, self.error_bound, self.stats)
+        else:
+            self.backend.stats = self.stats
 
     def _codec_for(self, dims) -> Codec:
         """Per-geometry codec dispatch.
@@ -79,22 +306,39 @@ class CompressedERIStore:
         uses the right sub-block split (see :meth:`_codec_for`).
         """
         blob = self._codec_for(dims).compress(block, self.error_bound)
-        prev = self._blobs.get(key)
+        dims_t = None if dims is None else tuple(int(d) for d in dims)
+        self._put_blob(key, blob, block.nbytes, dims_t)
+
+    def _put_blob(self, key, blob: bytes, nbytes: int, dims) -> None:
+        """Insert a ready-made blob (the load/restore path skips compression)."""
+        prev = self.backend.put(key, _Entry(blob, nbytes, dims))
         if prev is not None:
-            self.stats.compressed_bytes -= len(prev[0])
-            self.stats.original_bytes -= prev[1]
+            self.stats.compressed_bytes -= len(prev.blob)
+            self.stats.original_bytes -= prev.nbytes
             self.stats.n_entries -= 1
-        self._blobs[key] = (blob, block.nbytes)
+        self._hot_arrays.pop(key, None)
         self.stats.n_entries += 1
         self.stats.puts += 1
-        self.stats.original_bytes += block.nbytes
+        self.stats.original_bytes += nbytes
         self.stats.compressed_bytes += len(blob)
 
     def get(self, key) -> np.ndarray:
         """Decompress one block; raises KeyError for unknown keys."""
-        blob, _ = self._blobs[key]
         self.stats.gets += 1
-        return self.codec.decompress(blob)
+        if self.hot_cache_blocks > 0:
+            hit = self._hot_arrays.get(key)
+            if hit is not None:
+                self._hot_arrays.move_to_end(key)
+                self.stats.cache_hits += 1
+                return hit
+            self.stats.cache_misses += 1
+        out = self.codec.decompress(self.backend.get(key).blob)
+        if self.hot_cache_blocks > 0:
+            out.setflags(write=False)  # cached arrays are shared; keep them frozen
+            self._hot_arrays[key] = out
+            while len(self._hot_arrays) > self.hot_cache_blocks:
+                self._hot_arrays.popitem(last=False)
+        return out
 
     def get_or_compute(self, key, compute, dims=None) -> np.ndarray:
         """Fetch from the store, or compute, insert, and return.
@@ -104,7 +348,7 @@ class CompressedERIStore:
         data on every access (the lossy roundtrip is never silently
         bypassed).
         """
-        if key in self._blobs:
+        if key in self.backend:
             return self.get(key)
         block = np.asarray(compute(), dtype=np.float64)
         if block.ndim != 1:
@@ -114,11 +358,89 @@ class CompressedERIStore:
         self.put(key, block, dims=dims)
         return self.get(key)
 
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: str):
+        """Write a compact v2 container snapshot of every entry.
+
+        Frames are keyed with the JSON encoding of each store key and carry
+        the entry's ``dims``; the header records the codec spec and error
+        bound, so :meth:`load` needs nothing but the path.  Returns the
+        :class:`repro.streamio.StreamSummary` of the written container.
+        """
+        with open(path, "wb") as fh:
+            with ContainerWriter(
+                fh,
+                self.codec,
+                self.error_bound,
+                meta={"error_bound": self.error_bound, "role": "eri-store"},
+            ) as w:
+                for key in self.backend.keys():
+                    entry = self.backend.get(key)
+                    w.append_blob(
+                        entry.blob,
+                        entry.nbytes // 8,
+                        key=json.dumps(key),
+                        dims=entry.dims,
+                    )
+        return w.summary
+
+    @classmethod
+    def load(
+        cls,
+        path: str,
+        backend: MemoryBackend | ContainerBackend | None = None,
+        hot_cache_blocks: int = 0,
+    ) -> "CompressedERIStore":
+        """Revive a store from a :meth:`save` snapshot (or spill container).
+
+        The codec is rebuilt from the container's codec spec and the error
+        bound from its metadata — no caller knowledge needed.  List-valued
+        JSON keys are restored as tuples (the canonical quartet keys).
+        """
+        with open_container(path) as r:
+            eb = r.meta.get("error_bound")
+            if eb is None:
+                raise ParameterError(
+                    f"{path!r} has no stored error bound; not a store snapshot?"
+                )
+            store = cls(
+                r.codec,
+                float(eb),
+                backend=backend,
+                hot_cache_blocks=hot_cache_blocks,
+            )
+            for i, f in enumerate(r.frames):
+                if f.key is None:
+                    raise ParameterError(f"frame {i} in {path!r} has no key")
+                key = _revive_key(json.loads(f.key))
+                store._put_blob(key, r.read_blob(i), f.n_elements * 8, f.dims)
+        # a freshly loaded store has served no traffic yet
+        store.stats.puts = 0
+        return store
+
+    def close(self) -> None:
+        """Release backend resources (finalizes a spill container's footer)."""
+        self.backend.close()
+
+    def __enter__(self) -> "CompressedERIStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def __contains__(self, key) -> bool:
-        return key in self._blobs
+        return key in self.backend
 
     def __len__(self) -> int:
-        return len(self._blobs)
+        return len(self.backend)
 
     def keys(self):
-        return self._blobs.keys()
+        return self.backend.keys()
+
+
+def _revive_key(key):
+    """JSON round-trips tuples as lists; restore hashability recursively."""
+    if isinstance(key, list):
+        return tuple(_revive_key(k) for k in key)
+    return key

@@ -1,40 +1,85 @@
-"""Out-of-core streaming container for compressed ERI streams.
+"""Seekable PSTF container for compressed ERI streams (v2, with v1 compat).
 
 Production ERI dumps are far larger than memory (the paper's datasets are
 sampled *down* to 2 GB).  This module frames per-chunk codec blobs into a
 single file so arbitrarily long streams can be compressed and decompressed
-chunk-by-chunk with bounded memory:
+chunk-by-chunk with bounded memory — and, since v2, re-read in *any* order:
+a footer-based frame index gives O(1) random access to any frame without
+touching the others, which is what the SCF reuse workload (paper Fig. 11)
+and parallel loaders (Fig. 10) actually need.
 
-Layout::
+v2 layout (see ``docs/FORMAT.md``)::
 
-    magic 'PSTF' | version u8 | codec-name length u8 | codec name utf-8
+    magic 'PSTF' | version u8=2 | codec-name len u8 | codec name utf-8
+    header-json len u32-le | header JSON  {"codec": codec_spec, "meta": {...}}
     repeat:  frame length u64-le | codec blob
     end:     frame length 0
+    index payload (n_frames u32-le, then per frame:
+        offset u64 | length u64 | n_elements u64 | crc32 u32 |
+        key len u16 + key utf-8 | n_dims u8 + n_dims x u16)
+    index crc32 u32-le | index length u64-le | magic 'PSTFIDX2'
 
-Every codec blob in this package is self-describing, so decompression only
-needs the registry name stored in the header (plus constructor kwargs for
-codecs that need geometry, e.g. PaSTRI's ``dims`` — those are recovered
-from the blob itself on decompression).
+Properties of this layout:
+
+* **Streamable writes** — the index is appended, never back-patched, so
+  writers work on pipes and append-only stores.
+* **Streamable reads** — the per-frame length prefix and 0-sentinel are
+  kept from v1, so :func:`decompress_stream` still reads sequentially with
+  bounded memory from non-seekable handles.
+* **Self-describing** — the header embeds :func:`repro.api.codec_spec`, so
+  :func:`open_container` rebuilds the right codec with no caller knowledge.
+* **Verified** — every frame carries a CRC32, the index carries its own,
+  and every offset/length is validated against the file size, so
+  truncation, bit flips, and index/payload mismatches raise precise
+  :class:`FormatError` / :class:`ChecksumError` instead of yielding garbage.
+
+v1 streams (``magic 'PSTF' | version 1 | codec name``, frames, 0-sentinel,
+no index / no checksums / no codec kwargs) still read through every entry
+point, including :func:`open_container` (the index is rebuilt by one
+sequential scan).
 """
 
 from __future__ import annotations
 
+import io
+import json
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import BinaryIO, Iterable, Iterator
 
 import numpy as np
 
+from repro import api
 from repro.api import Codec
-from repro.errors import FormatError
+from repro.errors import ChecksumError, FormatError
 
 _MAGIC = b"PSTF"
-_VERSION = 1
+_INDEX_MAGIC = b"PSTFIDX2"
+_V1 = 1
+_V2 = 2
+#: Largest frame a non-seekable read will allocate for.  Seekable handles
+#: validate the length against the real remaining byte count instead.
+FRAME_SANITY_CAP = 1 << 32
+
+__all__ = [
+    "StreamSummary",
+    "FrameInfo",
+    "ContainerWriter",
+    "ContainerReader",
+    "open_container",
+    "compress_stream",
+    "decompress_stream",
+    "read_stream_header",
+    "compress_dataset_to_file",
+    "decompress_file",
+    "write_v1_stream",
+]
 
 
 @dataclass(frozen=True)
 class StreamSummary:
-    """Totals reported by :func:`compress_stream`."""
+    """Totals reported by :func:`compress_stream` / :meth:`ContainerWriter.close`."""
 
     n_chunks: int
     original_bytes: int
@@ -45,19 +90,487 @@ class StreamSummary:
         return self.original_bytes / max(self.compressed_bytes, 1)
 
 
+@dataclass(frozen=True)
+class FrameInfo:
+    """One frame-index entry: where a blob lives and what it holds.
+
+    ``crc32`` is ``None`` for v1 streams (no checksums existed); ``key``
+    and ``dims`` are optional annotations used by keyed stores.
+    """
+
+    offset: int
+    length: int
+    n_elements: int
+    crc32: int | None = None
+    key: str | None = None
+    dims: tuple[int, ...] | None = None
+
+
+# ---------------------------------------------------------------------------
+# writing
+
+
+def _encode_index(frames: list[FrameInfo]) -> bytes:
+    out = bytearray(struct.pack("<I", len(frames)))
+    for f in frames:
+        out += struct.pack("<QQQI", f.offset, f.length, f.n_elements, f.crc32 or 0)
+        key = (f.key or "").encode("utf-8")
+        if len(key) > 0xFFFF:
+            raise FormatError(f"frame key too long ({len(key)} bytes)")
+        out += struct.pack("<H", len(key)) + key
+        dims = f.dims or ()
+        if len(dims) > 0xFF:
+            raise FormatError(f"too many frame dims ({len(dims)})")
+        out += struct.pack("<B", len(dims))
+        for d in dims:
+            out += struct.pack("<H", int(d))
+    return bytes(out)
+
+
+def _decode_index(payload: bytes) -> list[FrameInfo]:
+    view = io.BytesIO(payload)
+
+    def take(n: int, what: str) -> bytes:
+        raw = view.read(n)
+        if len(raw) != n:
+            raise FormatError(f"truncated frame index: short {what}")
+        return raw
+
+    (n_frames,) = struct.unpack("<I", take(4, "frame count"))
+    frames = []
+    for _ in range(n_frames):
+        offset, length, n_elements, crc = struct.unpack("<QQQI", take(28, "entry"))
+        (key_len,) = struct.unpack("<H", take(2, "key length"))
+        key = take(key_len, "key").decode("utf-8") if key_len else None
+        (n_dims,) = struct.unpack("<B", take(1, "dims count"))
+        dims = (
+            struct.unpack(f"<{n_dims}H", take(2 * n_dims, "dims")) if n_dims else None
+        )
+        frames.append(FrameInfo(offset, length, n_elements, crc, key, dims))
+    if view.read(1):
+        raise FormatError("frame index has trailing bytes")
+    return frames
+
+
+class ContainerWriter:
+    """Incremental PSTF-v2 writer: append frames, then :meth:`close`.
+
+    Frames may be appended either as arrays (compressed through ``codec``)
+    or as ready-made blobs (:meth:`append_blob` — the parallel-pool path).
+    The footer index is emitted on close; the target handle only needs to
+    support sequential writes.
+
+    Use as a context manager or call :meth:`close` explicitly — a container
+    without its footer is readable only via the sequential compat path.
+    """
+
+    def __init__(
+        self,
+        fh: BinaryIO,
+        codec: Codec,
+        error_bound: float,
+        meta: dict | None = None,
+    ) -> None:
+        self.fh = fh
+        self.codec = codec
+        self.error_bound = error_bound
+        self.frames: list[FrameInfo] = []
+        self._original_bytes = 0
+        self._closed = False
+        name = codec.name.encode("utf-8")
+        header = json.dumps(
+            {"codec": api.codec_spec(codec), "meta": dict(meta or {})},
+            separators=(",", ":"),
+            sort_keys=True,
+        ).encode("utf-8")
+        fh.write(_MAGIC + struct.pack("<BB", _V2, len(name)) + name)
+        fh.write(struct.pack("<I", len(header)) + header)
+        self._pos = 4 + 2 + len(name) + 4 + len(header)
+
+    def append(self, chunk: np.ndarray, key=None, dims=None) -> FrameInfo:
+        """Compress one chunk into a frame; returns its index entry."""
+        chunk = np.ascontiguousarray(chunk, dtype=np.float64)
+        blob = self.codec.compress(chunk, self.error_bound)
+        return self.append_blob(blob, chunk.size, key=key, dims=dims)
+
+    def append_blob(self, blob: bytes, n_elements: int, key=None, dims=None) -> FrameInfo:
+        """Write one pre-compressed blob as a frame; returns its index entry."""
+        if self._closed:
+            raise FormatError("container already closed")
+        self._original_bytes += int(n_elements) * 8  # float64 elements
+        self.fh.write(struct.pack("<Q", len(blob)))
+        self.fh.write(blob)
+        info = FrameInfo(
+            offset=self._pos + 8,
+            length=len(blob),
+            n_elements=int(n_elements),
+            crc32=zlib.crc32(blob) & 0xFFFFFFFF,
+            key=None if key is None else str(key),
+            dims=None if dims is None else tuple(int(d) for d in dims),
+        )
+        self._pos += 8 + len(blob)
+        self.frames.append(info)
+        return info
+
+    def close(self) -> StreamSummary:
+        """Write the 0-sentinel and footer index; returns the totals."""
+        if self._closed:
+            raise FormatError("container already closed")
+        self._closed = True
+        self.fh.write(struct.pack("<Q", 0))
+        payload = _encode_index(self.frames)
+        self.fh.write(payload)
+        self.fh.write(struct.pack("<IQ", zlib.crc32(payload) & 0xFFFFFFFF, len(payload)))
+        self.fh.write(_INDEX_MAGIC)
+        total = self._pos + 8 + len(payload) + 4 + 8 + len(_INDEX_MAGIC)
+        self.summary = StreamSummary(len(self.frames), self._original_bytes, total)
+        return self.summary
+
+    def __enter__(self) -> "ContainerWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and not self._closed:
+            self.close()
+
+
+# ---------------------------------------------------------------------------
+# reading
+
+
+def _read_exact(fh: BinaryIO, n: int, what: str) -> bytes:
+    raw = fh.read(n)
+    if len(raw) != n:
+        raise FormatError(f"truncated container: short {what}")
+    return raw
+
+
+def _read_header_info(fh: BinaryIO) -> tuple[int, str, dict]:
+    """Parse a v1 or v2 header; returns (version, codec name, header dict)."""
+    head = _read_exact(fh, 6, "magic")
+    if head[:4] != _MAGIC:
+        raise FormatError("not a PaSTRI stream container")
+    version, name_len = head[4], head[5]
+    if version not in (_V1, _V2):
+        raise FormatError(f"unsupported container version {version}")
+    name = _read_exact(fh, name_len, "codec name").decode("utf-8")
+    if version == _V1:
+        return version, name, {}
+    (spec_len,) = struct.unpack("<I", _read_exact(fh, 4, "header length"))
+    if spec_len > FRAME_SANITY_CAP:
+        raise FormatError(f"implausible header length {spec_len}")
+    try:
+        header = json.loads(_read_exact(fh, spec_len, "header JSON"))
+    except ValueError as exc:
+        raise FormatError(f"corrupt container header JSON: {exc}") from exc
+    if not isinstance(header, dict):
+        raise FormatError("container header JSON must be an object")
+    return version, name, header
+
+
+def read_stream_header(fh: BinaryIO) -> str:
+    """Validate a v1/v2 container header; returns the codec name.
+
+    Consumes exactly the header bytes, leaving ``fh`` at the first frame —
+    ready for :func:`decompress_stream`.
+    """
+    return _read_header_info(fh)[1]
+
+
+def _validate_frame_length(fh: BinaryIO, length: int) -> None:
+    """Reject corrupt frame lengths *before* allocating for the read.
+
+    On seekable handles the length is checked against the bytes actually
+    remaining in the file; otherwise against :data:`FRAME_SANITY_CAP`.
+    """
+    if length <= 0:
+        return
+    seekable = getattr(fh, "seekable", lambda: False)()
+    if seekable:
+        pos = fh.tell()
+        end = fh.seek(0, io.SEEK_END)
+        fh.seek(pos)
+        if length > end - pos:
+            raise FormatError(
+                f"corrupt frame length {length}: only {end - pos} bytes remain"
+            )
+    elif length > FRAME_SANITY_CAP:
+        raise FormatError(
+            f"corrupt frame length {length}: exceeds sanity cap {FRAME_SANITY_CAP}"
+        )
+
+
+def decompress_stream(fh: BinaryIO, codec: Codec) -> Iterator[np.ndarray]:
+    """Yield decompressed chunks sequentially, one frame at a time.
+
+    Works on both v1 and v2 containers (call :func:`read_stream_header`
+    first); needs no index and no seekability, so it is the bounded-memory
+    path for pipes and tape-style reads.  The caller supplies the codec
+    instance (its class must match the name in the header).
+    """
+    while True:
+        raw = fh.read(8)
+        if len(raw) != 8:
+            raise FormatError("truncated container: missing frame length")
+        (length,) = struct.unpack("<Q", raw)
+        if length == 0:
+            return
+        _validate_frame_length(fh, length)
+        blob = fh.read(length)
+        if len(blob) != length:
+            raise FormatError("truncated container: short frame")
+        yield codec.decompress(blob)
+
+
+def _scan_v1_frames(fh: BinaryIO) -> list[FrameInfo]:
+    """Rebuild a frame index for a v1 stream by one sequential scan."""
+    frames = []
+    while True:
+        pos = fh.tell()
+        raw = fh.read(8)
+        if len(raw) != 8:
+            raise FormatError("truncated container: missing frame length")
+        (length,) = struct.unpack("<Q", raw)
+        if length == 0:
+            return frames
+        _validate_frame_length(fh, length)
+        if fh.seek(length, io.SEEK_CUR) != pos + 8 + length:
+            raise FormatError("truncated container: short frame")
+        # v1 carried no element counts or checksums; counts are filled in
+        # lazily on first decode (see ContainerReader.read_frame).
+        frames.append(FrameInfo(offset=pos + 8, length=length, n_elements=0))
+
+
+def _codec_for_v1(name: str, fh: BinaryIO, frames: list[FrameInfo]) -> Codec:
+    """Best-effort codec reconstruction for a v1 header (name only).
+
+    PaSTRI needs block geometry at construction time, but its blobs are
+    self-describing — peek the first frame's stream header for ``dims``.
+    """
+    if name != "pastri":
+        return api.get_codec(name)
+    if not frames:
+        return api.get_codec(name, dims=(1, 1, 1, 1))
+    from repro.bitio import BitReader
+    from repro.core import header as fmt
+
+    fh.seek(frames[0].offset)
+    blob = _read_exact(fh, min(frames[0].length, 64), "first frame")
+    hdr = fmt.read_header(BitReader(blob))
+    return api.get_codec(name, dims=hdr.spec.dims)
+
+
+class ContainerReader:
+    """Random-access reader over an open PSTF container.
+
+    Exposes the frame index (:attr:`frames`), the codec rebuilt from the
+    header spec (:attr:`codec`), and O(1) per-frame reads that touch only
+    that frame's bytes.  v1 streams are served through the same interface
+    with a scan-built index and no checksum verification.
+    """
+
+    def __init__(
+        self,
+        fh: BinaryIO,
+        *,
+        codec: Codec | None = None,
+        _owns_fh: bool = False,
+    ) -> None:
+        self.fh = fh
+        self._owns_fh = _owns_fh
+        self.version, self.codec_name, header = _read_header_info(fh)
+        self.meta: dict = header.get("meta", {}) if self.version == _V2 else {}
+        if self.version == _V2:
+            self.frames = self._load_index()
+            spec = header.get("codec")
+            if codec is not None:
+                self.codec = codec
+            else:
+                if spec is None:
+                    raise FormatError("v2 container header is missing its codec spec")
+                self.codec = api.codec_from_spec(spec)
+        else:
+            self.frames = _scan_v1_frames(fh)
+            self.codec = codec if codec is not None else _codec_for_v1(
+                self.codec_name, fh, self.frames
+            )
+        if codec is not None and codec.name != self.codec_name:
+            raise FormatError(
+                f"container was written by codec {self.codec_name!r}, "
+                f"got {codec.name!r}"
+            )
+        self._by_key = {f.key: i for i, f in enumerate(self.frames) if f.key is not None}
+
+    # -- index ---------------------------------------------------------------
+
+    def _load_index(self) -> list[FrameInfo]:
+        fh = self.fh
+        if not getattr(fh, "seekable", lambda: False)():
+            raise FormatError(
+                "random access needs a seekable handle; "
+                "use decompress_stream for sequential reads"
+            )
+        file_size = fh.seek(0, io.SEEK_END)
+        tail_len = 4 + 8 + len(_INDEX_MAGIC)
+        if file_size < tail_len:
+            raise FormatError("truncated container: missing index trailer")
+        fh.seek(file_size - tail_len)
+        stored_crc, payload_len = struct.unpack("<IQ", _read_exact(fh, 12, "trailer"))
+        if _read_exact(fh, len(_INDEX_MAGIC), "index magic") != _INDEX_MAGIC:
+            raise FormatError(
+                "container is missing its frame index (unclosed writer or "
+                "truncated file); recover sequentially with decompress_stream"
+            )
+        index_start = file_size - tail_len - payload_len
+        if payload_len > file_size or index_start < 0:
+            raise FormatError(f"corrupt index length {payload_len}")
+        fh.seek(index_start)
+        payload = _read_exact(fh, payload_len, "index payload")
+        actual = zlib.crc32(payload) & 0xFFFFFFFF
+        if actual != stored_crc:
+            raise ChecksumError(
+                f"frame index CRC mismatch (stored {stored_crc:#010x}, "
+                f"computed {actual:#010x})"
+            )
+        frames = _decode_index(payload)
+        for i, f in enumerate(frames):
+            if f.offset + f.length > index_start:
+                raise FormatError(
+                    f"frame {i} extends past the payload region "
+                    f"(offset {f.offset} + length {f.length} > {index_start}): "
+                    "index/payload mismatch"
+                )
+        return frames
+
+    # -- access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def keys(self) -> list[str]:
+        """Keys of all keyed frames, in frame order."""
+        return [f.key for f in self.frames if f.key is not None]
+
+    def read_blob(self, i: int) -> bytes:
+        """Read frame ``i``'s raw blob (CRC-verified on v2), nothing else."""
+        f = self.frames[i]
+        self.fh.seek(f.offset)
+        blob = _read_exact(self.fh, f.length, f"frame {i}")
+        if f.crc32 is not None:
+            actual = zlib.crc32(blob) & 0xFFFFFFFF
+            if actual != f.crc32:
+                raise ChecksumError(
+                    f"frame {i} payload CRC mismatch (stored {f.crc32:#010x}, "
+                    f"computed {actual:#010x}): flipped bits or index/payload skew"
+                )
+        return blob
+
+    def read_frame(self, i: int) -> np.ndarray:
+        """Decompress frame ``i``; reads only that frame's bytes."""
+        out = self.codec.decompress(self.read_blob(i))
+        f = self.frames[i]
+        if f.n_elements and out.size != f.n_elements:
+            raise FormatError(
+                f"frame {i} decoded to {out.size} elements, index says "
+                f"{f.n_elements}: index/payload mismatch"
+            )
+        if not f.n_elements:  # v1 index entries carry no counts; backfill
+            self.frames[i] = FrameInfo(
+                f.offset, f.length, out.size, f.crc32, f.key, f.dims
+            )
+        return out
+
+    def get(self, key) -> np.ndarray:
+        """Decompress the frame stored under ``key`` (KeyError if absent)."""
+        return self.read_frame(self._by_key[str(key)])
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for i in range(len(self.frames)):
+            yield self.read_frame(i)
+
+    def read_all(self) -> np.ndarray:
+        """Decompress every frame and concatenate (for moderate sizes)."""
+        parts = list(self)
+        if not parts:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate(parts)
+
+    @property
+    def n_elements(self) -> int:
+        """Total element count across frames (0s for undecoded v1 frames)."""
+        return sum(f.n_elements for f in self.frames)
+
+    @property
+    def codec_spec(self) -> dict:
+        """The codec spec this reader would embed on re-write."""
+        return api.codec_spec(self.codec)
+
+    def close(self) -> None:
+        if self._owns_fh:
+            self.fh.close()
+
+    def __enter__(self) -> "ContainerReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def open_container(
+    path_or_fh: str | BinaryIO, codec: Codec | None = None
+) -> ContainerReader:
+    """Open a PSTF container for random access.
+
+    v2 containers need no arguments — the codec is rebuilt from the header
+    spec and the footer index is verified and loaded.  v1 streams are
+    opened through a compatibility path (sequential index scan, codec
+    reconstructed best-effort from the header name, or pass ``codec=``).
+    """
+    if isinstance(path_or_fh, (str, bytes)):
+        fh = open(path_or_fh, "rb")
+        try:
+            return ContainerReader(fh, codec=codec, _owns_fh=True)
+        except Exception:
+            fh.close()
+            raise
+    return ContainerReader(path_or_fh, codec=codec)
+
+
+# ---------------------------------------------------------------------------
+# whole-stream conveniences (now writing v2)
+
+
 def compress_stream(
     chunks: Iterable[np.ndarray],
     codec: Codec,
     error_bound: float,
     fh: BinaryIO,
+    meta: dict | None = None,
 ) -> StreamSummary:
-    """Compress an iterable of 1-D chunks into a framed file.
+    """Compress an iterable of 1-D chunks into a v2 container.
 
     Memory use is bounded by one chunk; chunks may have different lengths
-    (each frame's blob is self-describing).
+    (each frame's blob is self-describing, and the index records counts).
+    """
+    with ContainerWriter(fh, codec, error_bound, meta=meta) as w:
+        for chunk in chunks:
+            w.append(chunk)
+    return w.summary
+
+
+def write_v1_stream(
+    chunks: Iterable[np.ndarray],
+    codec: Codec,
+    error_bound: float,
+    fh: BinaryIO,
+) -> StreamSummary:
+    """Write a *legacy v1* stream (no index, no checksums, no codec spec).
+
+    Kept for compatibility testing and for interop with pre-v2 readers; new
+    code should use :func:`compress_stream` / :class:`ContainerWriter`.
     """
     name = codec.name.encode("utf-8")
-    fh.write(_MAGIC + struct.pack("<BB", _VERSION, len(name)) + name)
+    fh.write(_MAGIC + struct.pack("<BB", _V1, len(name)) + name)
     n = orig = comp = 0
     header_bytes = 4 + 2 + len(name)
     for chunk in chunks:
@@ -72,49 +585,19 @@ def compress_stream(
     return StreamSummary(n, orig, comp + header_bytes + 8)
 
 
-def read_stream_header(fh: BinaryIO) -> str:
-    """Validate the container header; returns the codec name."""
-    head = fh.read(6)
-    if len(head) != 6 or head[:4] != _MAGIC:
-        raise FormatError("not a PaSTRI stream container")
-    version, name_len = head[4], head[5]
-    if version != _VERSION:
-        raise FormatError(f"unsupported container version {version}")
-    name = fh.read(name_len)
-    if len(name) != name_len:
-        raise FormatError("truncated container header")
-    return name.decode("utf-8")
-
-
-def decompress_stream(fh: BinaryIO, codec: Codec) -> Iterator[np.ndarray]:
-    """Yield decompressed chunks from a framed file, one frame at a time.
-
-    The caller supplies the codec instance (its class must match the name
-    in the header — check with :func:`read_stream_header` first).
-    """
-    while True:
-        raw = fh.read(8)
-        if len(raw) != 8:
-            raise FormatError("truncated container: missing frame length")
-        (length,) = struct.unpack("<Q", raw)
-        if length == 0:
-            return
-        blob = fh.read(length)
-        if len(blob) != length:
-            raise FormatError("truncated container: short frame")
-        yield codec.decompress(blob)
-
-
 def compress_dataset_to_file(
     data_iter: Iterable[np.ndarray], codec: Codec, error_bound: float, path: str
 ) -> StreamSummary:
-    """Convenience wrapper: stream-compress to a file path."""
+    """Convenience wrapper: stream-compress to a file path (v2 container)."""
     with open(path, "wb") as fh:
         return compress_stream(data_iter, codec, error_bound, fh)
 
 
 def decompress_file(path: str, codec: Codec) -> np.ndarray:
-    """Read a whole container back into one array (for moderate sizes)."""
+    """Read a whole container back into one array (for moderate sizes).
+
+    Accepts v1 and v2 files; the supplied codec must match the header name.
+    """
     with open(path, "rb") as fh:
         name = read_stream_header(fh)
         if name != codec.name:

@@ -56,6 +56,10 @@ class SZCompressor:
         self.capacity = capacity
         self.order = order
 
+    def spec_kwargs(self) -> dict:
+        """Constructor kwargs for :func:`repro.api.codec_spec` (JSON-pure)."""
+        return {"capacity": self.capacity, "order": self.order}
+
     def compress(self, data: np.ndarray, error_bound: float) -> bytes:
         data = api.validate_input(data)
         eb = api.validate_error_bound(error_bound)

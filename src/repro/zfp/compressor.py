@@ -50,6 +50,10 @@ class ZFPCompressor:
     def __init__(self, vectorized: bool = True) -> None:
         self.vectorized = vectorized
 
+    def spec_kwargs(self) -> dict:
+        """Constructor kwargs for :func:`repro.api.codec_spec` (JSON-pure)."""
+        return {"vectorized": self.vectorized}
+
     def compress(self, data: np.ndarray, error_bound: float) -> bytes:
         data = api.validate_input(data)
         eb = api.validate_error_bound(error_bound)

@@ -121,3 +121,91 @@ def test_parallel_compress_uses_selected_context(rng, monkeypatch):
     assert len(recorder.calls) == 1
     out = parallel_decompress("pastri", blobs, 1, {"dims": (6, 6, 6, 6)})
     assert np.max(np.abs(out - data)) <= 1e-10
+
+
+# ---------------------------------------------------------------------------
+# container-backed parallel I/O
+
+
+def test_container_dump_load_roundtrip(rng, tmp_path):
+    from repro.parallel.pool import (
+        parallel_compress_to_container,
+        parallel_decompress_container,
+    )
+
+    data = make_patterned_stream(rng, n_blocks=16)
+    path = str(tmp_path / "dump.pstf")
+    summary = parallel_compress_to_container(
+        "pastri", data, 1e-10, 2, BLOCK, path, codec_kwargs={"dims": (6, 6, 6, 6)}
+    )
+    assert summary.n_chunks == 2
+    assert summary.ratio > 5
+    out = parallel_decompress_container(path, 2)
+    assert np.max(np.abs(out - data)) <= 1e-10
+
+
+def test_container_load_matches_across_worker_counts(rng, tmp_path):
+    from repro.parallel.pool import (
+        parallel_compress_to_container,
+        parallel_decompress_container,
+    )
+
+    data = make_patterned_stream(rng, n_blocks=12)
+    path = str(tmp_path / "dump.pstf")
+    parallel_compress_to_container(
+        "pastri", data, 1e-10, 3, BLOCK, path,
+        codec_kwargs={"dims": (6, 6, 6, 6)}, n_frames=6,
+    )
+    outs = [parallel_decompress_container(path, w) for w in (1, 2, 4)]
+    assert np.array_equal(outs[0], outs[1])
+    assert np.array_equal(outs[1], outs[2])
+
+
+def test_container_dump_is_self_describing(rng, tmp_path):
+    """The dumped file opens with no codec arguments — the acceptance path."""
+    from repro.parallel.pool import parallel_compress_to_container
+    from repro.streamio import open_container
+
+    data = make_patterned_stream(rng, n_blocks=8)
+    path = str(tmp_path / "dump.pstf")
+    parallel_compress_to_container(
+        "pastri", data, 1e-10, 2, BLOCK, path,
+        codec_kwargs={"dims": (6, 6, 6, 6)}, n_frames=4, meta={"source": "test"},
+    )
+    with open_container(path) as r:
+        assert len(r) == 4
+        assert r.codec.spec.dims == (6, 6, 6, 6)
+        assert r.meta["error_bound"] == 1e-10
+        assert r.meta["block_size"] == BLOCK
+        assert r.meta["source"] == "test"
+        assert np.max(np.abs(r.read_all() - data)) <= 1e-10
+
+
+def test_container_frames_decouple_from_workers(rng, tmp_path):
+    from repro.parallel.pool import parallel_compress_to_container
+    from repro.streamio import open_container
+
+    data = make_patterned_stream(rng, n_blocks=8)
+    path = str(tmp_path / "dump.pstf")
+    parallel_compress_to_container(
+        "pastri", data, 1e-10, 2, BLOCK, path,
+        codec_kwargs={"dims": (6, 6, 6, 6)}, n_frames=8,
+    )
+    with open_container(path) as r:
+        assert len(r) == 8
+
+
+def test_container_rejects_zero_workers(rng, tmp_path):
+    from repro.parallel.pool import (
+        parallel_compress_to_container,
+        parallel_decompress_container,
+    )
+
+    path = str(tmp_path / "dump.pstf")
+    with pytest.raises(ParameterError):
+        parallel_compress_to_container(
+            "sz", rng.standard_normal(10), 1e-10, 0, 4, path
+        )
+    parallel_compress_to_container("sz", rng.standard_normal(10), 1e-10, 1, 4, path)
+    with pytest.raises(ParameterError):
+        parallel_decompress_container(path, 0)

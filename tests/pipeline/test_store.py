@@ -1,18 +1,34 @@
-"""Unit tests for the compressed ERI store (repro.pipeline.store)."""
+"""Unit tests for the compressed ERI store (repro.pipeline.store).
+
+The ``store`` fixture runs every test against both backends — the in-memory
+dict and the container-backed spill-to-disk variant (with a budget small
+enough that entries actually spill) — so the backends are behaviorally
+interchangeable by construction.  Backend-specific tests (spill traffic,
+save/load, the hot array cache) live in ``test_store_backends.py``.
+"""
 
 import numpy as np
 import pytest
 
 from repro.core import PaSTRICompressor
-from repro.pipeline import CompressedERIStore
+from repro.pipeline import CompressedERIStore, ContainerBackend
 from tests.conftest import make_patterned_stream
 
 EB = 1e-10
 
 
-@pytest.fixture
-def store():
-    return CompressedERIStore(PaSTRICompressor(dims=(6, 6, 6, 6)), error_bound=EB)
+@pytest.fixture(params=["memory", "container"])
+def store(request, tmp_path):
+    backend = None
+    if request.param == "container":
+        backend = ContainerBackend(
+            str(tmp_path / "spill.pstf"), memory_budget_bytes=2048
+        )
+    s = CompressedERIStore(
+        PaSTRICompressor(dims=(6, 6, 6, 6)), error_bound=EB, backend=backend
+    )
+    yield s
+    s.close()
 
 
 def test_put_get_roundtrip(store, rng):

@@ -66,3 +66,54 @@ def test_custom_codec_registration():
     codec = api.get_codec("echo-test")
     data = np.arange(4.0)
     assert np.array_equal(codec.decompress(codec.compress(data, 0)), data)
+
+
+# ---------------------------------------------------------------------------
+# codec specs (the container header's self-description)
+
+
+def test_codec_spec_roundtrip_for_every_codec():
+    for name in api.available_codecs():
+        if name.endswith("-test"):
+            continue  # throwaway codecs from other tests carry no spec
+        kwargs = {"dims": (2, 2, 3, 3)} if name == "pastri" else {}
+        codec = api.get_codec(name, **kwargs)
+        spec = api.codec_spec(codec)
+        assert spec["name"] == name
+        assert isinstance(spec["kwargs"], dict)
+        rebuilt = api.codec_from_spec(spec)
+        assert rebuilt.name == name
+        assert api.codec_spec(rebuilt) == spec
+
+
+def test_codec_spec_is_json_serializable():
+    import json
+
+    codec = api.get_codec("pastri", dims=(6, 6, 6, 6), metric="aar", tree_id=2)
+    spec = json.loads(json.dumps(api.codec_spec(codec)))
+    rebuilt = api.codec_from_spec(spec)
+    assert rebuilt.spec.dims == (6, 6, 6, 6)
+    assert rebuilt.metric.value == "aar"
+    assert rebuilt.tree_id == 2
+
+
+def test_codec_spec_without_kwargs_method():
+    class Echo:
+        name = "echo"
+
+        def compress(self, data, error_bound):
+            return data.tobytes()
+
+        def decompress(self, blob):
+            return np.frombuffer(blob, dtype=np.float64)
+
+    assert api.codec_spec(Echo()) == {"name": "echo", "kwargs": {}}
+
+
+def test_codec_from_spec_validates_shape():
+    for bad in (None, [], "pastri", {}, {"kwargs": {}}, {"name": 3, "kwargs": {}},
+                {"name": "sz", "kwargs": [1, 2]}):
+        with pytest.raises(ParameterError):
+            api.codec_from_spec(bad)
+    with pytest.raises(ParameterError):
+        api.codec_from_spec({"name": "no-such-codec", "kwargs": {}})

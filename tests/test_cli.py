@@ -104,3 +104,109 @@ def test_cli_reports_repro_errors(tmp_path, capsys):
     bad.write_bytes(b"garbage")
     assert main(["info", str(bad)]) == 1
     assert "error:" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# container subcommands (pack / unpack / ls) and PSTF sniffing
+
+
+def test_pack_unpack_cycle(tmp_path, npz_dataset, capsys):
+    src, data = npz_dataset
+    cont = tmp_path / "out.pstf"
+    dec = tmp_path / "out.npy"
+    assert main(["pack", str(src), str(cont), "--eb", "1e-10"]) == 0
+    assert "frames" in capsys.readouterr().out
+    assert main(["unpack", str(cont), str(dec)]) == 0
+    assert np.max(np.abs(np.load(dec) - data)) <= 1e-10
+
+
+def test_pack_chunk_blocks_controls_frame_count(tmp_path, npz_dataset, capsys):
+    src, _ = npz_dataset  # 4 shell blocks
+    cont = tmp_path / "out.pstf"
+    assert main(["pack", str(src), str(cont), "--chunk-blocks", "1"]) == 0
+    assert "4 frames" in capsys.readouterr().out
+
+
+def test_ls_prints_frame_index(tmp_path, npz_dataset, capsys):
+    src, _ = npz_dataset
+    cont = tmp_path / "out.pstf"
+    main(["pack", str(src), str(cont), "--chunk-blocks", "2"])
+    capsys.readouterr()
+    assert main(["ls", str(cont)]) == 0
+    out = capsys.readouterr().out
+    assert "codec pastri" in out
+    assert "offset" in out and "crc32" in out
+    assert "0x" in out  # per-frame checksums are shown
+
+
+def test_info_sniffs_containers(tmp_path, npz_dataset, capsys):
+    src, _ = npz_dataset
+    cont = tmp_path / "out.pstf"
+    main(["pack", str(src), str(cont)])
+    capsys.readouterr()
+    assert main(["info", str(cont)]) == 0
+    out = capsys.readouterr().out
+    assert "PSTF container (v2)" in out and "pastri" in out
+
+
+def test_decompress_refuses_containers_with_guidance(tmp_path, npz_dataset, capsys):
+    src, _ = npz_dataset
+    cont = tmp_path / "out.pstf"
+    main(["pack", str(src), str(cont)])
+    capsys.readouterr()
+    assert main(["decompress", str(cont), str(tmp_path / "x.npy")]) == 1
+    err = capsys.readouterr().err
+    assert "PSTF container" in err and "unpack" in err
+
+
+def test_unpack_refuses_bare_streams(tmp_path, npz_dataset, capsys):
+    src, _ = npz_dataset
+    bare = tmp_path / "out.pastri"
+    main(["compress", str(src), str(bare)])
+    capsys.readouterr()
+    assert main(["unpack", str(bare), str(tmp_path / "x.npy")]) == 1
+    err = capsys.readouterr().err
+    assert "not a PSTF container" in err and "decompress" in err
+
+
+def test_ls_refuses_non_containers(tmp_path, capsys):
+    bad = tmp_path / "bad.pstf"
+    bad.write_bytes(b"garbage")
+    assert main(["ls", str(bad)]) == 1
+    assert "not a PSTF container" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# --eb-mode
+
+
+def test_compress_relative_bound(tmp_path, npz_dataset, capsys):
+    src, data = npz_dataset
+    comp = tmp_path / "rel.pastri"
+    dec = tmp_path / "rel.npy"
+    assert main(
+        ["compress", str(src), str(comp), "--eb", "1e-5", "--eb-mode", "rel"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "relative bound 1e-05 -> absolute" in out
+    assert main(["decompress", str(comp), str(dec)]) == 0
+    value_range = data.max() - data.min()
+    assert np.max(np.abs(np.load(dec) - data)) <= 1e-5 * value_range
+
+
+def test_assess_relative_bound(tmp_path, npz_dataset, capsys):
+    src, _ = npz_dataset
+    assert main(["assess", str(src), "--eb", "1e-4", "--eb-mode", "rel"]) == 0
+    out = capsys.readouterr().out
+    assert "(rel)" in out and "relative bound" in out
+
+
+def test_pack_relative_bound(tmp_path, npz_dataset, capsys):
+    src, data = npz_dataset
+    cont = tmp_path / "rel.pstf"
+    dec = tmp_path / "rel.npy"
+    assert main(["pack", str(src), str(cont), "--eb", "1e-5", "--eb-mode", "rel"]) == 0
+    assert "relative bound" in capsys.readouterr().out
+    assert main(["unpack", str(cont), str(dec)]) == 0
+    value_range = data.max() - data.min()
+    assert np.max(np.abs(np.load(dec) - data)) <= 1e-5 * value_range

@@ -45,6 +45,23 @@ def test_readme_codec_registry_block_runs(readme_text):
     assert isinstance(namespace["blob"], bytes)
 
 
+def test_readme_store_block_runs(readme_text, tmp_path, monkeypatch):
+    blocks = python_blocks(readme_text)
+    assert len(blocks) >= 3
+    store_block = blocks[2]
+    assert "ContainerBackend" in store_block
+    # run inside tmp_path so the example's spill/snapshot files are cleaned up
+    monkeypatch.chdir(tmp_path)
+    rng = np.random.default_rng(0)
+    eri_blocks = [rng.standard_normal(6**4) * 1e-7 for _ in range(4)]
+    namespace = {"blocks": eri_blocks}
+    exec(compile(store_block, "README-store", "exec"), namespace)
+    revived = namespace["store"]
+    assert len(revived) == len(eri_blocks)
+    for q, block in enumerate(eri_blocks):
+        assert np.max(np.abs(revived.get(q) - block)) <= 1e-10
+
+
 def test_docs_reference_real_files():
     root = README.parent
     for rel in ("DESIGN.md", "EXPERIMENTS.md", "docs/FORMAT.md", "docs/ALGORITHM.md"):

@@ -1,6 +1,11 @@
-"""Tests for the out-of-core streaming container (repro.streamio)."""
+"""Tests for the sequential paths of the PSTF container (repro.streamio).
+
+Random access, corruption handling, and the v1 golden fixture live in
+``tests/test_container.py``.
+"""
 
 import io
+import struct
 
 import numpy as np
 import pytest
@@ -15,6 +20,7 @@ from repro.streamio import (
     decompress_file,
     decompress_stream,
     read_stream_header,
+    write_v1_stream,
 )
 from repro.sz import SZCompressor
 
@@ -80,15 +86,67 @@ def test_empty_stream(tmp_path):
     assert decompress_file(path, codec()).size == 0
 
 
-def test_truncated_container_rejected(tmp_path):
+def test_truncated_stream_rejected(tmp_path):
+    """Cuts anywhere before the end-of-frames sentinel fail the sequential read."""
     path = str(tmp_path / "c.pstf")
     compress_dataset_to_file([np.ones(100)], codec(), EB, path)
     blob = open(path, "rb").read()
-    for cut in (2, 5, len(blob) // 2, len(blob) - 4):
+    # last byte of the frame region: header | u64 len | frame | u64 sentinel
+    for cut in (2, 5, 40, len(blob) // 3):
         buf = io.BytesIO(blob[:cut])
         with pytest.raises(FormatError):
             read_stream_header(buf)
             list(decompress_stream(buf, codec()))
+
+
+def test_corrupt_frame_length_rejected_before_allocation(tmp_path):
+    """A flipped length field must raise, not attempt a multi-GB read."""
+    path = str(tmp_path / "c.pstf")
+    compress_dataset_to_file([np.ones(100)], codec(), EB, path)
+    raw = bytearray(open(path, "rb").read())
+    with open(path, "rb") as fh:
+        read_stream_header(fh)
+        frame_len_at = fh.tell()
+    raw[frame_len_at : frame_len_at + 8] = struct.pack("<Q", 1 << 56)  # 64 PB
+    buf = io.BytesIO(bytes(raw))
+    read_stream_header(buf)
+    with pytest.raises(FormatError, match="corrupt frame length"):
+        list(decompress_stream(buf, codec()))
+
+
+def test_corrupt_frame_length_nonseekable_hits_sanity_cap():
+    """Non-seekable handles fall back to the sanity cap, not a blind read."""
+
+    class Pipe(io.BytesIO):
+        def seekable(self):
+            return False
+
+    buf = io.BytesIO()
+    compress_stream([np.ones(64)], codec(), EB, buf)
+    raw = bytearray(buf.getvalue())
+    src = io.BytesIO(bytes(raw))
+    read_stream_header(src)
+    frame_len_at = src.tell()
+    raw[frame_len_at : frame_len_at + 8] = struct.pack("<Q", 1 << 60)
+    pipe = Pipe(bytes(raw))
+    read_stream_header(pipe)
+    with pytest.raises(FormatError, match="sanity cap"):
+        list(decompress_stream(pipe, codec()))
+
+
+def test_v1_stream_still_reads_sequentially():
+    """Legacy v1 streams read through the same sequential entry points."""
+    data = np.linspace(0, 1, 500) * 1e-7
+    buf = io.BytesIO()
+    s = write_v1_stream([data, data], SZCompressor(), EB, buf)
+    assert s.n_chunks == 2
+    assert s.compressed_bytes == buf.getbuffer().nbytes
+    buf.seek(0)
+    assert read_stream_header(buf) == "sz"
+    out = list(decompress_stream(buf, SZCompressor()))
+    assert len(out) == 2
+    for got in out:
+        assert np.max(np.abs(got - data)) <= EB
 
 
 def test_summary_accounting():
