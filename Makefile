@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test ci bench bench-record harness
+.PHONY: test ci bench bench-record overhead-check harness
 
 test:
 	$(PY) -m pytest tests/ -q
@@ -24,10 +24,15 @@ bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -q
 
 ## Record codec + container throughput and machine info into
-## BENCH_pr2.json so future PRs have a trajectory to compare against
+## BENCH_pr3.json so future PRs have a trajectory to compare against
 ## (see benchmarks/record.py).
 bench-record:
 	$(PY) -m benchmarks.record
+
+## The CI telemetry gate: fails when telemetry-enabled compress/decompress
+## is >10% slower than disabled (see benchmarks/overhead_check.py).
+overhead-check:
+	$(PY) -m benchmarks.overhead_check --reps 7 --threshold 0.10
 
 harness:
 	$(PY) -m repro.harness all

@@ -7,16 +7,21 @@ write one indexed container file, then open it with no codec arguments and
 decode through the frame index), and writes machine-annotated results so
 future PRs have a baseline to compare against::
 
-    python -m benchmarks.record              # writes BENCH_pr2.json
+    python -m benchmarks.record              # writes BENCH_pr3.json
     python -m benchmarks.record -o out.json --reps 30
 
-Methodology: wall-clock ``perf_counter`` around single codec calls, a few
-warmup calls first, reporting the **minimum** over ``--reps`` repetitions
-(and the median, for context).  On shared/noisy hosts the minimum is the
-stable estimator — means drift by tens of percent between scheduler
-phases, the floor does not.  Decompression is reported both *cold* (fresh
-codec, full index pass) and *warm* (same codec re-reading a held stream,
-the paper's SCF access pattern, which hits the memoised index pass).
+Methodology (since PR 3): every measured region runs under a
+:mod:`repro.telemetry` **timer** (``bench.*`` names) instead of ad-hoc
+``perf_counter`` bracketing, with a few warmup calls first, reporting the
+**minimum** over ``--reps`` repetitions (and the median, for context).  On
+shared/noisy hosts the minimum is the stable estimator — means drift by
+tens of percent between scheduler phases, the floor does not.  Telemetry
+stays enabled for the whole run, so the written JSON also carries the full
+metrics snapshot (``codec.*`` byte counters, ``container.*`` frame timers)
+under the ``"telemetry"`` key.  Decompression is reported both *cold*
+(fresh codec, full index pass) and *warm* (same codec re-reading a held
+stream, the paper's SCF access pattern, which hits the memoised index
+pass).
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.core import PaSTRICompressor
 from repro.harness.datasets import standard_dataset
 
@@ -59,20 +65,34 @@ EB = 1e-10
 REUSE_COUNT = 20  # the paper's Fig. 11 assumption: 20 uses per integral
 
 
-def _best(fn, reps: int, warmup: int = 2) -> tuple[float, float]:
-    """(min, median) wall seconds of ``fn()`` over ``reps`` repetitions."""
+def _best(name: str, fn, reps: int, warmup: int = 2) -> tuple[float, float]:
+    """(min, median) wall seconds of ``fn()`` over ``reps`` repetitions.
+
+    Each repetition is observed into the telemetry timer ``name``; warmup
+    calls run outside the timing context so the timer's distribution (and
+    the snapshot written to the JSON) holds exactly the measured reps.
+    """
     for _ in range(warmup):
         fn()
-    times = []
+    t = telemetry.timer(name)
     for _ in range(reps):
-        t0 = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - t0)
-    return min(times), float(np.median(times))
+        with t.time():
+            fn()
+    return t.min, float(np.median(t.samples))
 
 
 def run(reps: int = 15) -> dict:
-    """Measure and return the full benchmark record (pure; no I/O)."""
+    """Measure and return the full benchmark record (pure; no file I/O
+    beyond scratch containers)."""
+    telemetry.enable()
+    telemetry.reset()
+    try:
+        return _run(reps)
+    finally:
+        telemetry.disable()
+
+
+def _run(reps: int) -> dict:
     ds = standard_dataset("trialanine", "(dd|dd)", "small")
     data = ds.data
     nbytes = data.nbytes
@@ -80,21 +100,25 @@ def run(reps: int = 15) -> dict:
     codec = PaSTRICompressor(config="(dd|dd)")
     blob = codec.compress(data, EB)
 
-    c_min, c_med = _best(lambda: codec.compress(data, EB), reps)
+    c_min, c_med = _best("bench.compress", lambda: codec.compress(data, EB), reps)
     cold_min, cold_med = _best(
-        lambda: PaSTRICompressor(config="(dd|dd)").decompress(blob), reps
+        "bench.decompress_cold",
+        lambda: PaSTRICompressor(config="(dd|dd)").decompress(blob), reps,
     )
     codec.decompress(blob)  # prime the parse cache
-    warm_min, warm_med = _best(lambda: codec.decompress(blob), reps)
+    warm_min, warm_med = _best(
+        "bench.decompress_warm", lambda: codec.decompress(blob), reps
+    )
 
     # SCF-store reuse: one compression amortised over REUSE_COUNT re-reads
     # through the same held codec (Fig. 11's workload shape).
     store = PaSTRICompressor(config="(dd|dd)")
-    t0 = time.perf_counter()
-    held = store.compress(data, EB)
-    for _ in range(REUSE_COUNT):
-        store.decompress(held)
-    reuse_s = time.perf_counter() - t0
+    reuse_timer = telemetry.timer("bench.scf_reuse")
+    with reuse_timer.time():
+        held = store.compress(data, EB)
+        for _ in range(REUSE_COUNT):
+            store.decompress(held)
+    reuse_s = reuse_timer.max
 
     # PSTF-v2 container dump/load (PR 2's storage stack): compress + write an
     # indexed container, then open it self-describingly and decode through
@@ -112,9 +136,11 @@ def run(reps: int = 15) -> dict:
                 codec_kwargs={"dims": ds.spec.dims}, n_frames=8,
             )
 
-        dump_min, dump_med = _best(dump, reps)
+        dump_min, dump_med = _best("bench.container_dump", dump, reps)
         summary = dump()
-        load_min, load_med = _best(lambda: parallel_decompress_container(tmp, 1), reps)
+        load_min, load_med = _best(
+            "bench.container_load", lambda: parallel_decompress_container(tmp, 1), reps
+        )
         container_bytes = summary.compressed_bytes
     finally:
         if os.path.exists(tmp):
@@ -133,13 +159,14 @@ def run(reps: int = 15) -> dict:
         backend=ContainerBackend(spill_path, memory_budget_bytes=64 << 10),
     )
     try:
-        t0 = time.perf_counter()
-        for i in range(n_blocks):
-            spill_store.put(i, blocks[i], dims=ds.spec.dims)
-        for _ in range(REUSE_COUNT):
+        spill_timer = telemetry.timer("bench.spill_reuse")
+        with spill_timer.time():
             for i in range(n_blocks):
-                spill_store.get(i)
-        spill_s = time.perf_counter() - t0
+                spill_store.put(i, blocks[i], dims=ds.spec.dims)
+            for _ in range(REUSE_COUNT):
+                for i in range(n_blocks):
+                    spill_store.get(i)
+        spill_s = spill_timer.max
         spill_stats = spill_store.stats
     finally:
         spill_store.close()
@@ -148,7 +175,7 @@ def run(reps: int = 15) -> dict:
 
     mbs = lambda s: nbytes / s / 1e6  # noqa: E731
     return {
-        "bench": "pr2 unified storage stack: PSTF-v2 container + spillable store",
+        "bench": "pr3 telemetry subsystem: bench.* timers + full metrics snapshot",
         "recorded_unix": int(time.time()),
         "machine": {
             "platform": platform.platform(),
@@ -166,6 +193,7 @@ def run(reps: int = 15) -> dict:
             "reps": reps,
             "statistic": "min (median in *_med_ms)",
             "error_bound": EB,
+            "timing": "repro.telemetry timers (bench.*), telemetry enabled",
         },
         "pastri": {
             "compress_ms": round(c_min * 1e3, 2),
@@ -206,6 +234,7 @@ def run(reps: int = 15) -> dict:
                 "disk_reads": spill_stats.disk_reads,
             },
         },
+        "telemetry": telemetry.metrics_snapshot(),
         "pre_pr_reference": PRE_PR_REFERENCE,
         "speedup_vs_pre_pr": {
             "compress": round(PRE_PR_REFERENCE["compress_ms"] / (c_min * 1e3), 2),
@@ -221,7 +250,7 @@ def run(reps: int = 15) -> dict:
 
 def main(argv: list[str] | None = None) -> None:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("-o", "--output", default="BENCH_pr2.json", type=Path)
+    ap.add_argument("-o", "--output", default="BENCH_pr3.json", type=Path)
     ap.add_argument("--reps", default=15, type=int)
     args = ap.parse_args(argv)
     record = run(reps=args.reps)

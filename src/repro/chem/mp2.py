@@ -23,6 +23,7 @@ from scipy import linalg
 from repro.chem.oneelectron import build_one_electron_matrices
 from repro.chem.scf import RHFSolver, SCFResult
 from repro.errors import ChemistryError
+from repro.telemetry import trace
 
 
 @dataclass(frozen=True)
@@ -41,10 +42,11 @@ class MP2Result:
 
 def ao_to_mo(eri_ao: np.ndarray, C: np.ndarray) -> np.ndarray:
     """Four-index transformation, O(N^5) via four quarter-transforms."""
-    tmp = np.einsum("pqrs,pi->iqrs", eri_ao, C, optimize=True)
-    tmp = np.einsum("iqrs,qj->ijrs", tmp, C, optimize=True)
-    tmp = np.einsum("ijrs,rk->ijks", tmp, C, optimize=True)
-    return np.einsum("ijks,sl->ijkl", tmp, C, optimize=True)
+    with trace("mp2.ao_to_mo", nbf=C.shape[0]):
+        tmp = np.einsum("pqrs,pi->iqrs", eri_ao, C, optimize=True)
+        tmp = np.einsum("iqrs,qj->ijrs", tmp, C, optimize=True)
+        tmp = np.einsum("ijrs,rk->ijks", tmp, C, optimize=True)
+        return np.einsum("ijks,sl->ijkl", tmp, C, optimize=True)
 
 
 def mp2_energy(solver: RHFSolver, scf: SCFResult | None = None) -> MP2Result:
@@ -58,6 +60,11 @@ def mp2_energy(solver: RHFSolver, scf: SCFResult | None = None) -> MP2Result:
     if not scf.converged:
         raise ChemistryError("MP2 needs a converged SCF reference")
 
+    with trace("mp2.energy"):
+        return _mp2_energy(solver, scf)
+
+
+def _mp2_energy(solver: RHFSolver, scf: SCFResult) -> MP2Result:
     # Recover the MO coefficients for the converged density: diagonalise
     # the converged Fock matrix once more.
     S, T, V = build_one_electron_matrices(solver.basis)

@@ -19,6 +19,7 @@ from repro.chem.eri import ERIEngine
 from repro.chem.oneelectron import build_one_electron_matrices
 from repro.errors import ChemistryError
 from repro.pipeline.store import CompressedERIStore
+from repro.telemetry import trace
 
 
 @dataclass
@@ -88,16 +89,17 @@ class RHFSolver:
         eri = np.empty((n, n, n, n))
         ns = len(self.basis.shells)
         off = self._offsets
-        for i in range(ns):
-            for j in range(ns):
-                for k in range(ns):
-                    for l in range(ns):
-                        eri[
-                            off[i] : off[i + 1],
-                            off[j] : off[j + 1],
-                            off[k] : off[k + 1],
-                            off[l] : off[l + 1],
-                        ] = self._quartet(i, j, k, l)
+        with trace("scf.eri_tensor", shells=ns, store=self.store is not None):
+            for i in range(ns):
+                for j in range(ns):
+                    for k in range(ns):
+                        for l in range(ns):
+                            eri[
+                                off[i] : off[i + 1],
+                                off[j] : off[j + 1],
+                                off[k] : off[k + 1],
+                                off[l] : off[l + 1],
+                            ] = self._quartet(i, j, k, l)
         return eri
 
     # -- SCF loop --------------------------------------------------------------
@@ -119,6 +121,17 @@ class RHFSolver:
 
         Returns the total energy (electronic + nuclear repulsion).
         """
+        with trace("scf.run", max_iterations=max_iterations, diis=diis):
+            return self._run(max_iterations, energy_tol, damping, diis, diis_depth)
+
+    def _run(
+        self,
+        max_iterations: int,
+        energy_tol: float,
+        damping: float,
+        diis: bool,
+        diis_depth: int,
+    ) -> SCFResult:
         S, T, V = build_one_electron_matrices(self.basis)
         hcore = T + V
         eri = self.eri_tensor()
@@ -134,21 +147,22 @@ class RHFSolver:
         err_hist: list[np.ndarray] = []
         it = 0
         for it in range(1, max_iterations + 1):
-            J = np.einsum("pqrs,rs->pq", eri, D)
-            K = np.einsum("prqs,rs->pq", eri, D)
-            F = hcore + 2.0 * J - K
-            e_new = float(np.einsum("pq,pq->", D, hcore + F)) + e_nuc
-            history.append(e_new)
-            if it > 1 and abs(e_new - energy) < energy_tol:
+            with trace("scf.iteration"):
+                J = np.einsum("pqrs,rs->pq", eri, D)
+                K = np.einsum("prqs,rs->pq", eri, D)
+                F = hcore + 2.0 * J - K
+                e_new = float(np.einsum("pq,pq->", D, hcore + F)) + e_nuc
+                history.append(e_new)
+                if it > 1 and abs(e_new - energy) < energy_tol:
+                    energy = e_new
+                    converged = True
+                    break
                 energy = e_new
-                converged = True
-                break
-            energy = e_new
-            if diis:
-                F = self._diis_extrapolate(F, D, S, fock_hist, err_hist, diis_depth)
-            eps, C_new = linalg.eigh(F, S)
-            D_new = self._density(C_new)
-            D = (1.0 - damping) * D_new + damping * D
+                if diis:
+                    F = self._diis_extrapolate(F, D, S, fock_hist, err_hist, diis_depth)
+                eps, C_new = linalg.eigh(F, S)
+                D_new = self._density(C_new)
+                D = (1.0 - damping) * D_new + damping * D
         return SCFResult(
             energy=energy,
             orbital_energies=eps,

@@ -11,6 +11,7 @@ Subcommands::
     pastri ls         <in.pstf>
     pastri assess     <in.npz> [--eb 1e-10] [--eb-mode abs|rel] [--codec pastri]
     pastri bench      [experiment ids ...]
+    pastri telemetry report <trace.jsonl>
 
 ``compress`` writes one bare PaSTRI bitstream; ``pack`` writes a seekable
 PSTF-v2 *container* (frame index, per-frame CRC32, codec spec in the
@@ -20,6 +21,13 @@ read back with no codec arguments.  ``compress``/``pack`` accept a raw
 :meth:`repro.chem.dataset.ERIDataset.save` (block geometry taken from the
 file).  Error bounds are absolute by default; ``--eb-mode rel`` interprets
 ``--eb`` as value-range-relative (SZ's REL mode).
+
+``compress``/``decompress``/``pack``/``unpack``/``assess`` take a global
+``--telemetry[=PATH]`` flag: with it, the run executes under
+:mod:`repro.telemetry`, a per-stage summary table is printed to stderr
+afterwards, and — when PATH is given — the full span trace plus a metrics
+snapshot is written there as JSON lines for later ``pastri telemetry
+report PATH``.
 """
 
 from __future__ import annotations
@@ -248,6 +256,56 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return harness_main(args.experiments or ["fig9"])
 
 
+def cmd_telemetry_report(args: argparse.Namespace) -> int:
+    """Handle ``pastri telemetry report``: render a saved JSON-lines trace."""
+    from repro.telemetry import format_metrics_table, format_span_tree
+    from repro.telemetry.export import read_trace_jsonl
+
+    roots, snapshot = read_trace_jsonl(args.input)
+    if roots:
+        print(format_span_tree(roots))
+    if snapshot is not None:
+        print(format_metrics_table(snapshot))
+    if not roots and snapshot is None:
+        print(f"{args.input}: no spans or metrics recorded")
+    return 0
+
+
+def _run_with_telemetry(args: argparse.Namespace) -> int:
+    """Execute a subcommand under telemetry and report afterwards.
+
+    The summary table goes to stderr so stdout stays parseable (``ls``,
+    ``info``, ... keep their machine-readable shape); a non-empty PATH
+    additionally gets the JSON-lines trace + metrics snapshot.
+    """
+    from repro import telemetry
+
+    telemetry.enable()
+    try:
+        with telemetry.trace(f"cli.{args.cmd}"):
+            rc = args.func(args)
+        print(telemetry.format_report(), file=sys.stderr)
+        if args.telemetry:
+            telemetry.write_trace_jsonl(args.telemetry)
+            print(f"telemetry trace written to {args.telemetry}", file=sys.stderr)
+        return rc
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+
+
+def _add_telemetry_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="instrument the run; print a stage summary and optionally "
+        "dump the JSON-lines trace to PATH",
+    )
+
+
 def _add_eb_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--eb", type=float, default=1e-10, help="error bound")
     p.add_argument(
@@ -270,11 +328,13 @@ def main(argv: list[str] | None = None) -> int:
     c.add_argument("--config", default=None, help="BF configuration, e.g. '(dd|dd)'")
     c.add_argument("--metric", default="er", help="scaling metric (fr/er/ar/aar/is)")
     c.add_argument("--tree", type=int, default=5, help="ECQ encoding tree 1-5")
+    _add_telemetry_arg(c)
     c.set_defaults(func=cmd_compress)
 
     d = sub.add_parser("decompress", help="decompress to .npy")
     d.add_argument("input")
     d.add_argument("output")
+    _add_telemetry_arg(d)
     d.set_defaults(func=cmd_decompress)
 
     i = sub.add_parser("info", help="print stream/container header")
@@ -292,12 +352,14 @@ def main(argv: list[str] | None = None) -> int:
         "--chunk-blocks", type=int, default=64,
         help="shell blocks per container frame (finer = better random access)",
     )
+    _add_telemetry_arg(pk)
     pk.set_defaults(func=cmd_pack)
 
     up = sub.add_parser("unpack", help="decode a PSTF container to .npy")
     up.add_argument("input")
     up.add_argument("output")
     up.add_argument("--workers", type=int, default=1, help="decompression processes")
+    _add_telemetry_arg(up)
     up.set_defaults(func=cmd_unpack)
 
     ls = sub.add_parser("ls", help="list a container's frame index")
@@ -316,14 +378,23 @@ def main(argv: list[str] | None = None) -> int:
     a.add_argument("input", help=".npz dataset")
     _add_eb_args(a)
     a.add_argument("--codec", default="pastri")
+    _add_telemetry_arg(a)
     a.set_defaults(func=cmd_assess)
 
     b = sub.add_parser("bench", help="run paper experiments")
     b.add_argument("experiments", nargs="*")
     b.set_defaults(func=cmd_bench)
 
+    t = sub.add_parser("telemetry", help="inspect saved telemetry traces")
+    tsub = t.add_subparsers(dest="telemetry_cmd", required=True)
+    tr = tsub.add_parser("report", help="render a JSON-lines trace as a report")
+    tr.add_argument("input", help="trace file written by --telemetry=PATH")
+    tr.set_defaults(func=cmd_telemetry_report)
+
     args = p.parse_args(argv)
     try:
+        if getattr(args, "telemetry", None) is not None:
+            return _run_with_telemetry(args)
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import api
+from repro import api, telemetry
 from repro.bitio import (
     BitReader,
     BitWriter,
@@ -87,6 +87,7 @@ def _block_types(ecb: np.ndarray) -> np.ndarray:
     )
 
 
+@telemetry.instrument_codec
 class PaSTRICompressor:
     """Error-bounded lossy compressor for ERI shell blocks.
 

@@ -6,6 +6,7 @@ from typing import Callable
 
 from repro.errors import ParameterError
 from repro.harness import breakdown, dump, fig3, fig6, fig9, fig10, fig11, tab_scaling, tab_trees
+from repro.telemetry import trace
 
 
 def _fig9_main_run(**kw):
@@ -35,4 +36,5 @@ def run_experiment(exp_id: str, **kwargs) -> dict:
         raise ParameterError(
             f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
-    return driver(**kwargs)
+    with trace(f"harness.{exp_id}"):
+        return driver(**kwargs)

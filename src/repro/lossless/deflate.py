@@ -7,10 +7,11 @@ import zlib
 
 import numpy as np
 
-from repro import api
+from repro import api, telemetry
 from repro.errors import FormatError
 
 
+@telemetry.instrument_codec
 class DeflateCodec:
     """DEFLATE over the raw IEEE-754 bytes.
 

@@ -18,13 +18,14 @@ import struct
 
 import numpy as np
 
-from repro import api
+from repro import api, telemetry
 from repro.errors import FormatError
 
 _MAGIC = b"FPC1"
 _MASK = (1 << 64) - 1
 
 
+@telemetry.instrument_codec
 class FPCCodec:
     """FPC lossless codec (``error_bound`` accepted and ignored)."""
 

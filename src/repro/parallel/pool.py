@@ -18,6 +18,15 @@ Two tiers of API:
   only a *frame-index entry* (offset/length/CRC) — every worker opens the
   file itself and seeks, so no blob bytes cross the process boundary in
   either direction on the load side.
+
+Telemetry rides the same wire: when the parent has
+:mod:`repro.telemetry` enabled, the pool initializer enables it in every
+worker (fork *and* spawn), each task returns ``(payload, delta)`` where
+the delta carries the worker's metric state and finished span trees, and
+the parent merges every delta — so a parallel run yields one coherent
+trace with worker spans grafted (tagged ``proc=<pid>``) under the
+parent's stage span.  Disabled, the delta slot is ``None`` and costs one
+tuple per chunk.
 """
 
 from __future__ import annotations
@@ -27,9 +36,10 @@ from typing import Sequence
 
 import numpy as np
 
-from repro import api
-from repro.errors import ParameterError
+from repro import api, telemetry
+from repro.errors import CompressionError, ParameterError
 from repro.streamio import ContainerWriter, StreamSummary, open_container
+from repro.telemetry import state as _tstate
 
 _WORKER_CODEC = None
 _WORKER_FH = None
@@ -49,18 +59,46 @@ def pool_context() -> mp.context.BaseContext:
         return mp.get_context("spawn")
 
 
-def _init_worker(codec_name: str, codec_kwargs: dict) -> None:
+def _init_worker(
+    codec_name: str, codec_kwargs: dict, telemetry_on: bool = False
+) -> None:
     global _WORKER_CODEC
     _WORKER_CODEC = api.get_codec(codec_name, **codec_kwargs)
+    _init_worker_telemetry(telemetry_on)
 
 
-def _compress_chunk(args: tuple[np.ndarray, float]) -> bytes:
+def _init_worker_telemetry(telemetry_on: bool) -> None:
+    """Start every worker with a clean telemetry slate.
+
+    Fork workers inherit the parent's live metrics and span buffer; those
+    must be zeroed or the deltas shipped back would double-count the
+    parent's own history.  Spawn workers start clean but still need the
+    enable flag, which does not survive re-import.
+    """
+    if telemetry_on:
+        telemetry.enable()
+        telemetry.reset()
+    else:
+        telemetry.disable()
+
+
+def _compress_chunk(args: tuple[np.ndarray, float]) -> tuple[bytes, dict | None]:
     chunk, eb = args
-    return _WORKER_CODEC.compress(chunk, eb)
+    blob = _WORKER_CODEC.compress(chunk, eb)
+    return blob, telemetry.capture_state()
 
 
-def _decompress_chunk(blob: bytes) -> np.ndarray:
-    return _WORKER_CODEC.decompress(blob)
+def _decompress_chunk(blob: bytes) -> tuple[np.ndarray, dict | None]:
+    return _WORKER_CODEC.decompress(blob), telemetry.capture_state()
+
+
+def _merge_results(results: list) -> list:
+    """Unzip ``(payload, delta)`` pairs, folding deltas into this process."""
+    payloads = []
+    for payload, delta in results:
+        telemetry.merge_state(delta)
+        payloads.append(payload)
+    return payloads
 
 
 def split_stream(data: np.ndarray, n_chunks: int, block_size: int) -> list[np.ndarray]:
@@ -99,10 +137,14 @@ def parallel_compress(
     if n_workers == 1 or len(chunks) == 1:
         codec = api.get_codec(codec_name, **(codec_kwargs or {}))
         return [codec.compress(c, error_bound) for c in chunks]
-    with pool_context().Pool(
-        n_workers, initializer=_init_worker, initargs=(codec_name, codec_kwargs or {})
-    ) as pool:
-        return pool.map(_compress_chunk, [(c, error_bound) for c in chunks])
+    with telemetry.trace("parallel.compress", workers=n_workers, chunks=len(chunks)):
+        with pool_context().Pool(
+            n_workers,
+            initializer=_init_worker,
+            initargs=(codec_name, codec_kwargs or {}, _tstate.enabled),
+        ) as pool:
+            results = pool.map(_compress_chunk, [(c, error_bound) for c in chunks])
+        return _merge_results(results)
 
 
 def parallel_decompress(
@@ -116,10 +158,13 @@ def parallel_decompress(
         codec = api.get_codec(codec_name, **(codec_kwargs or {}))
         parts = [codec.decompress(b) for b in blobs]
     else:
-        with pool_context().Pool(
-            n_workers, initializer=_init_worker, initargs=(codec_name, codec_kwargs or {})
-        ) as pool:
-            parts = pool.map(_decompress_chunk, list(blobs))
+        with telemetry.trace("parallel.decompress", workers=n_workers, chunks=len(blobs)):
+            with pool_context().Pool(
+                n_workers,
+                initializer=_init_worker,
+                initargs=(codec_name, codec_kwargs or {}, _tstate.enabled),
+            ) as pool:
+                parts = _merge_results(pool.map(_decompress_chunk, list(blobs)))
     return np.concatenate(parts)
 
 
@@ -151,32 +196,57 @@ def parallel_compress_to_container(
         raise ParameterError("n_workers must be >= 1")
     kwargs = codec_kwargs or {}
     chunks = split_stream(data, n_frames or n_workers, block_size)
-    if n_workers == 1 or len(chunks) == 1:
+    with telemetry.trace(
+        "parallel.compress_to_container", workers=n_workers, frames=len(chunks)
+    ):
+        if n_workers == 1 or len(chunks) == 1:
+            codec = api.get_codec(codec_name, **kwargs)
+            blobs = [codec.compress(c, error_bound) for c in chunks]
+        else:
+            with telemetry.trace("parallel.compress", workers=n_workers):
+                with pool_context().Pool(
+                    n_workers,
+                    initializer=_init_worker,
+                    initargs=(codec_name, kwargs, _tstate.enabled),
+                ) as pool:
+                    try:
+                        results = pool.map(
+                            _compress_chunk, [(c, error_bound) for c in chunks]
+                        )
+                    except CompressionError:
+                        raise
+                    except Exception as exc:
+                        # Pool.map re-raises the first worker exception in the
+                        # parent; normalize it so callers see one library
+                        # error type instead of a bare worker traceback.
+                        raise CompressionError(
+                            f"worker failed while compressing a chunk: {exc}"
+                        ) from exc
+                blobs = _merge_results(results)
         codec = api.get_codec(codec_name, **kwargs)
-        blobs = [codec.compress(c, error_bound) for c in chunks]
-    else:
-        with pool_context().Pool(
-            n_workers, initializer=_init_worker, initargs=(codec_name, kwargs)
-        ) as pool:
-            blobs = pool.map(_compress_chunk, [(c, error_bound) for c in chunks])
-    codec = api.get_codec(codec_name, **kwargs)
-    full_meta = {"error_bound": error_bound, "block_size": int(block_size)}
-    full_meta.update(meta or {})
-    with open(path, "wb") as fh:
-        with ContainerWriter(fh, codec, error_bound, meta=full_meta) as w:
-            for chunk, blob in zip(chunks, blobs):
-                w.append_blob(blob, chunk.size)
+        full_meta = {"error_bound": error_bound, "block_size": int(block_size)}
+        full_meta.update(meta or {})
+        with telemetry.trace("container.write", frames=len(chunks)):
+            with open(path, "wb") as fh:
+                with ContainerWriter(fh, codec, error_bound, meta=full_meta) as w:
+                    for chunk, blob in zip(chunks, blobs):
+                        w.append_blob(blob, chunk.size)
     return w.summary
 
 
-def _init_container_worker(path: str, codec_spec: dict) -> None:
+def _init_container_worker(
+    path: str, codec_spec: dict, telemetry_on: bool = False
+) -> None:
     """Each load worker owns a file handle and a codec rebuilt from the spec."""
     global _WORKER_CODEC, _WORKER_FH
     _WORKER_CODEC = api.codec_from_spec(codec_spec)
     _WORKER_FH = open(path, "rb")
+    _init_worker_telemetry(telemetry_on)
 
 
-def _decompress_indexed_frame(entry: tuple[int, int, int | None]) -> np.ndarray:
+def _decompress_indexed_frame(
+    entry: tuple[int, int, int | None],
+) -> tuple[np.ndarray, dict | None]:
     """Decompress one frame addressed by (offset, length, crc32)."""
     import zlib
 
@@ -189,7 +259,7 @@ def _decompress_indexed_frame(entry: tuple[int, int, int | None]) -> np.ndarray:
         raise FormatError(f"truncated container: short frame at offset {offset}")
     if crc is not None and zlib.crc32(blob) & 0xFFFFFFFF != crc:
         raise ChecksumError(f"frame payload CRC mismatch at offset {offset}")
-    return _WORKER_CODEC.decompress(blob)
+    return _WORKER_CODEC.decompress(blob), telemetry.capture_state()
 
 
 def parallel_decompress_container(path: str, n_workers: int) -> np.ndarray:
@@ -202,15 +272,18 @@ def parallel_decompress_container(path: str, n_workers: int) -> np.ndarray:
     """
     if n_workers < 1:
         raise ParameterError("n_workers must be >= 1")
-    with open_container(path) as reader:
-        if n_workers == 1 or len(reader) <= 1:
-            return reader.read_all()
-        spec = reader.codec_spec
-        entries = [(f.offset, f.length, f.crc32) for f in reader.frames]
-    with pool_context().Pool(
-        n_workers, initializer=_init_container_worker, initargs=(path, spec)
-    ) as pool:
-        parts = pool.map(_decompress_indexed_frame, entries)
+    with telemetry.trace("parallel.decompress_container", workers=n_workers):
+        with open_container(path) as reader:
+            if n_workers == 1 or len(reader) <= 1:
+                return reader.read_all()
+            spec = reader.codec_spec
+            entries = [(f.offset, f.length, f.crc32) for f in reader.frames]
+        with pool_context().Pool(
+            n_workers,
+            initializer=_init_container_worker,
+            initargs=(path, spec, _tstate.enabled),
+        ) as pool:
+            parts = _merge_results(pool.map(_decompress_indexed_frame, entries))
     if not parts:
         return np.zeros(0, dtype=np.float64)
     return np.concatenate(parts)

@@ -31,6 +31,8 @@ from repro import api
 from repro.api import Codec
 from repro.errors import ParameterError
 from repro.streamio import ContainerWriter, open_container
+from repro.telemetry import REGISTRY as _METRICS
+from repro.telemetry import state as _tstate
 
 __all__ = [
     "StoreStats",
@@ -42,7 +44,16 @@ __all__ = [
 
 @dataclass
 class StoreStats:
-    """Aggregate accounting for a :class:`CompressedERIStore`."""
+    """Aggregate accounting for a :class:`CompressedERIStore`.
+
+    The public fields are per-store, as they always were.  Mutations made
+    through :meth:`bump` are *also* mirrored into the global telemetry
+    registry under ``store.<field>`` when telemetry is enabled, so a
+    process-wide snapshot aggregates traffic across every live store while
+    this object keeps serving per-store numbers.  Direct assignment (e.g.
+    the ``load`` path's ``stats.puts = 0``) only touches the per-store
+    value — the global registry is an append-only ledger.
+    """
 
     n_entries: int = 0
     original_bytes: int = 0
@@ -57,9 +68,26 @@ class StoreStats:
     #: blob reads served from the spill container rather than memory
     disk_reads: int = 0
 
+    def bump(self, field_name: str, delta: int = 1) -> None:
+        """Add ``delta`` to a counter field, mirroring it into telemetry."""
+        setattr(self, field_name, getattr(self, field_name) + delta)
+        if _tstate.enabled:
+            _METRICS.counter("store." + field_name).add(delta)
+
     @property
     def ratio(self) -> float:
-        return self.original_bytes / max(self.compressed_bytes, 1)
+        """Compression ratio, or 0.0 for a store that holds no bytes yet."""
+        if self.compressed_bytes == 0:
+            return 0.0
+        return self.original_bytes / self.compressed_bytes
+
+    @property
+    def hit_rate(self) -> float:
+        """Hot-cache hit fraction, or 0.0 before any cached traffic."""
+        lookups = self.cache_hits + self.cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.cache_hits / lookups
 
 
 @dataclass(frozen=True)
@@ -163,7 +191,7 @@ class ContainerBackend:
         self._write_fh.flush()
         self._spilled[key] = (info.offset, info.length, info.crc32, entry.dims, entry.nbytes)
         if self.stats is not None:
-            self.stats.spills += 1
+            self.stats.bump("spills")
 
     def _shrink_to_budget(self) -> None:
         while self._hot_bytes > self.memory_budget_bytes and len(self._hot) > 1:
@@ -187,7 +215,7 @@ class ContainerBackend:
         if zlib.crc32(blob) & 0xFFFFFFFF != crc:
             raise ChecksumError(f"spill container CRC mismatch for key {key!r}")
         if self.stats is not None:
-            self.stats.disk_reads += 1
+            self.stats.bump("disk_reads")
         return _Entry(blob, nbytes, dims)
 
     # -- backend interface ----------------------------------------------------
@@ -313,25 +341,25 @@ class CompressedERIStore:
         """Insert a ready-made blob (the load/restore path skips compression)."""
         prev = self.backend.put(key, _Entry(blob, nbytes, dims))
         if prev is not None:
-            self.stats.compressed_bytes -= len(prev.blob)
-            self.stats.original_bytes -= prev.nbytes
-            self.stats.n_entries -= 1
+            self.stats.bump("compressed_bytes", -len(prev.blob))
+            self.stats.bump("original_bytes", -prev.nbytes)
+            self.stats.bump("n_entries", -1)
         self._hot_arrays.pop(key, None)
-        self.stats.n_entries += 1
-        self.stats.puts += 1
-        self.stats.original_bytes += nbytes
-        self.stats.compressed_bytes += len(blob)
+        self.stats.bump("n_entries")
+        self.stats.bump("puts")
+        self.stats.bump("original_bytes", nbytes)
+        self.stats.bump("compressed_bytes", len(blob))
 
     def get(self, key) -> np.ndarray:
         """Decompress one block; raises KeyError for unknown keys."""
-        self.stats.gets += 1
+        self.stats.bump("gets")
         if self.hot_cache_blocks > 0:
             hit = self._hot_arrays.get(key)
             if hit is not None:
                 self._hot_arrays.move_to_end(key)
-                self.stats.cache_hits += 1
+                self.stats.bump("cache_hits")
                 return hit
-            self.stats.cache_misses += 1
+            self.stats.bump("cache_misses")
         out = self.codec.decompress(self.backend.get(key).blob)
         if self.hot_cache_blocks > 0:
             out.setflags(write=False)  # cached arrays are shared; keep them frozen

@@ -44,6 +44,7 @@ from __future__ import annotations
 import io
 import json
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from typing import BinaryIO, Iterable, Iterator
@@ -53,6 +54,8 @@ import numpy as np
 from repro import api
 from repro.api import Codec
 from repro.errors import ChecksumError, FormatError
+from repro.telemetry import REGISTRY as _METRICS
+from repro.telemetry import state as _tstate
 
 _MAGIC = b"PSTF"
 _INDEX_MAGIC = b"PSTFIDX2"
@@ -198,8 +201,18 @@ class ContainerWriter:
         if self._closed:
             raise FormatError("container already closed")
         self._original_bytes += int(n_elements) * 8  # float64 elements
-        self.fh.write(struct.pack("<Q", len(blob)))
-        self.fh.write(blob)
+        if _tstate.enabled:
+            t0 = time.perf_counter()
+            self.fh.write(struct.pack("<Q", len(blob)))
+            self.fh.write(blob)
+            _METRICS.timer("container.write.frame").observe(
+                time.perf_counter() - t0, nbytes=len(blob)
+            )
+            _METRICS.counter("container.write.payload_bytes").add(len(blob))
+            _METRICS.counter("container.write.frames").add(1)
+        else:
+            self.fh.write(struct.pack("<Q", len(blob)))
+            self.fh.write(blob)
         info = FrameInfo(
             offset=self._pos + 8,
             length=len(blob),
@@ -454,8 +467,18 @@ class ContainerReader:
     def read_blob(self, i: int) -> bytes:
         """Read frame ``i``'s raw blob (CRC-verified on v2), nothing else."""
         f = self.frames[i]
-        self.fh.seek(f.offset)
-        blob = _read_exact(self.fh, f.length, f"frame {i}")
+        if _tstate.enabled:
+            t0 = time.perf_counter()
+            self.fh.seek(f.offset)
+            blob = _read_exact(self.fh, f.length, f"frame {i}")
+            _METRICS.timer("container.read.frame").observe(
+                time.perf_counter() - t0, nbytes=f.length
+            )
+            _METRICS.counter("container.read.payload_bytes").add(f.length)
+            _METRICS.counter("container.read.frames").add(1)
+        else:
+            self.fh.seek(f.offset)
+            blob = _read_exact(self.fh, f.length, f"frame {i}")
         if f.crc32 is not None:
             actual = zlib.crc32(blob) & 0xFFFFFFFF
             if actual != f.crc32:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import api
+from repro import api, telemetry
 from repro.bitio import BitReader, BitWriter
 from repro.errors import FormatError, ParameterError
 from repro.sz.huffman import HuffmanCode
@@ -35,6 +35,7 @@ _MAGIC = 0x535A5250  # 'SZRP'
 _VERSION = 1
 
 
+@telemetry.instrument_codec
 class SZCompressor:
     """SZ-style error-bounded lossy codec (paper baseline).
 

@@ -1,0 +1,108 @@
+"""Instrumentation helpers: codec wrapping and worker delta transport.
+
+:func:`instrument_codec` is a class decorator the codec modules apply to
+their compressor classes.  With telemetry disabled the wrapper is one
+attribute read and a branch before calling straight through — the
+zero-overhead mode CI guards.  Enabled, every call records:
+
+* a span named ``codec.<name>.<op>`` (feeding the same-named timer),
+* ``codec.<name>.<op>.bytes_in`` / ``.bytes_out`` counters, and
+* payload bytes on the timer, so the summary table shows MB/s
+  (uncompressed bytes for both directions — the paper's rate convention).
+
+:func:`capture_state` / :func:`merge_state` are the multiprocessing
+transport: a worker drains its spans and serializes its metric state into
+one picklable dict; the parent folds it into the live registry and grafts
+the spans under its open span (see :mod:`repro.parallel.pool`).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+
+from repro.telemetry import state
+from repro.telemetry.registry import REGISTRY
+from repro.telemetry.spans import adopt_spans, drain_spans, trace
+
+__all__ = ["instrument_codec", "capture_state", "merge_state"]
+
+
+def _nbytes(obj) -> int:
+    """Payload size of a codec argument (array ``nbytes`` or blob length)."""
+    n = getattr(obj, "nbytes", None)
+    if n is not None:
+        return int(n)
+    try:
+        return len(obj)
+    except TypeError:
+        return 0
+
+
+def instrument_codec(cls):
+    """Class decorator wrapping ``compress``/``decompress`` with telemetry.
+
+    The metric namespace comes from each *instance*'s ``name`` attribute,
+    so one wrapper serves every registered codec.
+    """
+    orig_compress = cls.compress
+    orig_decompress = cls.decompress
+
+    @functools.wraps(orig_compress)
+    def compress(self, data, error_bound=0.0):
+        if not state.enabled:
+            return orig_compress(self, data, error_bound)
+        base = f"codec.{self.name}.compress"
+        bytes_in = _nbytes(data)
+        with trace(base, nbytes=bytes_in):
+            blob = orig_compress(self, data, error_bound)
+        REGISTRY.counter(base + ".bytes_in").add(bytes_in)
+        REGISTRY.counter(base + ".bytes_out").add(len(blob))
+        REGISTRY.timer(base).add_bytes(bytes_in)
+        return blob
+
+    @functools.wraps(orig_decompress)
+    def decompress(self, blob):
+        if not state.enabled:
+            return orig_decompress(self, blob)
+        base = f"codec.{self.name}.decompress"
+        with trace(base, nbytes=len(blob)):
+            out = orig_decompress(self, blob)
+        REGISTRY.counter(base + ".bytes_in").add(len(blob))
+        REGISTRY.counter(base + ".bytes_out").add(_nbytes(out))
+        REGISTRY.timer(base).add_bytes(_nbytes(out))
+        return out
+
+    cls.compress = compress
+    cls.decompress = decompress
+    return cls
+
+
+def capture_state() -> dict | None:
+    """Drain this process's telemetry into one picklable delta dict.
+
+    Returns ``None`` when telemetry is disabled, so the pool's wire format
+    costs nothing in the common case.  Metrics are reset after capture —
+    the dict *is* the delta; call sites own exactly-once merging.
+    """
+    if not state.enabled:
+        return None
+    out = {
+        "pid": os.getpid(),
+        "metrics": REGISTRY.state(),
+        "spans": [sp.to_dict() for sp in drain_spans()],
+    }
+    REGISTRY.reset()
+    return out
+
+
+def merge_state(delta: dict | None) -> None:
+    """Fold a worker's :func:`capture_state` delta into this process.
+
+    Spans are grafted under the currently open span (tagged with the
+    worker's pid); metrics merge additively.  ``None`` is a no-op.
+    """
+    if not delta:
+        return
+    REGISTRY.merge(delta.get("metrics"))
+    adopt_spans(delta.get("spans"), proc=delta.get("pid"))

@@ -1,0 +1,295 @@
+"""Thread-safe metrics registry: counters, gauges, and timers by dotted name.
+
+Names follow a ``layer.component.operation[.detail]`` scheme, e.g.
+``codec.pastri.compress.bytes_in`` or ``container.write.frame`` (see
+``docs/OBSERVABILITY.md``).  All metrics live in one process-global
+:class:`MetricsRegistry` (:data:`REGISTRY`); pool workers reset their
+inherited copy, record into it, and ship the result back to the parent as
+a *delta* (:meth:`MetricsRegistry.state` / :meth:`MetricsRegistry.merge`),
+so parallel runs aggregate into one coherent snapshot.
+
+Every metric carries its own lock; updates are a few hundred nanoseconds
+and only happen when :mod:`repro.telemetry.state` is enabled.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterator
+
+from repro.errors import ParameterError
+
+__all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry", "REGISTRY"]
+
+#: Timer sample reservoir size (ring of the most recent observations);
+#: percentiles are computed over these samples.
+SAMPLE_CAP = 4096
+
+
+class Counter:
+    """Monotonic-by-convention accumulator (negative deltas are allowed so
+    gauges-of-totals like ``store.n_entries`` can shrink on overwrite)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def add(self, n: int | float = 1) -> None:
+        with self._lock:
+            self.value += n
+
+    def state(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+    def summary(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+    def merge_state(self, st: dict) -> None:
+        self.add(st["value"])
+
+    def reset(self) -> None:
+        with self._lock:
+            self.value = 0
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (e.g. a memory budget)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, v: float) -> None:
+        with self._lock:
+            self.value = v
+
+    def state(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+    def summary(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+    def merge_state(self, st: dict) -> None:
+        self.set(st["value"])
+
+    def reset(self) -> None:
+        with self._lock:
+            self.value = 0.0
+
+
+class Timer:
+    """Duration distribution: count/total/min/max plus a sample ring for
+    p50/p95, and an optional byte tally for throughput reporting.
+
+    ``observe`` records one duration; ``add_bytes`` attributes payload
+    bytes to the timer so :meth:`summary` can report MB/s
+    (``bytes / total_s``) — the byte-throughput helper the codec and
+    container instrumentation use.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "bytes", "_samples", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self.bytes = 0
+        self._samples: list[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float, nbytes: int = 0) -> None:
+        with self._lock:
+            if len(self._samples) < SAMPLE_CAP:
+                self._samples.append(seconds)
+            else:
+                self._samples[self.count % SAMPLE_CAP] = seconds
+            self.count += 1
+            self.total += seconds
+            if seconds < self.min:
+                self.min = seconds
+            if seconds > self.max:
+                self.max = seconds
+            self.bytes += nbytes
+
+    def add_bytes(self, nbytes: int) -> None:
+        with self._lock:
+            self.bytes += nbytes
+
+    def time(self) -> "_TimerContext":
+        """``with timer.time(): ...`` — observe the body's wall duration."""
+        return _TimerContext(self)
+
+    @property
+    def samples(self) -> list[float]:
+        """The retained duration samples (most recent ``SAMPLE_CAP``)."""
+        with self._lock:
+            return list(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """Sample percentile (nearest-rank) over the retained reservoir."""
+        if not 0.0 <= q <= 100.0:
+            raise ParameterError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[idx]
+
+    def state(self) -> dict:
+        with self._lock:
+            return {
+                "type": "timer",
+                "count": self.count,
+                "total": self.total,
+                "min": self.min if self.count else 0.0,
+                "max": self.max,
+                "bytes": self.bytes,
+                "samples": list(self._samples),
+            }
+
+    def summary(self) -> dict:
+        s = {
+            "type": "timer",
+            "count": self.count,
+            "total_s": self.total,
+            "min_s": self.min if self.count else 0.0,
+            "max_s": self.max,
+            "p50_s": self.percentile(50),
+            "p95_s": self.percentile(95),
+        }
+        if self.bytes:
+            s["bytes"] = self.bytes
+            if self.total > 0:
+                s["mb_per_s"] = self.bytes / self.total / 1e6
+        return s
+
+    def merge_state(self, st: dict) -> None:
+        with self._lock:
+            self.total += st["total"]
+            self.bytes += st["bytes"]
+            if st["count"]:
+                self.min = min(self.min, st["min"])
+                self.max = max(self.max, st["max"])
+            for s in st["samples"]:
+                if len(self._samples) < SAMPLE_CAP:
+                    self._samples.append(s)
+                else:
+                    self._samples[self.count % SAMPLE_CAP] = s
+                self.count += 1
+            # count covers merged samples; add any the ring had dropped
+            self.count += max(0, st["count"] - len(st["samples"]))
+
+    def reset(self) -> None:
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = float("inf")
+            self.max = 0.0
+            self.bytes = 0
+            self._samples = []
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_t0")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+
+    def __enter__(self) -> Timer:
+        self._t0 = time.perf_counter()
+        return self._timer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._timer.observe(time.perf_counter() - self._t0)
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "timer": Timer}
+
+
+class MetricsRegistry:
+    """Process-global name → metric map with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Timer] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls):
+        m = self._metrics.get(name)
+        if m is None:
+            with self._lock:
+                m = self._metrics.get(name)
+                if m is None:
+                    m = cls(name)
+                    self._metrics[name] = m
+        if not isinstance(m, cls):
+            raise ParameterError(
+                f"metric {name!r} already registered as {type(m).__name__}, "
+                f"not {cls.__name__}"
+            )
+        return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer)
+
+    def get(self, name: str):
+        """The metric registered under ``name`` or ``None``."""
+        return self._metrics.get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._metrics))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict:
+        """JSON-pure ``{name: summary}`` of every metric, sorted by name."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {name: m.summary() for name, m in items}
+
+    def state(self) -> dict:
+        """Full-fidelity serialized state (keeps timer samples) for
+        cross-process transport; :meth:`merge` inverts it additively."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {name: m.state() for name, m in items}
+
+    def merge(self, state: dict | None) -> None:
+        """Fold a worker's :meth:`state` into this registry (additively for
+        counters/timers, last-write-wins for gauges)."""
+        if not state:
+            return
+        for name, st in state.items():
+            self._get(name, _KINDS[st["type"]]).merge_state(st)
+
+    def reset(self) -> None:
+        """Zero every metric (the names stay registered)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for m in metrics:
+            m.reset()
+
+    def clear(self) -> None:
+        """Drop every metric entirely."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-wide registry all instrumentation records into.
+REGISTRY = MetricsRegistry()

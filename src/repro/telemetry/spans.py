@@ -1,0 +1,176 @@
+"""Span tracing: nested wall/CPU-timed regions with attributes.
+
+``with trace("container.write", frames=8): ...`` opens a span; spans nest
+through a thread-local stack, so whatever runs inside becomes a child.
+When the outermost span of a thread closes it is appended to a bounded
+per-process buffer (:func:`drain_spans` empties it).  Every span also
+feeds the :mod:`registry` timer of the same name on close, which is how
+the per-stage summary table gets its rows without double bookkeeping.
+
+Spans serialize to JSON-pure dicts (:meth:`Span.to_dict`) for the
+JSON-lines trace exporter and for the multiprocessing pool, whose workers
+ship their finished span trees back to the parent where
+:func:`adopt_spans` grafts them under the live parent span — one coherent
+trace for a parallel run.  Grafted worker spans ran concurrently, so only
+same-process children obey "sum of child wall times <= parent wall time";
+worker spans are marked with a ``proc`` attribute.
+
+With telemetry disabled, ``trace`` is a no-op object: construction plus
+one branch, no clock reads, no allocation beyond the context manager.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.telemetry import state
+from repro.telemetry.registry import REGISTRY
+
+__all__ = ["Span", "trace", "current_span", "drain_spans", "peek_spans", "reset_spans"]
+
+#: Finished root spans kept per process; beyond this, spans are dropped and
+#: counted in ``telemetry.spans.dropped`` (bounded memory for long runs).
+BUFFER_CAP = 65536
+
+_local = threading.local()
+_buffer: list["Span"] = []
+_buffer_lock = threading.Lock()
+
+
+class Span:
+    """One timed region: name, attributes, wall/CPU seconds, children."""
+
+    __slots__ = ("name", "attrs", "wall_s", "cpu_s", "children", "_t0", "_c0")
+
+    def __init__(self, name: str, attrs: dict | None = None) -> None:
+        self.name = name
+        self.attrs = attrs or {}
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.children: list[Span] = []
+
+    def to_dict(self) -> dict:
+        d = {"name": self.name, "wall_s": self.wall_s, "cpu_s": self.cpu_s}
+        if self.attrs:
+            d["attrs"] = self.attrs
+        if self.children:
+            d["children"] = [c.to_dict() for c in self.children]
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Span":
+        sp = cls(d["name"], dict(d.get("attrs") or {}))
+        sp.wall_s = float(d.get("wall_s", 0.0))
+        sp.cpu_s = float(d.get("cpu_s", 0.0))
+        sp.children = [cls.from_dict(c) for c in d.get("children") or []]
+        return sp
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, wall={self.wall_s * 1e3:.3f}ms, "
+            f"children={len(self.children)})"
+        )
+
+
+def _stack() -> list[Span]:
+    st = getattr(_local, "stack", None)
+    if st is None:
+        st = _local.stack = []
+    return st
+
+
+def current_span() -> Span | None:
+    """The innermost open span on this thread, if any."""
+    st = getattr(_local, "stack", None)
+    return st[-1] if st else None
+
+
+class trace:
+    """Context manager opening a span named ``name`` with ``attrs``.
+
+    Yields the :class:`Span` (or ``None`` when telemetry is disabled).
+    """
+
+    __slots__ = ("name", "attrs", "span")
+
+    def __init__(self, name: str, **attrs) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.span = None
+
+    def __enter__(self) -> Span | None:
+        if not state.enabled:
+            return None
+        sp = Span(self.name, self.attrs)
+        sp._t0 = time.perf_counter()
+        sp._c0 = time.process_time()
+        _stack().append(sp)
+        self.span = sp
+        return sp
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        sp = self.span
+        if sp is None:
+            return
+        sp.wall_s = time.perf_counter() - sp._t0
+        sp.cpu_s = time.process_time() - sp._c0
+        if exc_type is not None:
+            sp.attrs["error"] = exc_type.__name__
+        st = _stack()
+        # Defensive: the stack can only be out of step if spans were closed
+        # out of order across an enable/disable flip mid-trace.
+        if st and st[-1] is sp:
+            st.pop()
+        if st:
+            st[-1].children.append(sp)
+        else:
+            _finish_root(sp)
+        REGISTRY.timer(sp.name).observe(sp.wall_s)
+
+
+def _finish_root(sp: Span) -> None:
+    with _buffer_lock:
+        if len(_buffer) < BUFFER_CAP:
+            _buffer.append(sp)
+        else:
+            REGISTRY.counter("telemetry.spans.dropped").add(1)
+
+
+def adopt_spans(span_dicts: list[dict] | None, **extra_attrs) -> None:
+    """Graft serialized spans (a worker's drained roots) into this process.
+
+    Each span gets ``extra_attrs`` (canonically ``proc=<worker pid>``) and
+    becomes a child of the currently open span, or a buffered root if no
+    span is open.
+    """
+    if not span_dicts:
+        return
+    parent = current_span()
+    for d in span_dicts:
+        sp = Span.from_dict(d)
+        sp.attrs.update(extra_attrs)
+        if parent is not None:
+            parent.children.append(sp)
+        else:
+            _finish_root(sp)
+
+
+def drain_spans() -> list[Span]:
+    """Remove and return all finished root spans of this process."""
+    global _buffer
+    with _buffer_lock:
+        out, _buffer = _buffer, []
+    return out
+
+
+def peek_spans() -> list[Span]:
+    """The finished root spans, without draining them."""
+    with _buffer_lock:
+        return list(_buffer)
+
+
+def reset_spans() -> None:
+    """Drop buffered spans and any open stack on this thread."""
+    drain_spans()
+    _local.stack = []

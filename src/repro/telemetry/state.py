@@ -1,0 +1,36 @@
+"""Global telemetry switch — the zero-overhead contract lives here.
+
+Telemetry is **off** by default.  Every instrumentation point in the
+package guards itself with a read of :data:`enabled` (one module-attribute
+load and a branch), so a disabled build pays nothing measurable on the hot
+paths — the CI overhead guard (``benchmarks/overhead_check.py``) enforces
+this against the PR 1 benchmark.
+
+The flag is process-global on purpose: pool workers receive it through
+their initializer (:mod:`repro.parallel.pool`) so a parent that enabled
+telemetry gets deltas back from every worker, and a parent that didn't
+pays nothing in the children either.
+"""
+
+from __future__ import annotations
+
+#: Read directly (``if state.enabled:``) on hot paths; mutate only through
+#: :func:`enable` / :func:`disable`.
+enabled: bool = False
+
+
+def enable() -> None:
+    """Turn instrumentation on for this process."""
+    global enabled
+    enabled = True
+
+
+def disable() -> None:
+    """Turn instrumentation off (recorded data is kept until reset)."""
+    global enabled
+    enabled = False
+
+
+def is_enabled() -> bool:
+    """Current switch state (for callers that can't read the module attr)."""
+    return enabled

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import api
+from repro import api, telemetry
 from repro.bitio import BitReader, BitWriter
 from repro.errors import FormatError
 from repro.zfp import transform as tf
@@ -34,6 +34,7 @@ _E_BIAS = 1200  # covers the full double exponent range in 12 bits
 _RAW_PREC = 58
 
 
+@telemetry.instrument_codec
 class ZFPCompressor:
     """ZFP-style fixed-accuracy codec (paper baseline).
 

@@ -6,7 +6,8 @@ import numpy as np
 import pytest
 
 import repro.parallel.pool as pool_mod
-from repro.errors import ParameterError
+from repro import api, telemetry
+from repro.errors import CompressionError, ParameterError
 from repro.parallel.pool import (
     parallel_compress,
     parallel_decompress,
@@ -16,6 +17,31 @@ from repro.parallel.pool import (
 from tests.conftest import make_patterned_stream
 
 BLOCK = 6**4
+
+
+class _BoomCodec:
+    """A codec whose compress always fails — worker-crash fixture."""
+
+    name = "boom"
+
+    def compress(self, data, error_bound):
+        raise RuntimeError("synthetic worker failure")
+
+    def decompress(self, blob):  # pragma: no cover - never reached
+        raise RuntimeError("synthetic worker failure")
+
+
+@pytest.fixture
+def boom_codec():
+    """Register the failing codec for one test only.
+
+    Fork workers inherit the registry as of pool creation, so test-scope
+    registration reaches them; the name is removed afterwards so codec
+    enumeration elsewhere in the suite never sees it.
+    """
+    api.register_codec("boom", _BoomCodec)
+    yield
+    api._REGISTRY.pop("boom", None)
 
 
 def test_split_stream_respects_block_boundaries(rng):
@@ -121,6 +147,52 @@ def test_parallel_compress_uses_selected_context(rng, monkeypatch):
     assert len(recorder.calls) == 1
     out = parallel_decompress("pastri", blobs, 1, {"dims": (6, 6, 6, 6)})
     assert np.max(np.abs(out - data)) <= 1e-10
+
+
+def test_spawn_fallback_roundtrips_telemetry(rng, monkeypatch):
+    """Telemetry deltas survive the fork -> spawn fallback path.
+
+    Spawn workers re-import the codec registry and receive the enable flag
+    through the initializer, so worker metrics and spans must still merge
+    into the parent exactly as with fork.
+    """
+    real_get_context = mp.get_context
+
+    def fork_unavailable(method):
+        if method == "fork":
+            raise ValueError("cannot find context for 'fork'")
+        return real_get_context(method)
+
+    monkeypatch.setattr(pool_mod.mp, "get_context", fork_unavailable)
+
+    data = make_patterned_stream(rng, n_blocks=8)
+    telemetry.enable()
+    telemetry.reset()
+    try:
+        blobs = parallel_compress(
+            "pastri", data, 1e-10, 2, BLOCK, {"dims": (6, 6, 6, 6)}
+        )
+        out = parallel_decompress("pastri", blobs, 1, {"dims": (6, 6, 6, 6)})
+        assert np.max(np.abs(out - data)) <= 1e-10
+        bytes_in = telemetry.REGISTRY.counter("codec.pastri.compress.bytes_in")
+        assert bytes_in.value == data.nbytes
+        (pc,) = [r for r in telemetry.drain_spans() if r.name == "parallel.compress"]
+        workers = [c for c in pc.children if c.name == "codec.pastri.compress"]
+        assert len(workers) == 2
+        assert all("proc" in w.attrs for w in workers)
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+
+
+def test_worker_exception_surfaces_as_compression_error(rng, tmp_path, boom_codec):
+    """A worker dying mid-chunk raises cleanly in the parent — no hang."""
+    from repro.parallel.pool import parallel_compress_to_container
+
+    data = make_patterned_stream(rng, n_blocks=8)
+    path = str(tmp_path / "x.pstf")
+    with pytest.raises(CompressionError, match="worker failed"):
+        parallel_compress_to_container("boom", data, 1e-10, 2, BLOCK, path)
 
 
 # ---------------------------------------------------------------------------

@@ -72,6 +72,43 @@ def test_stats_accounting(store, rng):
     assert st.ratio > 5
 
 
+def test_empty_store_ratio_is_zero():
+    """No traffic must not divide by zero (PR 3 satellite fix)."""
+    from repro.pipeline.store import StoreStats
+
+    st = StoreStats()
+    assert st.compressed_bytes == 0
+    assert st.ratio == 0.0
+
+
+def test_hit_rate_zero_traffic_guard():
+    from repro.pipeline.store import StoreStats
+
+    st = StoreStats()
+    assert st.hit_rate == 0.0
+    st.cache_hits = 3
+    st.cache_misses = 1
+    assert st.hit_rate == pytest.approx(0.75)
+
+
+def test_hit_rate_tracks_live_store(rng):
+    block = make_patterned_stream(rng, n_blocks=1, zero_blocks=0)
+    s = CompressedERIStore(
+        PaSTRICompressor(dims=(6, 6, 6, 6)), error_bound=EB, hot_cache_blocks=4
+    )
+    try:
+        assert s.stats.hit_rate == 0.0
+        s.put("k", block)
+        s.get("k")  # miss: first decompression populates the hot cache
+        s.get("k")  # hit
+        s.get("k")  # hit
+        assert s.stats.cache_hits == 2
+        assert s.stats.cache_misses == 1
+        assert s.stats.hit_rate == pytest.approx(2 / 3)
+    finally:
+        s.close()
+
+
 def test_overwrite_replaces_accounting(store, rng):
     block = make_patterned_stream(rng, n_blocks=1, zero_blocks=0)
     store.put("k", block)

@@ -1,0 +1,93 @@
+"""Property tests for the telemetry invariants (PR 3).
+
+Two invariants hold by construction and must survive any call pattern:
+
+* For same-process spans, the children's wall times sum to at most the
+  parent's wall time (clock monotonicity; grafted *worker* spans are
+  exempt because they ran concurrently — see docs/OBSERVABILITY.md).
+* ``codec.<name>.compress.bytes_in`` equals the exact total of input
+  ``nbytes`` pushed through the instrumented codec, whatever the mix of
+  array sizes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.api import get_codec
+from repro.telemetry import REGISTRY, trace
+
+#: float tolerance for wall-time sums (perf_counter deltas are exact
+#: doubles, but summing many of them can round in the last bit)
+WALL_TOL = 1e-9
+
+span_trees = st.recursive(
+    st.just([]), lambda kids: st.lists(kids, max_size=3), max_leaves=12
+)
+
+
+def _run_tree(spec) -> None:
+    with trace("node"):
+        for sub in spec:
+            _run_tree(sub)
+
+
+def _check_wall_invariant(sp) -> None:
+    child_sum = sum(c.wall_s for c in sp.children)
+    assert child_sum <= sp.wall_s + WALL_TOL, (
+        f"children wall {child_sum} exceeds parent {sp.wall_s} at {sp.name}"
+    )
+    for c in sp.children:
+        _check_wall_invariant(c)
+
+
+@given(span_trees)
+@settings(max_examples=40, deadline=None)
+def test_child_wall_sum_never_exceeds_parent(spec):
+    telemetry.enable()
+    telemetry.reset()
+    try:
+        with trace("root") as root:
+            for sub in spec:
+                _run_tree(sub)
+        _check_wall_invariant(root)
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=64,
+        ),
+        min_size=1,
+        max_size=4,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_compress_bytes_in_equals_actual_input_nbytes(chunks):
+    telemetry.enable()
+    telemetry.reset()
+    try:
+        codec = get_codec("deflate")
+        expected_in = 0
+        expected_out = 0
+        for values in chunks:
+            arr = np.asarray(values, dtype=np.float64)
+            blob = codec.compress(arr, 0.0)
+            expected_in += arr.nbytes
+            expected_out += len(blob)
+        assert (
+            REGISTRY.counter("codec.deflate.compress.bytes_in").value == expected_in
+        )
+        assert (
+            REGISTRY.counter("codec.deflate.compress.bytes_out").value == expected_out
+        )
+        assert REGISTRY.timer("codec.deflate.compress").count == len(chunks)
+    finally:
+        telemetry.disable()
+        telemetry.reset()

@@ -1,0 +1,29 @@
+"""Shared fixtures for the telemetry suite."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture
+def telemetry_on():
+    """Enabled telemetry with a clean slate, restored afterwards.
+
+    Clears metrics and spans on both sides so tests neither see each
+    other's state nor leak into the rest of the suite (the registry is
+    process-global).
+    """
+    telemetry.enable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+@pytest.fixture
+def telemetry_off():
+    """Explicitly disabled telemetry with a clean slate."""
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.reset()

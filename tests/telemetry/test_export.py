@@ -1,0 +1,94 @@
+"""Tests for the telemetry exporters (repro.telemetry.export)."""
+
+import json
+
+import pytest
+
+from repro.errors import FormatError
+from repro.telemetry import (
+    REGISTRY,
+    format_metrics_table,
+    format_report,
+    format_span_tree,
+    metrics_snapshot,
+    peek_spans,
+    read_trace_jsonl,
+    trace,
+    write_trace_jsonl,
+)
+
+
+def _sample_run():
+    REGISTRY.counter("codec.pastri.compress.bytes_in").add(1000)
+    with trace("pack", workers=2):
+        with trace("codec.pastri.compress"):
+            pass
+        with trace("codec.pastri.compress"):
+            pass
+
+
+def test_jsonl_roundtrip(telemetry_on, tmp_path):
+    _sample_run()
+    path = str(tmp_path / "trace.jsonl")
+    write_trace_jsonl(path)
+
+    roots, snapshot = read_trace_jsonl(path)
+    assert [r.name for r in roots] == ["pack"]
+    assert [c.name for c in roots[0].children] == ["codec.pastri.compress"] * 2
+    assert snapshot["codec.pastri.compress.bytes_in"]["value"] == 1000
+    # spans were peeked, not drained: the live report still works
+    assert "pack" in format_report()
+
+
+def test_jsonl_schema_lines(telemetry_on, tmp_path):
+    _sample_run()
+    path = tmp_path / "trace.jsonl"
+    write_trace_jsonl(str(path))
+    lines = [json.loads(x) for x in path.read_text().splitlines()]
+    assert lines[0]["type"] == "meta"
+    assert lines[0]["version"] == 1
+    assert lines[-1]["type"] == "metrics"
+    assert all(x["type"] == "span" for x in lines[1:-1])
+
+
+def test_read_rejects_garbage(tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json at all\n")
+    with pytest.raises(FormatError):
+        read_trace_jsonl(str(bad))
+    bad.write_text('{"type":"mystery"}\n')
+    with pytest.raises(FormatError):
+        read_trace_jsonl(str(bad))
+
+
+def test_read_skips_blank_lines(tmp_path):
+    p = tmp_path / "t.jsonl"
+    p.write_text('{"type":"meta","version":1}\n\n{"type":"metrics","metrics":{}}\n')
+    roots, snapshot = read_trace_jsonl(str(p))
+    assert roots == [] and snapshot == {}
+
+
+def test_span_tree_merges_same_name_siblings(telemetry_on):
+    _sample_run()
+    text = format_span_tree(peek_spans())
+    # two compress calls render as one aggregated row with calls=2
+    (row,) = [ln for ln in text.splitlines() if "codec.pastri.compress" in ln]
+    assert "2" in row.split()
+
+
+def test_span_tree_empty(telemetry_on):
+    assert "no spans" in format_span_tree([])
+
+
+def test_metrics_table_sections(telemetry_on):
+    REGISTRY.timer("t.timed").observe(0.01, nbytes=10_000)
+    REGISTRY.counter("c.counted").add(5)
+    table = format_metrics_table()
+    assert "t.timed" in table
+    assert "c.counted" in table
+    assert "MB/s" in table
+
+
+def test_metrics_snapshot_is_json_pure(telemetry_on):
+    _sample_run()
+    json.dumps(metrics_snapshot())  # must not raise

@@ -1,0 +1,144 @@
+"""Tests for the metrics registry (repro.telemetry.registry)."""
+
+import threading
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.telemetry.registry import SAMPLE_CAP, MetricsRegistry
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+def test_counter_add_and_summary(reg):
+    c = reg.counter("a.b")
+    c.add()
+    c.add(4)
+    assert c.value == 5
+    assert reg.snapshot()["a.b"] == {"type": "counter", "value": 5}
+
+
+def test_counter_allows_negative_delta(reg):
+    c = reg.counter("store.n_entries")
+    c.add(3)
+    c.add(-1)
+    assert c.value == 2
+
+
+def test_gauge_last_write_wins(reg):
+    g = reg.gauge("budget")
+    g.set(10.0)
+    g.set(2.5)
+    assert reg.snapshot()["budget"]["value"] == 2.5
+
+
+def test_timer_observe_and_summary(reg):
+    t = reg.timer("op")
+    for s in (0.010, 0.020, 0.030):
+        t.observe(s)
+    s = t.summary()
+    assert s["count"] == 3
+    assert s["total_s"] == pytest.approx(0.060)
+    assert s["min_s"] == pytest.approx(0.010)
+    assert s["max_s"] == pytest.approx(0.030)
+    assert s["p50_s"] == pytest.approx(0.020)
+
+
+def test_timer_throughput_from_bytes(reg):
+    t = reg.timer("xfer")
+    t.observe(0.5, nbytes=500_000)
+    t.add_bytes(500_000)
+    s = t.summary()
+    assert s["bytes"] == 1_000_000
+    assert s["mb_per_s"] == pytest.approx(2.0)
+
+
+def test_timer_context_manager(reg):
+    t = reg.timer("cm")
+    with t.time():
+        pass
+    assert t.count == 1
+    assert t.total >= 0.0
+
+
+def test_timer_percentile_validates_range(reg):
+    t = reg.timer("p")
+    with pytest.raises(ParameterError):
+        t.percentile(101)
+    assert t.percentile(50) == 0.0  # empty reservoir
+
+
+def test_timer_sample_ring_bounds_memory(reg):
+    t = reg.timer("ring")
+    for i in range(SAMPLE_CAP + 100):
+        t.observe(float(i))
+    assert t.count == SAMPLE_CAP + 100
+    assert len(t.samples) == SAMPLE_CAP
+
+
+def test_name_kind_collision_raises(reg):
+    reg.counter("x")
+    with pytest.raises(ParameterError):
+        reg.timer("x")
+
+
+def test_get_or_create_returns_same_object(reg):
+    assert reg.counter("same") is reg.counter("same")
+
+
+def test_state_merge_roundtrip(reg):
+    reg.counter("n").add(7)
+    reg.gauge("g").set(1.5)
+    t = reg.timer("t")
+    t.observe(0.1, nbytes=100)
+    t.observe(0.3)
+
+    other = MetricsRegistry()
+    other.counter("n").add(1)
+    other.timer("t").observe(0.2)
+    other.merge(reg.state())
+
+    assert other.counter("n").value == 8
+    assert other.gauge("g").value == 1.5
+    mt = other.timer("t")
+    assert mt.count == 3
+    assert mt.total == pytest.approx(0.6)
+    assert mt.min == pytest.approx(0.1)
+    assert mt.max == pytest.approx(0.3)
+    assert mt.bytes == 100
+
+
+def test_merge_none_is_noop(reg):
+    reg.merge(None)
+    reg.merge({})
+    assert len(reg) == 0
+
+
+def test_reset_zeroes_but_keeps_names(reg):
+    reg.counter("keep").add(5)
+    reg.reset()
+    assert reg.counter("keep").value == 0
+    assert "keep" in list(reg)
+    reg.clear()
+    assert len(reg) == 0
+
+
+def test_thread_safety_under_contention(reg):
+    c = reg.counter("contended")
+    t = reg.timer("contended.t")
+
+    def work():
+        for _ in range(1000):
+            c.add()
+            t.observe(0.001)
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    assert c.value == 4000
+    assert t.count == 4000

@@ -1,0 +1,137 @@
+"""Tests for span tracing (repro.telemetry.spans)."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    REGISTRY,
+    Span,
+    current_span,
+    drain_spans,
+    peek_spans,
+    trace,
+)
+from repro.telemetry.instrument import capture_state, merge_state
+from repro.telemetry.spans import adopt_spans
+
+
+def test_disabled_trace_is_noop(telemetry_off):
+    with trace("nothing") as sp:
+        assert sp is None
+    assert peek_spans() == []
+    assert REGISTRY.get("nothing") is None
+
+
+def test_nesting_builds_a_tree(telemetry_on):
+    with trace("parent") as p:
+        with trace("child.a"):
+            pass
+        with trace("child.b"):
+            pass
+    roots = drain_spans()
+    assert [r.name for r in roots] == ["parent"]
+    assert [c.name for c in p.children] == ["child.a", "child.b"]
+    assert p.wall_s >= sum(c.wall_s for c in p.children)
+
+
+def test_attrs_and_error_marking(telemetry_on):
+    with pytest.raises(ValueError):
+        with trace("boom", key=3):
+            raise ValueError("nope")
+    (root,) = drain_spans()
+    assert root.attrs["key"] == 3
+    assert root.attrs["error"] == "ValueError"
+
+
+def test_current_span_tracks_stack(telemetry_on):
+    assert current_span() is None
+    with trace("outer") as o:
+        assert current_span() is o
+        with trace("inner") as i:
+            assert current_span() is i
+        assert current_span() is o
+    assert current_span() is None
+
+
+def test_span_feeds_same_named_timer(telemetry_on):
+    with trace("stage.x"):
+        pass
+    with trace("stage.x"):
+        pass
+    t = REGISTRY.get("stage.x")
+    assert t is not None and t.count == 2
+    assert t.total == pytest.approx(sum(t.samples))
+
+
+def test_span_dict_roundtrip(telemetry_on):
+    with trace("root", a=1):
+        with trace("kid"):
+            pass
+    (root,) = drain_spans()
+    clone = Span.from_dict(root.to_dict())
+    assert clone.name == "root"
+    assert clone.attrs == {"a": 1}
+    assert [c.name for c in clone.children] == ["kid"]
+    assert clone.wall_s == pytest.approx(root.wall_s)
+
+
+def test_adopt_spans_grafts_under_open_span(telemetry_on):
+    worker = Span("codec.pastri.compress")
+    worker.wall_s = 0.25
+    with trace("parallel.compress") as p:
+        adopt_spans([worker.to_dict()], proc=1234)
+    assert [c.name for c in p.children] == ["codec.pastri.compress"]
+    assert p.children[0].attrs["proc"] == 1234
+
+
+def test_adopt_spans_without_open_span_buffers_roots(telemetry_on):
+    adopt_spans([Span("orphan").to_dict()], proc=1)
+    assert [r.name for r in peek_spans()] == ["orphan"]
+
+
+def test_capture_state_is_a_delta(telemetry_on):
+    REGISTRY.counter("c").add(3)
+    with trace("w"):
+        pass
+    delta = capture_state()
+    assert delta["metrics"]["c"]["value"] == 3
+    assert [s["name"] for s in delta["spans"]] == ["w"]
+    # captured state is reset: a second capture is empty
+    assert capture_state()["metrics"]["c"]["value"] == 0
+    assert peek_spans() == []
+
+
+def test_capture_state_disabled_returns_none(telemetry_off):
+    assert capture_state() is None
+    merge_state(None)  # no-op
+
+
+def test_merge_state_folds_metrics_and_spans(telemetry_on):
+    delta = {
+        "pid": 99,
+        "metrics": {"codec.x.compress.bytes_in": {"type": "counter", "value": 10}},
+        "spans": [Span("codec.x.compress").to_dict()],
+    }
+    with trace("parent") as p:
+        merge_state(delta)
+    assert REGISTRY.counter("codec.x.compress.bytes_in").value == 10
+    assert p.children[0].attrs["proc"] == 99
+
+
+def test_buffer_cap_drops_and_counts(telemetry_on, monkeypatch):
+    import repro.telemetry.spans as spans_mod
+
+    monkeypatch.setattr(spans_mod, "BUFFER_CAP", 2)
+    for _ in range(5):
+        with trace("r"):
+            pass
+    assert len(peek_spans()) == 2
+    assert REGISTRY.counter("telemetry.spans.dropped").value == 3
+
+
+def test_reset_clears_buffer_and_stack(telemetry_on):
+    with trace("done"):
+        pass
+    telemetry.reset()
+    assert peek_spans() == []
+    assert current_span() is None

@@ -210,3 +210,64 @@ def test_pack_relative_bound(tmp_path, npz_dataset, capsys):
     assert main(["unpack", str(cont), str(dec)]) == 0
     value_range = data.max() - data.min()
     assert np.max(np.abs(np.load(dec) - data)) <= 1e-5 * value_range
+
+
+# ---------------------------------------------------------------------------
+# --telemetry and the telemetry report subcommand
+
+
+def test_pack_telemetry_prints_stage_table(tmp_path, npz_dataset, capsys):
+    from repro import telemetry
+    from repro.streamio import open_container
+
+    src, data = npz_dataset
+    cont = tmp_path / "out.pstf"
+    assert main(["pack", str(src), str(cont), "--telemetry"]) == 0
+    captured = capsys.readouterr()
+    # report goes to stderr, the normal summary stays on stdout
+    assert "frames" in captured.out
+    assert "cli.pack" in captured.err
+    assert "codec.pastri.compress" in captured.err
+    # byte totals in the report match the container's actual payload
+    with open_container(str(cont)) as r:
+        on_disk = sum(f.length for f in r.frames)
+    assert f"{on_disk}" in captured.err
+    assert f"{data.nbytes}" in captured.err
+    # the run cleans up after itself: telemetry off, state clear
+    assert not telemetry.is_enabled()
+    assert telemetry.peek_spans() == []
+
+
+def test_telemetry_trace_file_and_report(tmp_path, npz_dataset, capsys):
+    src, _ = npz_dataset
+    cont = tmp_path / "out.pstf"
+    trace_path = tmp_path / "trace.jsonl"
+    assert main(["pack", str(src), str(cont), f"--telemetry={trace_path}"]) == 0
+    assert "trace written" in capsys.readouterr().err
+    assert trace_path.exists()
+
+    assert main(["telemetry", "report", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "cli.pack" in out
+    assert "codec.pastri.compress.bytes_in" in out
+
+
+def test_telemetry_decompress_and_assess(tmp_path, npz_dataset, capsys):
+    src, _ = npz_dataset
+    comp = tmp_path / "o.pastri"
+    dec = tmp_path / "o.npy"
+    assert main(["compress", str(src), str(comp), "--telemetry"]) == 0
+    assert "cli.compress" in capsys.readouterr().err
+    assert main(["decompress", str(comp), str(dec), "--telemetry"]) == 0
+    assert "codec.pastri.decompress" in capsys.readouterr().err
+    assert main(["assess", str(src), "--telemetry"]) == 0
+    captured = capsys.readouterr()
+    assert "bound satisfied" in captured.out
+    assert "cli.assess" in captured.err
+
+
+def test_telemetry_report_rejects_garbage(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("definitely not json\n")
+    assert main(["telemetry", "report", str(bad)]) == 1
+    assert "error:" in capsys.readouterr().err

@@ -64,7 +64,13 @@ def test_readme_store_block_runs(readme_text, tmp_path, monkeypatch):
 
 def test_docs_reference_real_files():
     root = README.parent
-    for rel in ("DESIGN.md", "EXPERIMENTS.md", "docs/FORMAT.md", "docs/ALGORITHM.md"):
+    for rel in (
+        "DESIGN.md",
+        "EXPERIMENTS.md",
+        "docs/FORMAT.md",
+        "docs/ALGORITHM.md",
+        "docs/OBSERVABILITY.md",
+    ):
         assert (root / rel).exists(), rel
 
 
