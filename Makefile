@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test ci bench bench-record overhead-check harness
+.PHONY: test ci bench bench-record overhead-check serve-smoke harness
 
 test:
 	$(PY) -m pytest tests/ -q
@@ -33,6 +33,13 @@ bench-record:
 ## is >10% slower than disabled (see benchmarks/overhead_check.py).
 overhead-check:
 	$(PY) -m benchmarks.overhead_check --reps 7 --threshold 0.10
+
+## End-to-end service check: boot `pastri serve` as a subprocess, round-trip
+## through the client with the error bound asserted client-side, verify live
+## service.* metrics, then SIGTERM and require a clean drain.  The outer
+## timeout turns a wedged server into a failure, never a hung build.
+serve-smoke:
+	timeout 120 $(PY) scripts/serve_smoke.py
 
 harness:
 	$(PY) -m repro.harness all

@@ -4,10 +4,13 @@ Runs the Fig. 9c/9d rate measurements (PaSTRI compress / decompress on the
 cached ``trialanine_dd_dd_400`` dataset), a Fig. 11-style SCF-store reuse
 timing, and — since PR 2 — a PSTF-v2 *container* dump/load (compress +
 write one indexed container file, then open it with no codec arguments and
-decode through the frame index), and writes machine-annotated results so
+decode through the frame index), and — since PR 4 — a localhost
+*service* round-trip (compress + decompress through the asyncio TCP server
+via the blocking client, single-stream and with 16 concurrent clients
+driving the micro-batcher), and writes machine-annotated results so
 future PRs have a baseline to compare against::
 
-    python -m benchmarks.record              # writes BENCH_pr3.json
+    python -m benchmarks.record              # writes BENCH_pr4.json
     python -m benchmarks.record -o out.json --reps 30
 
 Methodology (since PR 3): every measured region runs under a
@@ -173,9 +176,51 @@ def _run(reps: int) -> dict:
         if os.path.exists(spill_path):
             os.unlink(spill_path)
 
+    # Service round-trip (PR 4): a localhost asyncio server fronting the same
+    # codec, measured through the blocking client — single stream first
+    # (protocol + framing overhead on top of the raw codec numbers above),
+    # then 16 concurrent clients, which exercises micro-batching end to end.
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service import ServerConfig, ServiceClient, serve_in_thread
+
+    svc_cfg = ServerConfig(
+        codec_kwargs={"dims": list(ds.spec.dims)},
+        error_bound=EB,
+        batch_window_ms=5.0,
+        max_inflight_bytes=1 << 30,
+    )
+    n_clients = 16
+    with serve_in_thread(svc_cfg) as handle:
+        with ServiceClient(handle.host, handle.port, timeout=120.0) as cli:
+            def svc_roundtrip():
+                svc_blob, _ = cli.compress(data, EB, dims=ds.spec.dims)
+                cli.decompress(svc_blob)
+
+            svc_min, svc_med = _best(
+                "bench.service_roundtrip", svc_roundtrip, reps, warmup=2
+            )
+
+        def svc_client_job(i):
+            with ServiceClient(handle.host, handle.port, timeout=120.0) as c:
+                b, _ = c.compress(data, EB, dims=ds.spec.dims)
+                c.decompress(b)
+
+        conc_timer = telemetry.timer("bench.service_concurrent")
+        with ThreadPoolExecutor(n_clients) as ex:  # warmup: connections + pools
+            list(ex.map(svc_client_job, range(n_clients)))
+        with conc_timer.time():
+            with ThreadPoolExecutor(n_clients) as ex:
+                list(ex.map(svc_client_job, range(n_clients)))
+        conc_s = conc_timer.max
+        with ServiceClient(handle.host, handle.port) as cli:
+            svc_metrics = cli.metrics()
+        batches = svc_metrics.get("service.batches", {}).get("value", 0)
+        batched_reqs = svc_metrics.get("service.batch.requests", {}).get("value", 0)
+
     mbs = lambda s: nbytes / s / 1e6  # noqa: E731
     return {
-        "bench": "pr3 telemetry subsystem: bench.* timers + full metrics snapshot",
+        "bench": "pr4 compression service: localhost round-trip + 16-client concurrency",
         "recorded_unix": int(time.time()),
         "machine": {
             "platform": platform.platform(),
@@ -234,6 +279,21 @@ def _run(reps: int) -> dict:
                 "disk_reads": spill_stats.disk_reads,
             },
         },
+        "service": {
+            "transport": "localhost TCP, PSRV framed protocol, blocking client",
+            "roundtrip_ms": round(svc_min * 1e3, 2),
+            "roundtrip_med_ms": round(svc_med * 1e3, 2),
+            "roundtrip_mb_s": round(mbs(svc_min), 1),
+            "concurrent": {
+                "n_clients": n_clients,
+                "total_ms": round(conc_s * 1e3, 1),
+                "aggregate_mb_s": round(nbytes * n_clients / conc_s / 1e6, 1),
+                "batches": batches,
+                "batched_requests": batched_reqs,
+                "coalescing_factor": round(batched_reqs / batches, 2)
+                if batches else None,
+            },
+        },
         "telemetry": telemetry.metrics_snapshot(),
         "pre_pr_reference": PRE_PR_REFERENCE,
         "speedup_vs_pre_pr": {
@@ -250,7 +310,7 @@ def _run(reps: int) -> dict:
 
 def main(argv: list[str] | None = None) -> None:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("-o", "--output", default="BENCH_pr3.json", type=Path)
+    ap.add_argument("-o", "--output", default="BENCH_pr4.json", type=Path)
     ap.add_argument("--reps", default=15, type=int)
     args = ap.parse_args(argv)
     record = run(reps=args.reps)
@@ -267,6 +327,13 @@ def main(argv: list[str] | None = None) -> None:
         f"container dump {c['dump_ms']} ms ({c['dump_mb_s']} MB/s)  "
         f"load {c['load_ms']} ms ({c['load_mb_s']} MB/s)  "
         f"spillable store {c['spillable_store']['amortized_mb_s']} MB/s amortized"
+    )
+    s = record["service"]
+    print(
+        f"service roundtrip {s['roundtrip_ms']} ms ({s['roundtrip_mb_s']} MB/s)  "
+        f"{s['concurrent']['n_clients']} clients {s['concurrent']['total_ms']} ms "
+        f"({s['concurrent']['aggregate_mb_s']} MB/s aggregate, "
+        f"coalescing x{s['concurrent']['coalescing_factor']})"
     )
     print(f"speedups vs pre-PR: {record['speedup_vs_pre_pr']}")
 

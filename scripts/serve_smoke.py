@@ -1,0 +1,110 @@
+"""End-to-end smoke test for the compression service (``make serve-smoke``).
+
+Boots ``pastri serve`` as a real subprocess on an ephemeral port, runs a
+client round-trip (asserting the point-wise error bound on the client
+side), checks the ``metrics`` op reports live ``service.*`` counters, then
+SIGTERMs the server and requires a clean drain (exit code 0).  Everything
+is wrapped in hard deadlines so a wedged server fails the build instead of
+hanging it.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.service import ServiceClient  # noqa: E402
+
+EB = 1e-10
+BOOT_DEADLINE_S = 30.0
+DRAIN_DEADLINE_S = 20.0
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--config", "(dd|dd)"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO,
+    )
+    try:
+        # -- scrape the listening banner for the ephemeral port --------------
+        deadline = time.monotonic() + BOOT_DEADLINE_S
+        port = None
+        lines = []
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            lines.append(line)
+            m = re.search(r"listening on [\d.]+:(\d+)", line)
+            if m:
+                port = int(m.group(1))
+                break
+        if port is None:
+            print("".join(lines), file=sys.stderr)
+            print("FAIL: server never printed its listening banner", file=sys.stderr)
+            return 1
+        print(f"server up on port {port}")
+
+        # -- client round-trip, bound verified client-side --------------------
+        rng = np.random.default_rng(42)
+        data = (rng.standard_normal(6**4 * 4) * 1e-7).ravel()
+        with ServiceClient("127.0.0.1", port, timeout=20.0) as client:
+            assert client.health()["status"] == "ok"
+            blob, info = client.compress(data, EB, dims=(6, 6, 6, 6))
+            back = client.decompress(blob)
+            max_err = float(np.max(np.abs(back - data)))
+            assert back.size == data.size, (back.size, data.size)
+            assert max_err <= EB, f"bound violated: {max_err} > {EB}"
+            ratio = data.nbytes / len(blob)
+            print(f"round-trip ok: {data.nbytes} B -> {len(blob)} B "
+                  f"(ratio {ratio:.2f}), max err {max_err:.2e} <= {EB:g}")
+
+            # -- store ops + live metrics --------------------------------------
+            client.put("smoke", data[: 6**4], dims=(6, 6, 6, 6))
+            got = client.get("smoke")
+            assert float(np.max(np.abs(got - data[: 6**4]))) <= EB
+            metrics = client.metrics()
+            service_keys = sorted(k for k in metrics if k.startswith("service."))
+            assert metrics["service.requests"]["value"] >= 4, metrics.get(
+                "service.requests"
+            )
+            assert "service.requests.compress" in metrics
+            print(f"metrics ok: {len(service_keys)} service.* series live")
+
+        # -- graceful drain ----------------------------------------------------
+        proc.send_signal(signal.SIGTERM)
+        try:
+            out, _ = proc.communicate(timeout=DRAIN_DEADLINE_S)
+        except subprocess.TimeoutExpired:
+            print("FAIL: server did not drain within deadline", file=sys.stderr)
+            return 1
+        if proc.returncode != 0:
+            print(out, file=sys.stderr)
+            print(f"FAIL: drain exit code {proc.returncode}", file=sys.stderr)
+            return 1
+        print("graceful drain ok")
+        print("serve-smoke PASSED")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

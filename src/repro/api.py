@@ -93,7 +93,16 @@ def codec_from_spec(spec: dict) -> Codec:
     kwargs = spec.get("kwargs") or {}
     if not isinstance(kwargs, dict):
         raise ParameterError(f"codec spec kwargs must be a dict, got {kwargs!r}")
-    return get_codec(spec["name"], **kwargs)
+    if any(not isinstance(k, str) or not k.isidentifier() for k in kwargs):
+        raise ParameterError(f"codec spec kwargs have invalid names: {sorted(kwargs)}")
+    try:
+        return get_codec(spec["name"], **kwargs)
+    except TypeError as exc:
+        # A corrupt header can hold syntactically valid JSON whose kwargs do
+        # not fit the factory signature; surface one library error type.
+        raise ParameterError(
+            f"codec spec kwargs do not match codec {spec['name']!r}: {exc}"
+        ) from exc
 
 
 def validate_input(data: np.ndarray) -> np.ndarray:

@@ -12,6 +12,13 @@ Subcommands::
     pastri assess     <in.npz> [--eb 1e-10] [--eb-mode abs|rel] [--codec pastri]
     pastri bench      [experiment ids ...]
     pastri telemetry report <trace.jsonl>
+    pastri serve      [--host H] [--port P] [--workers N] [--spill PATH] ...
+    pastri remote     compress|decompress|stats ... [--host H] [--port P]
+
+``serve`` runs the asyncio compression service (micro-batching,
+backpressure, graceful SIGTERM drain — see ``docs/SERVICE.md``); ``remote``
+talks to one from the command line through
+:class:`repro.service.client.ServiceClient`.
 
 ``compress`` writes one bare PaSTRI bitstream; ``pack`` writes a seekable
 PSTF-v2 *container* (frame index, per-frame CRC32, codec spec in the
@@ -256,6 +263,111 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return harness_main(args.experiments or ["fig9"])
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Handle ``pastri serve``: run the compression service until SIGTERM."""
+    import asyncio
+
+    from repro.service.server import CompressionServer, ServerConfig
+
+    codec_kwargs: dict = {}
+    if args.codec == "pastri":
+        from repro.core.blocking import BlockSpec
+
+        dims = (
+            list(BlockSpec.from_config(args.config).dims)
+            if args.config
+            else [1, 1, 1, 1]
+        )
+        codec_kwargs["dims"] = dims
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        codec_name=args.codec,
+        codec_kwargs=codec_kwargs,
+        error_bound=args.eb,
+        n_workers=args.workers,
+        batch_max=args.batch_max,
+        batch_window_ms=args.batch_window_ms,
+        max_queue=args.max_queue,
+        max_inflight_bytes=int(args.max_inflight_mb * (1 << 20)),
+        request_deadline_ms=args.deadline_ms,
+        spill_path=args.spill,
+        memory_budget_bytes=int(args.memory_budget_mb * (1 << 20)),
+        hot_cache_blocks=args.hot_cache,
+    )
+
+    async def _run() -> None:
+        server = CompressionServer(config)
+        await server.start()
+        print(f"pastri service listening on {config.host}:{server.port}", flush=True)
+        await server.serve_forever()
+        print("pastri service drained, bye", flush=True)
+
+    asyncio.run(_run())
+    return 0
+
+
+def _remote_client(args: argparse.Namespace):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.host, args.port, timeout=args.timeout)
+
+
+def cmd_remote_compress(args: argparse.Namespace) -> int:
+    """Handle ``pastri remote compress``: round-trip through the service."""
+    data, dims = _load_input(args.input, args.config)
+    eb = _resolve_eb(data, args)
+    with _remote_client(args) as client:
+        blob, info = client.compress(data, eb, dims=dims)
+        if args.verify:
+            back = client.decompress(blob)
+            err = float(np.max(np.abs(data - back)))
+            if err > eb:
+                raise ReproError(
+                    f"remote round-trip exceeded the bound: {err:g} > {eb:g}"
+                )
+            print(f"verified: max point-wise error {err:.3g} <= {eb:g}")
+    with open(args.output, "wb") as fh:
+        fh.write(blob)
+    print(
+        f"{args.input}: {data.nbytes} B -> {info['compressed_bytes']} B remote "
+        f"(ratio {info['ratio']:.2f}, EB {eb:g})"
+    )
+    return 0
+
+
+def cmd_remote_decompress(args: argparse.Namespace) -> int:
+    """Handle ``pastri remote decompress``: decode a blob via the service."""
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    with _remote_client(args) as client:
+        out = client.decompress(blob)
+    np.save(args.output, out)
+    print(f"{args.input}: {len(blob)} B -> {out.nbytes} B ({out.size} doubles)")
+    return 0
+
+
+def cmd_remote_stats(args: argparse.Namespace) -> int:
+    """Handle ``pastri remote stats``: health + store stats + service metrics."""
+    with _remote_client(args) as client:
+        health = client.health()
+        stats = client.stats()
+        metrics = client.metrics()
+    print(f"server {args.host}:{args.port}")
+    for k in ("status", "uptime_s", "queued", "inflight_bytes", "store_entries"):
+        print(f"  {k:<16} {health.get(k)}")
+    print("store:")
+    for k, v in stats.items():
+        print(f"  {k:<16} {v:.4g}" if isinstance(v, float) else f"  {k:<16} {v}")
+    service_metrics = {k: v for k, v in metrics.items() if k.startswith("service.")}
+    if service_metrics:
+        print("service metrics:")
+        for k, v in sorted(service_metrics.items()):
+            val = v.get("value", v.get("count"))
+            print(f"  {k:<28} {val}")
+    return 0
+
+
 def cmd_telemetry_report(args: argparse.Namespace) -> int:
     """Handle ``pastri telemetry report``: render a saved JSON-lines trace."""
     from repro.telemetry import format_metrics_table, format_span_tree
@@ -385,6 +497,63 @@ def main(argv: list[str] | None = None) -> int:
     b.add_argument("experiments", nargs="*")
     b.set_defaults(func=cmd_bench)
 
+    sv = sub.add_parser("serve", help="run the asyncio compression service")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=7557, help="0 = ephemeral")
+    sv.add_argument("--codec", default="pastri", help="registry codec name")
+    sv.add_argument(
+        "--config", default=None,
+        help="base BF configuration for pastri (per-request dims still apply)",
+    )
+    sv.add_argument("--eb", type=float, default=1e-10, help="store error bound")
+    sv.add_argument("--workers", type=int, default=1,
+                    help=">1 adds a multiprocessing batch pool")
+    sv.add_argument("--batch-max", type=int, default=32,
+                    help="max compress requests coalesced per batch")
+    sv.add_argument("--batch-window-ms", type=float, default=2.0,
+                    help="how long a batch waits for company")
+    sv.add_argument("--max-queue", type=int, default=256,
+                    help="compress queue depth before BUSY replies")
+    sv.add_argument("--max-inflight-mb", type=float, default=256.0,
+                    help="in-flight payload bytes before BUSY replies")
+    sv.add_argument("--deadline-ms", type=float, default=10_000.0,
+                    help="max queue wait before a DEADLINE reply")
+    sv.add_argument("--spill", default=None, metavar="PATH",
+                    help="spill store blobs to a PSTF container at PATH")
+    sv.add_argument("--memory-budget-mb", type=float, default=64.0,
+                    help="hot-set budget for the spill backend")
+    sv.add_argument("--hot-cache", type=int, default=64,
+                    help="decompressed blocks kept hot in the store")
+    sv.set_defaults(func=cmd_serve)
+
+    rm = sub.add_parser("remote", help="talk to a running compression service")
+    rmsub = rm.add_subparsers(dest="remote_cmd", required=True)
+
+    def _add_remote_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=7557)
+        p.add_argument("--timeout", type=float, default=30.0)
+
+    rc = rmsub.add_parser("compress", help="compress through the service")
+    rc.add_argument("input")
+    rc.add_argument("output")
+    _add_eb_args(rc)
+    rc.add_argument("--config", default=None, help="BF configuration for raw .npy")
+    rc.add_argument("--verify", action="store_true",
+                    help="round-trip and assert the bound client-side")
+    _add_remote_args(rc)
+    rc.set_defaults(func=cmd_remote_compress)
+
+    rd = rmsub.add_parser("decompress", help="decompress through the service")
+    rd.add_argument("input")
+    rd.add_argument("output")
+    _add_remote_args(rd)
+    rd.set_defaults(func=cmd_remote_decompress)
+
+    rs = rmsub.add_parser("stats", help="print server health, store, metrics")
+    _add_remote_args(rs)
+    rs.set_defaults(func=cmd_remote_stats)
+
     t = sub.add_parser("telemetry", help="inspect saved telemetry traces")
     tsub = t.add_subparsers(dest="telemetry_cmd", required=True)
     tr = tsub.add_parser("report", help="render a JSON-lines trace as a report")
@@ -399,6 +568,14 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `pastri remote stats | head`);
+        # exit quietly the way well-behaved unix tools do
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":

@@ -39,7 +39,19 @@ class ScalingMetric(str, enum.Enum):
     def coerce(cls, value: "ScalingMetric | str") -> "ScalingMetric":
         if isinstance(value, cls):
             return value
-        return cls(str(value).lower())
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            # ParameterError subclasses ValueError, so existing except
+            # clauses keep working while corrupt container headers (which
+            # feed codec kwargs from untrusted bytes) stay contained in
+            # the library's error hierarchy.
+            from repro.errors import ParameterError
+
+            raise ParameterError(
+                f"{value!r} is not a valid ScalingMetric "
+                f"(expected one of {[m.value for m in cls]})"
+            ) from None
 
 
 @dataclass

@@ -43,6 +43,41 @@ class ErrorBoundViolation(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """Base class for errors in the compression service layer."""
+
+
+class ProtocolError(ServiceError):
+    """A service frame is malformed: bad magic, oversized declared length,
+    short payload, or unparseable header JSON."""
+
+
+class ServerBusyError(ServiceError):
+    """The server refused a request under backpressure (queue full, too many
+    in-flight bytes, or draining).  Retryable; clients back off and retry.
+
+    ``retry_after_s`` is the server's hint for the first backoff delay.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceeded(ServiceError):
+    """A request spent longer than its deadline queued at the server and was
+    dropped without being processed."""
+
+
+class RemoteError(ServiceError):
+    """The server reported a structured failure the client cannot map to a
+    more specific type; carries the wire error ``code``."""
+
+    def __init__(self, message: str, code: str = "INTERNAL") -> None:
+        super().__init__(message)
+        self.code = code
+
+
 class ChemistryError(ReproError):
     """Base class for errors in the quantum-chemistry substrate."""
 

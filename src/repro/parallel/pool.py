@@ -92,6 +92,79 @@ def _decompress_chunk(blob: bytes) -> tuple[np.ndarray, dict | None]:
     return _WORKER_CODEC.decompress(blob), telemetry.capture_state()
 
 
+_WORKER_SHAPED: dict = {}
+
+
+def _shaped_worker_codec(dims):
+    """Per-worker codec for a block geometry (PaSTRI is shape-specific)."""
+    from repro.core.compressor import PaSTRICompressor
+
+    if dims is None or not isinstance(_WORKER_CODEC, PaSTRICompressor):
+        return _WORKER_CODEC
+    dims = tuple(int(d) for d in dims)
+    codec = _WORKER_SHAPED.get(dims)
+    if codec is None:
+        codec = PaSTRICompressor(
+            dims=dims, metric=_WORKER_CODEC.metric, tree_id=_WORKER_CODEC.tree_id
+        )
+        _WORKER_SHAPED[dims] = codec
+    return codec
+
+
+def _compress_chunk_shaped(
+    args: tuple[np.ndarray, float, tuple | None],
+) -> tuple[bytes, dict | None]:
+    """Like :func:`_compress_chunk` but with a per-job ``dims`` override."""
+    chunk, eb, dims = args
+    blob = _shaped_worker_codec(dims).compress(chunk, eb)
+    return blob, telemetry.capture_state()
+
+
+class CodecWorkerPool:
+    """A persistent worker pool for batch compress/decompress.
+
+    The one-shot pools above amortize startup over a single large stream;
+    the compression *service* instead sees a steady trickle of small
+    batches, so it keeps one pool alive for its whole lifetime and feeds
+    micro-batches through it.  Jobs carry per-request error bounds and an
+    optional block geometry (``dims``), which workers resolve against a
+    local shaped-codec cache — the same dispatch rule as
+    :meth:`repro.pipeline.store.CompressedERIStore.codec_for`.
+    """
+
+    def __init__(
+        self, codec_name: str, codec_kwargs: dict | None = None, n_workers: int = 2
+    ) -> None:
+        if n_workers < 1:
+            raise ParameterError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self._pool = pool_context().Pool(
+            n_workers,
+            initializer=_init_worker,
+            initargs=(codec_name, codec_kwargs or {}, _tstate.enabled),
+        )
+
+    def compress_batch(
+        self, jobs: Sequence[tuple[np.ndarray, float, tuple | None]]
+    ) -> list[bytes]:
+        """Compress ``(data, error_bound, dims)`` jobs; blobs in job order."""
+        return _merge_results(self._pool.map(_compress_chunk_shaped, list(jobs)))
+
+    def decompress_batch(self, blobs: Sequence[bytes]) -> list[np.ndarray]:
+        """Decompress blobs in parallel; arrays in blob order."""
+        return _merge_results(self._pool.map(_decompress_chunk, list(blobs)))
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+    def __enter__(self) -> "CodecWorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
 def _merge_results(results: list) -> list:
     """Unzip ``(payload, delta)`` pairs, folding deltas into this process."""
     payloads = []

@@ -22,6 +22,7 @@ error bound included — with :meth:`CompressedERIStore.load`.
 from __future__ import annotations
 
 import json
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -286,6 +287,13 @@ class CompressedERIStore:
 
     >>> backend = ContainerBackend("eris.pstf", memory_budget_bytes=256 << 20)
     >>> store = CompressedERIStore(codec, 1e-10, backend=backend, hot_cache_blocks=64)
+
+    The store is **thread-safe**: one reentrant lock serializes every
+    backend mutation, LRU move, spill, hot-array cache update, and stats
+    bump, so the compression service (and any multi-threaded SCF driver)
+    can share a single store across request handlers.  The lock is coarse
+    by design — codec work dominates, and a single lock keeps the
+    LRU/spill/stats invariants trivially consistent.
     """
 
     codec: Codec
@@ -296,6 +304,7 @@ class CompressedERIStore:
     _shaped: dict = field(default_factory=dict, repr=False)
     stats: StoreStats = field(default_factory=StoreStats)
     _hot_arrays: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
     def __post_init__(self) -> None:
         if self.backend is None:
@@ -306,67 +315,71 @@ class CompressedERIStore:
         else:
             self.backend.stats = self.stats
 
-    def _codec_for(self, dims) -> Codec:
+    def codec_for(self, dims) -> Codec:
         """Per-geometry codec dispatch.
 
         ERI stores hold quartets of *different* shell classes; a PaSTRI
         codec is block-geometry specific, so when ``dims`` is given and the
         base codec is PaSTRI, a per-shape instance is used (decompression
-        is unaffected — PaSTRI streams are self-describing).
+        is unaffected — PaSTRI streams are self-describing).  The
+        compression service reuses this dispatch for its ``compress`` op.
         """
         from repro.core.compressor import PaSTRICompressor
 
         if dims is None or not isinstance(self.codec, PaSTRICompressor):
             return self.codec
         dims = tuple(int(d) for d in dims)
-        codec = self._shaped.get(dims)
-        if codec is None:
-            codec = PaSTRICompressor(
-                dims=dims, metric=self.codec.metric, tree_id=self.codec.tree_id
-            )
-            self._shaped[dims] = codec
+        with self._lock:
+            codec = self._shaped.get(dims)
+            if codec is None:
+                codec = PaSTRICompressor(
+                    dims=dims, metric=self.codec.metric, tree_id=self.codec.tree_id
+                )
+                self._shaped[dims] = codec
         return codec
 
     def put(self, key, block: np.ndarray, dims=None) -> None:
         """Compress and store one block (overwrites an existing key).
 
         ``dims`` optionally gives the block's 4-D shell geometry so PaSTRI
-        uses the right sub-block split (see :meth:`_codec_for`).
+        uses the right sub-block split (see :meth:`codec_for`).
         """
-        blob = self._codec_for(dims).compress(block, self.error_bound)
+        blob = self.codec_for(dims).compress(block, self.error_bound)
         dims_t = None if dims is None else tuple(int(d) for d in dims)
         self._put_blob(key, blob, block.nbytes, dims_t)
 
     def _put_blob(self, key, blob: bytes, nbytes: int, dims) -> None:
         """Insert a ready-made blob (the load/restore path skips compression)."""
-        prev = self.backend.put(key, _Entry(blob, nbytes, dims))
-        if prev is not None:
-            self.stats.bump("compressed_bytes", -len(prev.blob))
-            self.stats.bump("original_bytes", -prev.nbytes)
-            self.stats.bump("n_entries", -1)
-        self._hot_arrays.pop(key, None)
-        self.stats.bump("n_entries")
-        self.stats.bump("puts")
-        self.stats.bump("original_bytes", nbytes)
-        self.stats.bump("compressed_bytes", len(blob))
+        with self._lock:
+            prev = self.backend.put(key, _Entry(blob, nbytes, dims))
+            if prev is not None:
+                self.stats.bump("compressed_bytes", -len(prev.blob))
+                self.stats.bump("original_bytes", -prev.nbytes)
+                self.stats.bump("n_entries", -1)
+            self._hot_arrays.pop(key, None)
+            self.stats.bump("n_entries")
+            self.stats.bump("puts")
+            self.stats.bump("original_bytes", nbytes)
+            self.stats.bump("compressed_bytes", len(blob))
 
     def get(self, key) -> np.ndarray:
         """Decompress one block; raises KeyError for unknown keys."""
-        self.stats.bump("gets")
-        if self.hot_cache_blocks > 0:
-            hit = self._hot_arrays.get(key)
-            if hit is not None:
-                self._hot_arrays.move_to_end(key)
-                self.stats.bump("cache_hits")
-                return hit
-            self.stats.bump("cache_misses")
-        out = self.codec.decompress(self.backend.get(key).blob)
-        if self.hot_cache_blocks > 0:
-            out.setflags(write=False)  # cached arrays are shared; keep them frozen
-            self._hot_arrays[key] = out
-            while len(self._hot_arrays) > self.hot_cache_blocks:
-                self._hot_arrays.popitem(last=False)
-        return out
+        with self._lock:
+            self.stats.bump("gets")
+            if self.hot_cache_blocks > 0:
+                hit = self._hot_arrays.get(key)
+                if hit is not None:
+                    self._hot_arrays.move_to_end(key)
+                    self.stats.bump("cache_hits")
+                    return hit
+                self.stats.bump("cache_misses")
+            out = self.codec.decompress(self.backend.get(key).blob)
+            if self.hot_cache_blocks > 0:
+                out.setflags(write=False)  # cached arrays are shared; keep them frozen
+                self._hot_arrays[key] = out
+                while len(self._hot_arrays) > self.hot_cache_blocks:
+                    self._hot_arrays.popitem(last=False)
+            return out
 
     def get_or_compute(self, key, compute, dims=None) -> np.ndarray:
         """Fetch from the store, or compute, insert, and return.
@@ -376,15 +389,16 @@ class CompressedERIStore:
         data on every access (the lossy roundtrip is never silently
         bypassed).
         """
-        if key in self.backend:
+        with self._lock:
+            if key in self.backend:
+                return self.get(key)
+            block = np.asarray(compute(), dtype=np.float64)
+            if block.ndim != 1:
+                block = block.ravel()
+            if block.size == 0:
+                raise ParameterError("computed block is empty")
+            self.put(key, block, dims=dims)
             return self.get(key)
-        block = np.asarray(compute(), dtype=np.float64)
-        if block.ndim != 1:
-            block = block.ravel()
-        if block.size == 0:
-            raise ParameterError("computed block is empty")
-        self.put(key, block, dims=dims)
-        return self.get(key)
 
     # -- persistence -----------------------------------------------------------
 
@@ -396,21 +410,22 @@ class CompressedERIStore:
         bound, so :meth:`load` needs nothing but the path.  Returns the
         :class:`repro.streamio.StreamSummary` of the written container.
         """
-        with open(path, "wb") as fh:
-            with ContainerWriter(
-                fh,
-                self.codec,
-                self.error_bound,
-                meta={"error_bound": self.error_bound, "role": "eri-store"},
-            ) as w:
-                for key in self.backend.keys():
-                    entry = self.backend.get(key)
-                    w.append_blob(
-                        entry.blob,
-                        entry.nbytes // 8,
-                        key=json.dumps(key),
-                        dims=entry.dims,
-                    )
+        with self._lock:
+            with open(path, "wb") as fh:
+                with ContainerWriter(
+                    fh,
+                    self.codec,
+                    self.error_bound,
+                    meta={"error_bound": self.error_bound, "role": "eri-store"},
+                ) as w:
+                    for key in self.backend.keys():
+                        entry = self.backend.get(key)
+                        w.append_blob(
+                            entry.blob,
+                            entry.nbytes // 8,
+                            key=json.dumps(key),
+                            dims=entry.dims,
+                        )
         return w.summary
 
     @classmethod
@@ -449,7 +464,8 @@ class CompressedERIStore:
 
     def close(self) -> None:
         """Release backend resources (finalizes a spill container's footer)."""
-        self.backend.close()
+        with self._lock:
+            self.backend.close()
 
     def __enter__(self) -> "CompressedERIStore":
         return self
@@ -458,13 +474,16 @@ class CompressedERIStore:
         self.close()
 
     def __contains__(self, key) -> bool:
-        return key in self.backend
+        with self._lock:
+            return key in self.backend
 
     def __len__(self) -> int:
-        return len(self.backend)
+        with self._lock:
+            return len(self.backend)
 
     def keys(self):
-        return self.backend.keys()
+        with self._lock:
+            return list(self.backend.keys())
 
 
 def _revive_key(key):

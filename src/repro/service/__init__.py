@@ -1,0 +1,52 @@
+"""Compression service layer: the PaSTRI codec behind a network boundary.
+
+Everything else in :mod:`repro` is an in-process library; this package puts
+the codec, the PSTF container, and the spillable
+:class:`repro.pipeline.store.CompressedERIStore` behind a TCP server so
+integrals can be compressed centrally and fetched on demand — the
+producer/consumer split the paper's GAMESS deployment and the FPGA /
+hierarchical-matrix ERI backends in PAPERS.md all assume.
+
+Three modules:
+
+* :mod:`repro.service.protocol` — the length-prefixed framed wire format
+  (JSON header + raw binary payload) shared by both ends;
+* :mod:`repro.service.server` — an asyncio TCP server with micro-batched
+  compression, bounded-queue backpressure (BUSY replies, never unbounded
+  buffering), per-request deadlines, and graceful drain on SIGTERM;
+* :mod:`repro.service.client` — sync and async clients with connection
+  reuse, timeouts, and retry-with-exponential-backoff-and-jitter on BUSY
+  and connection errors.
+
+``pastri serve`` and ``pastri remote ...`` expose the two ends on the
+command line; ``docs/SERVICE.md`` documents the protocol and the
+batching/backpressure knobs.
+"""
+
+from __future__ import annotations
+
+from repro.service.client import AsyncServiceClient, RetryPolicy, ServiceClient
+from repro.service.protocol import (
+    MAGIC,
+    encode_error,
+    encode_frame,
+    encode_response,
+    read_frame,
+    read_frame_async,
+)
+from repro.service.server import CompressionServer, ServerConfig, serve_in_thread
+
+__all__ = [
+    "MAGIC",
+    "encode_frame",
+    "encode_response",
+    "encode_error",
+    "read_frame",
+    "read_frame_async",
+    "CompressionServer",
+    "ServerConfig",
+    "serve_in_thread",
+    "ServiceClient",
+    "AsyncServiceClient",
+    "RetryPolicy",
+]

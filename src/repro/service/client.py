@@ -1,0 +1,335 @@
+"""Service clients: sync and async, with retry, backoff, and jitter.
+
+:class:`ServiceClient` is the blocking client — one reused TCP connection,
+one request in flight at a time (the server pipelines across *clients*,
+not within a connection).  :class:`AsyncServiceClient` is its asyncio twin
+for event-loop callers.  Both speak :mod:`repro.service.protocol` and
+raise the typed :mod:`repro.errors` hierarchy.
+
+Retries follow :class:`RetryPolicy`: BUSY/SHUTTING_DOWN replies and
+connection failures back off exponentially with full jitter
+(``delay = uniform(0, base * 2**attempt)``, capped) and retry up to
+``max_retries`` times; every service op here is idempotent, so a retry
+after a torn connection is always safe.  ``DEADLINE`` replies retry too —
+the server dropped the request unprocessed.  ``BAD_REQUEST`` and other
+structured failures surface immediately.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import socket
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import (
+    DeadlineExceeded,
+    ProtocolError,
+    ServerBusyError,
+    ServiceError,
+)
+from repro.service import protocol
+
+__all__ = ["RetryPolicy", "ServiceClient", "AsyncServiceClient"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter for retryable failures."""
+
+    max_retries: int = 6
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+
+    def delay(self, attempt: int, hint_s: float = 0.0) -> float:
+        """Jittered delay before retry ``attempt`` (0-based), >= ``hint_s``."""
+        span = min(self.backoff_cap_s, self.backoff_base_s * (2.0 ** attempt))
+        return max(hint_s, random.uniform(0.0, span))
+
+
+def _is_retryable(exc: Exception) -> bool:
+    if isinstance(exc, (ServerBusyError, DeadlineExceeded)):
+        return True
+    if isinstance(exc, ServiceError):  # ProtocolError / RemoteError: surface
+        return False
+    return isinstance(exc, (ConnectionError, socket.timeout, OSError))
+
+
+def _retry_hint(exc: Exception) -> float:
+    return exc.retry_after_s if isinstance(exc, ServerBusyError) else 0.0
+
+
+class ServiceClient:
+    """Blocking client over one reused TCP connection.
+
+    >>> with ServiceClient("127.0.0.1", 7557) as c:
+    ...     blob, info = c.compress(data, eb=1e-10)
+    ...     again = c.decompress(blob)
+
+    The connection is opened lazily and re-opened transparently after a
+    failure; ``timeout`` bounds every socket operation.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7557,
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+        max_payload: int = protocol.DEFAULT_MAX_PAYLOAD,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retry = retry or RetryPolicy()
+        self.max_payload = max_payload
+        self._sock: socket.socket | None = None
+        self._fh = None
+        self._next_id = 0
+
+    # -- connection management -------------------------------------------------
+
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._fh = sock.makefile("rwb")
+
+    def close(self) -> None:
+        """Close the connection (the client can be reused; it reconnects)."""
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- request plumbing ------------------------------------------------------
+
+    def _roundtrip_once(self, op: str, params: dict, payload: bytes
+                        ) -> tuple[dict, bytes]:
+        self._connect()
+        self._next_id += 1
+        req_id = self._next_id
+        try:
+            self._fh.write(protocol.encode_request(op, req_id, params, payload))
+            self._fh.flush()
+            frame = protocol.read_frame(self._fh, self.max_payload)
+        except (ConnectionError, socket.timeout, OSError):
+            self.close()
+            raise
+        if frame is None:
+            self.close()
+            raise ConnectionResetError("server closed the connection mid-request")
+        header, body = frame
+        got = header.get("id")
+        if got is not None and got != req_id:
+            self.close()
+            raise ProtocolError(
+                f"response id {got} does not match request {req_id}"
+            )
+        result = protocol.raise_for_error(header)
+        return result, body
+
+    def _roundtrip(self, op: str, params: dict | None = None,
+                   payload: bytes = b"") -> tuple[dict, bytes]:
+        params = params or {}
+        attempt = 0
+        while True:
+            try:
+                return self._roundtrip_once(op, params, payload)
+            except Exception as exc:
+                if not _is_retryable(exc) or attempt >= self.retry.max_retries:
+                    raise
+                time.sleep(self.retry.delay(attempt, _retry_hint(exc)))
+                attempt += 1
+
+    # -- operations ------------------------------------------------------------
+
+    def compress(self, data: np.ndarray, eb: float, dims=None
+                 ) -> tuple[bytes, dict]:
+        """Compress ``data`` remotely; returns ``(blob, info)`` where info
+        carries ``n``, ``compressed_bytes``, ``ratio``, and the applied
+        ``eb``."""
+        payload, n = protocol.array_to_payload(data)
+        params: dict = {"eb": float(eb), "n": n}
+        if dims is not None:
+            params["dims"] = [int(d) for d in dims]
+        result, body = self._roundtrip("compress", params, payload)
+        return body, result
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        """Decompress a codec blob remotely; returns the float64 array."""
+        result, body = self._roundtrip("decompress", {}, bytes(blob))
+        return protocol.payload_to_array(body, result.get("n"))
+
+    def put(self, key, block: np.ndarray, dims=None) -> dict:
+        """Store one block under ``key`` (compressed server-side at the
+        store's error bound)."""
+        payload, n = protocol.array_to_payload(block)
+        params: dict = {"key": key, "n": n}
+        if dims is not None:
+            params["dims"] = [int(d) for d in dims]
+        result, _ = self._roundtrip("store.put", params, payload)
+        return result
+
+    def get(self, key) -> np.ndarray:
+        """Fetch (decompress) the block stored under ``key``."""
+        result, body = self._roundtrip("store.get", {"key": key})
+        return protocol.payload_to_array(body, result.get("n"))
+
+    def stats(self) -> dict:
+        """The server store's :class:`StoreStats` as a dict."""
+        return self._roundtrip("store.stats")[0]
+
+    def health(self) -> dict:
+        """Server liveness/drain state, uptime, queue depth, codec spec."""
+        return self._roundtrip("health")[0]
+
+    def metrics(self) -> dict:
+        """The server's full telemetry registry snapshot."""
+        return self._roundtrip("metrics")[0].get("metrics", {})
+
+
+class AsyncServiceClient:
+    """Asyncio client with the same surface as :class:`ServiceClient`.
+
+    One connection, one request at a time (an internal lock serializes
+    concurrent callers); retry/backoff identical to the sync client.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7557,
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+        max_payload: int = protocol.DEFAULT_MAX_PAYLOAD,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retry = retry or RetryPolicy()
+        self.max_payload = max_payload
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._lock = asyncio.Lock()
+        self._next_id = 0
+
+    async def _connect(self) -> None:
+        if self._writer is not None:
+            return
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.timeout
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    async def _roundtrip_once(self, op: str, params: dict, payload: bytes
+                              ) -> tuple[dict, bytes]:
+        await self._connect()
+        self._next_id += 1
+        req_id = self._next_id
+        try:
+            self._writer.write(protocol.encode_request(op, req_id, params, payload))
+            await asyncio.wait_for(self._writer.drain(), self.timeout)
+            frame = await asyncio.wait_for(
+                protocol.read_frame_async(self._reader, self.max_payload),
+                self.timeout,
+            )
+        except (ConnectionError, asyncio.TimeoutError, OSError):
+            await self.close()
+            raise
+        if frame is None:
+            await self.close()
+            raise ConnectionResetError("server closed the connection mid-request")
+        header, body = frame
+        got = header.get("id")
+        if got is not None and got != req_id:
+            await self.close()
+            raise ProtocolError(
+                f"response id {got} does not match request {req_id}"
+            )
+        return protocol.raise_for_error(header), body
+
+    async def _roundtrip(self, op: str, params: dict | None = None,
+                         payload: bytes = b"") -> tuple[dict, bytes]:
+        params = params or {}
+        attempt = 0
+        async with self._lock:
+            while True:
+                try:
+                    return await self._roundtrip_once(op, params, payload)
+                except Exception as exc:
+                    if isinstance(exc, asyncio.TimeoutError):
+                        retryable = True
+                    else:
+                        retryable = _is_retryable(exc)
+                    if not retryable or attempt >= self.retry.max_retries:
+                        raise
+                    await asyncio.sleep(self.retry.delay(attempt, _retry_hint(exc)))
+                    attempt += 1
+
+    async def compress(self, data: np.ndarray, eb: float, dims=None
+                       ) -> tuple[bytes, dict]:
+        payload, n = protocol.array_to_payload(data)
+        params: dict = {"eb": float(eb), "n": n}
+        if dims is not None:
+            params["dims"] = [int(d) for d in dims]
+        result, body = await self._roundtrip("compress", params, payload)
+        return body, result
+
+    async def decompress(self, blob: bytes) -> np.ndarray:
+        result, body = await self._roundtrip("decompress", {}, bytes(blob))
+        return protocol.payload_to_array(body, result.get("n"))
+
+    async def put(self, key, block: np.ndarray, dims=None) -> dict:
+        payload, n = protocol.array_to_payload(block)
+        params: dict = {"key": key, "n": n}
+        if dims is not None:
+            params["dims"] = [int(d) for d in dims]
+        result, _ = await self._roundtrip("store.put", params, payload)
+        return result
+
+    async def get(self, key) -> np.ndarray:
+        result, body = await self._roundtrip("store.get", {"key": key})
+        return protocol.payload_to_array(body, result.get("n"))
+
+    async def stats(self) -> dict:
+        return (await self._roundtrip("store.stats"))[0]
+
+    async def health(self) -> dict:
+        return (await self._roundtrip("health"))[0]
+
+    async def metrics(self) -> dict:
+        return (await self._roundtrip("metrics"))[0].get("metrics", {})

@@ -1,0 +1,235 @@
+"""The service wire format: length-prefixed frames, JSON header + payload.
+
+One frame carries one request or one response::
+
+    magic 'PSRV' | header length u32-le | header JSON (utf-8)
+                 | payload length u64-le | payload bytes
+
+The header is a small JSON object; the payload is raw binary (float64
+little-endian array bytes on the way in, codec blob bytes on the way out)
+so bulk data never round-trips through JSON.  Both sides read with hard
+caps — a declared length beyond the cap is rejected *before* any
+allocation, so a malicious or corrupt peer cannot make either end balloon.
+
+Requests look like ``{"op": "compress", "id": 7, "params": {...}}``;
+responses echo the id as ``{"ok": true, "id": 7, "result": {...}}`` or
+``{"ok": false, "id": 7, "error": {"code": "BUSY", "message": "..."}}``.
+Error codes are the :data:`ERROR_CODES` vocabulary;
+:func:`raise_for_error` maps a reply onto the :mod:`repro.errors`
+hierarchy so client callers catch typed exceptions, never dicts.
+
+Arrays travel as ``<f8`` bytes with the element count in the header
+(:func:`array_to_payload` / :func:`payload_to_array`), keeping the frame
+self-describing without a second serialization layer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import BinaryIO
+
+import numpy as np
+
+from repro.errors import (
+    DeadlineExceeded,
+    ParameterError,
+    ProtocolError,
+    RemoteError,
+    ServerBusyError,
+)
+
+__all__ = [
+    "MAGIC",
+    "MAX_HEADER_BYTES",
+    "DEFAULT_MAX_PAYLOAD",
+    "ERROR_CODES",
+    "encode_frame",
+    "encode_request",
+    "encode_response",
+    "encode_error",
+    "read_frame",
+    "read_frame_async",
+    "raise_for_error",
+    "array_to_payload",
+    "payload_to_array",
+]
+
+MAGIC = b"PSRV"
+#: Headers are small JSON objects; anything bigger is a framing error.
+MAX_HEADER_BYTES = 1 << 20
+#: Default per-frame payload cap (both directions).  Servers and clients
+#: can lower it; a declared length above the cap is rejected pre-allocation.
+DEFAULT_MAX_PAYLOAD = 1 << 30
+
+#: The wire error vocabulary (see ``docs/SERVICE.md`` §Failure semantics).
+ERROR_CODES = (
+    "BUSY",            # backpressure: retry with backoff
+    "DEADLINE",        # request expired while queued; safe to retry
+    "BAD_REQUEST",     # malformed params; do not retry
+    "NOT_FOUND",       # store.get on an unknown key
+    "PROTOCOL",        # unparseable frame; connection will close
+    "SHUTTING_DOWN",   # server is draining; retry against a replacement
+    "INTERNAL",        # server-side failure processing a valid request
+)
+
+_HDR_LEN = struct.Struct("<I")
+_PAY_LEN = struct.Struct("<Q")
+
+
+def encode_frame(header: dict, payload: bytes = b"") -> bytes:
+    """Serialize one frame (header JSON + payload) to wire bytes."""
+    raw = json.dumps(header, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    if len(raw) > MAX_HEADER_BYTES:
+        raise ProtocolError(f"frame header too large ({len(raw)} bytes)")
+    return b"".join(
+        (MAGIC, _HDR_LEN.pack(len(raw)), raw, _PAY_LEN.pack(len(payload)), payload)
+    )
+
+
+def encode_request(op: str, req_id: int, params: dict | None = None,
+                   payload: bytes = b"") -> bytes:
+    """Frame a request: ``{"op": op, "id": req_id, "params": {...}}``."""
+    return encode_frame({"op": op, "id": req_id, "params": params or {}}, payload)
+
+
+def encode_response(req_id: int | None, result: dict | None = None,
+                    payload: bytes = b"") -> bytes:
+    """Frame a success reply echoing ``req_id``."""
+    return encode_frame({"ok": True, "id": req_id, "result": result or {}}, payload)
+
+
+def encode_error(req_id: int | None, code: str, message: str, **extra) -> bytes:
+    """Frame a structured error reply (no payload)."""
+    if code not in ERROR_CODES:
+        raise ParameterError(f"unknown service error code {code!r}")
+    err = {"code": code, "message": message}
+    err.update(extra)
+    return encode_frame({"ok": False, "id": req_id, "error": err})
+
+
+def _parse_header(raw: bytes) -> dict:
+    try:
+        header = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"unparseable frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("frame header must be a JSON object")
+    return header
+
+
+def read_frame(fh: BinaryIO, max_payload: int = DEFAULT_MAX_PAYLOAD
+               ) -> tuple[dict, bytes] | None:
+    """Read one frame from a blocking file-like socket; ``None`` on clean EOF.
+
+    A clean EOF is 0 bytes exactly at a frame boundary; anything partial or
+    malformed raises :class:`ProtocolError`.
+    """
+    head = fh.read(len(MAGIC) + 4)
+    if not head:
+        return None
+    if len(head) != len(MAGIC) + 4:
+        raise ProtocolError("connection closed mid-frame (short prefix)")
+    if head[:4] != MAGIC:
+        raise ProtocolError(f"bad frame magic {head[:4]!r}")
+    (hdr_len,) = _HDR_LEN.unpack(head[4:])
+    if hdr_len > MAX_HEADER_BYTES:
+        raise ProtocolError(f"declared header length {hdr_len} exceeds cap")
+    raw = fh.read(hdr_len)
+    if len(raw) != hdr_len:
+        raise ProtocolError("connection closed mid-frame (short header)")
+    header = _parse_header(raw)
+    plen_raw = fh.read(8)
+    if len(plen_raw) != 8:
+        raise ProtocolError("connection closed mid-frame (short payload length)")
+    (plen,) = _PAY_LEN.unpack(plen_raw)
+    if plen > max_payload:
+        raise ProtocolError(
+            f"declared payload length {plen} exceeds cap {max_payload}"
+        )
+    payload = b""
+    if plen:
+        chunks = []
+        remaining = plen
+        while remaining:
+            chunk = fh.read(remaining)
+            if not chunk:
+                raise ProtocolError("connection closed mid-frame (short payload)")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        payload = b"".join(chunks)
+    return header, payload
+
+
+async def read_frame_async(reader: asyncio.StreamReader,
+                           max_payload: int = DEFAULT_MAX_PAYLOAD
+                           ) -> tuple[dict, bytes] | None:
+    """Asyncio twin of :func:`read_frame`; ``None`` on clean EOF."""
+    try:
+        head = await reader.readexactly(len(MAGIC) + 4)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame (short prefix)") from exc
+    if head[:4] != MAGIC:
+        raise ProtocolError(f"bad frame magic {head[:4]!r}")
+    (hdr_len,) = _HDR_LEN.unpack(head[4:])
+    if hdr_len > MAX_HEADER_BYTES:
+        raise ProtocolError(f"declared header length {hdr_len} exceeds cap")
+    try:
+        raw = await reader.readexactly(hdr_len)
+        header = _parse_header(raw)
+        (plen,) = _PAY_LEN.unpack(await reader.readexactly(8))
+        if plen > max_payload:
+            raise ProtocolError(
+                f"declared payload length {plen} exceeds cap {max_payload}"
+            )
+        payload = await reader.readexactly(plen) if plen else b""
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return header, payload
+
+
+def raise_for_error(header: dict) -> dict:
+    """Map an error reply onto the typed exception hierarchy.
+
+    Success replies pass through, returning the ``result`` dict.
+    """
+    if header.get("ok"):
+        result = header.get("result", {})
+        return result if isinstance(result, dict) else {}
+    err = header.get("error") or {}
+    code = err.get("code", "INTERNAL")
+    message = err.get("message", "server reported an unspecified error")
+    if code == "BUSY" or code == "SHUTTING_DOWN":
+        raise ServerBusyError(message, retry_after_s=float(err.get("retry_after_s", 0.05)))
+    if code == "DEADLINE":
+        raise DeadlineExceeded(message)
+    if code == "BAD_REQUEST":
+        raise ParameterError(message)
+    if code == "NOT_FOUND":
+        raise KeyError(message)
+    if code == "PROTOCOL":
+        raise ProtocolError(message)
+    raise RemoteError(message, code=code)
+
+
+def array_to_payload(data: np.ndarray) -> tuple[bytes, int]:
+    """Flatten to little-endian float64 bytes; returns (payload, count)."""
+    arr = np.ascontiguousarray(data, dtype="<f8").ravel()
+    return arr.tobytes(), arr.size
+
+
+def payload_to_array(payload: bytes, n: int | None = None) -> np.ndarray:
+    """Rebuild a float64 array from wire bytes, validating the count."""
+    if len(payload) % 8:
+        raise ProtocolError(
+            f"array payload length {len(payload)} is not a multiple of 8"
+        )
+    arr = np.frombuffer(payload, dtype="<f8").astype(np.float64, copy=True)
+    if n is not None and arr.size != int(n):
+        raise ProtocolError(
+            f"array payload holds {arr.size} elements, header says {n}"
+        )
+    return arr

@@ -1,0 +1,585 @@
+"""Asyncio compression server: micro-batching, backpressure, graceful drain.
+
+One :class:`CompressionServer` owns a codec, a (thread-safe)
+:class:`repro.pipeline.store.CompressedERIStore`, and optionally a
+persistent :class:`repro.parallel.pool.CodecWorkerPool`.  Request flow:
+
+* **compress** requests are *micro-batched*: they queue up and a single
+  dispatcher coalesces up to ``batch_max`` of them (or whatever arrives
+  within ``batch_window_ms`` of the first), then dispatches the whole
+  batch through the worker pool — concurrent clients amortize pool and
+  dispatch overhead exactly like the block-parallel paths in
+  :mod:`repro.parallel.pool`.
+* **decompress** / **store.*** requests run directly on the executor (the
+  store serializes internally; see its ``RLock``).
+* **health** / **metrics** answer inline on the event loop.
+
+Backpressure is refusal, not buffering: when the compress queue is full,
+total in-flight payload bytes exceed ``max_inflight_bytes``, or the server
+is draining, the request gets an immediate ``BUSY``/``SHUTTING_DOWN``
+error reply (the 429 pattern) and the client backs off.  A request that
+waits in queue past ``request_deadline_ms`` is answered ``DEADLINE``
+without being processed, so a stampede cannot build an invisible backlog.
+
+On SIGTERM (and SIGINT) the server drains gracefully: the listener
+closes, queued and in-flight requests finish, then the store and pool
+shut down — a spill-backed store finalizes its container footer.
+
+Every request is traced with a ``service.request`` span (grafted into the
+telemetry buffer whole, so concurrent coroutines cannot mis-nest) and
+counted under ``service.*``; a ``metrics`` request returns the full
+registry snapshot, so the PR 3 reporting tools work unchanged against a
+running server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import api, telemetry
+from repro.errors import (
+    ParameterError,
+    ProtocolError,
+    ReproError,
+    ServiceError,
+)
+from repro.pipeline.store import (
+    CompressedERIStore,
+    ContainerBackend,
+    _revive_key,
+)
+from repro.service import protocol
+from repro.telemetry import REGISTRY as _METRICS
+from repro.telemetry.spans import adopt_spans
+
+__all__ = ["ServerConfig", "CompressionServer", "serve_in_thread", "ServerHandle"]
+
+
+@dataclass
+class ServerConfig:
+    """Everything a :class:`CompressionServer` needs to run.
+
+    The codec is named registry-style (``codec_name`` + ``codec_kwargs``)
+    so multiprocessing workers can rebuild it; tests may instead inject a
+    ``codec`` instance (in-process execution only).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read the bound port off the server
+    codec_name: str = "pastri"
+    codec_kwargs: dict = field(default_factory=lambda: {"dims": [1, 1, 1, 1]})
+    codec: object | None = None  # pre-built instance (overrides the name)
+    error_bound: float = 1e-10  # the store's bound; compress takes eb per request
+    n_workers: int = 1  # >1 enables the multiprocessing batch pool
+    # micro-batching
+    batch_max: int = 32
+    batch_window_ms: float = 2.0
+    # backpressure
+    max_queue: int = 256
+    max_inflight_bytes: int = 256 << 20
+    request_deadline_ms: float = 10_000.0
+    max_payload_bytes: int = protocol.DEFAULT_MAX_PAYLOAD
+    # store
+    spill_path: str | None = None  # None = MemoryBackend
+    memory_budget_bytes: int = 64 << 20
+    hot_cache_blocks: int = 64
+    #: enable the telemetry registry for the server's lifetime (metrics
+    #: replies are empty without it)
+    telemetry: bool = True
+
+
+class _Request:
+    """One admitted request moving through the server."""
+
+    __slots__ = ("header", "payload", "future", "arrived", "op")
+
+    def __init__(self, header: dict, payload: bytes, future: asyncio.Future) -> None:
+        self.header = header
+        self.payload = payload
+        self.future = future
+        self.arrived = time.monotonic()
+        self.op = header.get("op")
+
+
+class CompressionServer:
+    """The asyncio TCP server; see the module docstring for semantics."""
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        self.codec = self.config.codec or api.get_codec(
+            self.config.codec_name, **self.config.codec_kwargs
+        )
+        backend = None
+        if self.config.spill_path:
+            backend = ContainerBackend(
+                self.config.spill_path,
+                memory_budget_bytes=self.config.memory_budget_bytes,
+            )
+        self.store = CompressedERIStore(
+            self.codec,
+            self.config.error_bound,
+            backend=backend,
+            hot_cache_blocks=self.config.hot_cache_blocks,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._queue: asyncio.Queue | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(2, self.config.n_workers + 1),
+            thread_name_prefix="pastri-svc",
+        )
+        self._pool = None  # CodecWorkerPool, created on start when n_workers > 1
+        self._inflight_bytes = 0
+        self._draining = False
+        self._started = time.monotonic()
+        self._tasks: set[asyncio.Task] = set()
+        self._stopped = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (valid after :meth:`start`)."""
+        if self._server is None:
+            raise ServiceError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind the listener and start the batch dispatcher."""
+        if self.config.telemetry:
+            telemetry.enable()
+        if self.config.n_workers > 1 and self.config.codec is None:
+            from repro.parallel.pool import CodecWorkerPool
+
+            self._pool = CodecWorkerPool(
+                self.config.codec_name,
+                self.config.codec_kwargs,
+                self.config.n_workers,
+            )
+        self._queue = asyncio.Queue(maxsize=self.config.max_queue)
+        self._dispatcher = asyncio.ensure_future(self._batch_dispatcher())
+        self._started = time.monotonic()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`stop` (or SIGTERM/SIGINT on platforms with
+        signal-handler support) initiates the drain."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(self.stop())
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                break
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Graceful drain: refuse new work, finish admitted work, release."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # let already-admitted compress requests flow through the dispatcher
+        if self._queue is not None:
+            await self._queue.put(None)  # dispatcher shutdown sentinel
+        if self._dispatcher is not None:
+            await self._dispatcher
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        if self._pool is not None:
+            self._pool.close()
+        self._executor.shutdown(wait=True)
+        self.store.close()
+        self._stopped.set()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    frame = await protocol.read_frame_async(
+                        reader, self.config.max_payload_bytes
+                    )
+                except ProtocolError as exc:
+                    # Structured refusal, then hang up: after a framing error
+                    # the byte stream can no longer be trusted.
+                    self._count("service.protocol_errors")
+                    await self._write(
+                        writer, write_lock,
+                        protocol.encode_error(None, "PROTOCOL", str(exc)),
+                    )
+                    break
+                if frame is None:  # clean disconnect
+                    break
+                header, payload = frame
+                refusal = self._admission_check(header, payload)
+                if refusal is not None:
+                    await self._write(writer, write_lock, refusal)
+                    continue
+                # account in-flight bytes at admission, not inside the task:
+                # several frames can arrive in one event-loop tick, and the
+                # gate must see each other's bytes before any task runs
+                self._inflight_bytes += len(payload)
+                task = asyncio.ensure_future(
+                    self._serve_request(header, payload, writer, write_lock)
+                )
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    def _admission_check(self, header: dict, payload: bytes) -> bytes | None:
+        """Backpressure gate; returns a refusal frame or ``None`` to admit."""
+        req_id = header.get("id")
+        if self._draining:
+            return protocol.encode_error(
+                req_id, "SHUTTING_DOWN", "server is draining", retry_after_s=0.2
+            )
+        if self._inflight_bytes + len(payload) > self.config.max_inflight_bytes:
+            self._count("service.busy")
+            return protocol.encode_error(
+                req_id, "BUSY",
+                f"in-flight bytes limit reached ({self.config.max_inflight_bytes})",
+                retry_after_s=0.05,
+            )
+        if header.get("op") == "compress" and self._queue.full():
+            self._count("service.busy")
+            return protocol.encode_error(
+                req_id, "BUSY",
+                f"compress queue full ({self.config.max_queue})",
+                retry_after_s=0.05,
+            )
+        return None
+
+    async def _write(self, writer, lock: asyncio.Lock, frame: bytes) -> None:
+        async with lock:
+            writer.write(frame)
+            await writer.drain()
+        self._count("service.bytes_out", len(frame))
+
+    async def _serve_request(
+        self, header: dict, payload: bytes, writer, write_lock: asyncio.Lock
+    ) -> None:
+        op = header.get("op")
+        req_id = header.get("id")
+        t0 = time.perf_counter()
+        try:
+            reply = await self._dispatch(header, payload)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            reply = self._error_reply(req_id, exc)
+        finally:
+            self._inflight_bytes -= len(payload)
+        wall = time.perf_counter() - t0
+        self._record_request(op, wall, len(payload))
+        try:
+            await self._write(writer, write_lock, reply)
+        except (ConnectionError, OSError):
+            pass  # client went away; the work is already accounted
+
+    def _error_reply(self, req_id, exc: Exception) -> bytes:
+        if isinstance(exc, ParameterError):
+            return protocol.encode_error(req_id, "BAD_REQUEST", str(exc))
+        if isinstance(exc, KeyError):
+            self._count("service.not_found")
+            return protocol.encode_error(req_id, "NOT_FOUND", str(exc))
+        if isinstance(exc, _Deadline):
+            self._count("service.deadline")
+            return protocol.encode_error(req_id, "DEADLINE", str(exc))
+        self._count("service.errors")
+        kind = type(exc).__name__ if isinstance(exc, ReproError) else "unexpected error"
+        return protocol.encode_error(req_id, "INTERNAL", f"{kind}: {exc}")
+
+    def _record_request(self, op: str | None, wall_s: float, bytes_in: int) -> None:
+        self._count("service.requests")
+        self._count(f"service.requests.{op or 'unknown'}")
+        self._count("service.bytes_in", bytes_in)
+        if telemetry.is_enabled():
+            _METRICS.timer("service.request").observe(wall_s, nbytes=bytes_in)
+            # Graft a finished span rather than opening one around awaits:
+            # concurrent coroutines share the thread-local span stack, so a
+            # live span here could adopt another request's children.
+            adopt_spans([{
+                "name": "service.request",
+                "wall_s": wall_s,
+                "cpu_s": 0.0,
+                "attrs": {"op": op or "unknown", "bytes_in": bytes_in},
+            }])
+
+    @staticmethod
+    def _count(name: str, n: int = 1) -> None:
+        if telemetry.is_enabled():
+            _METRICS.counter(name).add(n)
+
+    # -- request dispatch ------------------------------------------------------
+
+    async def _dispatch(self, header: dict, payload: bytes) -> bytes:
+        op = header.get("op")
+        req_id = header.get("id")
+        params = header.get("params") or {}
+        if not isinstance(params, dict):
+            raise ParameterError("request params must be a JSON object")
+        if op == "health":
+            return protocol.encode_response(req_id, self._health())
+        if op == "metrics":
+            return protocol.encode_response(
+                req_id, {"metrics": telemetry.metrics_snapshot()}
+            )
+        if op == "compress":
+            return await self._enqueue_compress(req_id, params, payload)
+        loop = asyncio.get_running_loop()
+        if op == "decompress":
+            return await loop.run_in_executor(
+                self._executor, self._do_decompress, req_id, payload
+            )
+        if op == "store.put":
+            return await loop.run_in_executor(
+                self._executor, self._do_store_put, req_id, params, payload
+            )
+        if op == "store.get":
+            return await loop.run_in_executor(
+                self._executor, self._do_store_get, req_id, params
+            )
+        if op == "store.stats":
+            return protocol.encode_response(req_id, self._store_stats())
+        raise ParameterError(f"unknown op {op!r}")
+
+    def _health(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "inflight_bytes": self._inflight_bytes,
+            "queued": self._queue.qsize() if self._queue is not None else 0,
+            "codec": api.codec_spec(self.codec),
+            "store_entries": len(self.store),
+        }
+
+    def _store_stats(self) -> dict:
+        s = self.store.stats
+        return {
+            "n_entries": s.n_entries,
+            "original_bytes": s.original_bytes,
+            "compressed_bytes": s.compressed_bytes,
+            "puts": s.puts,
+            "gets": s.gets,
+            "cache_hits": s.cache_hits,
+            "cache_misses": s.cache_misses,
+            "spills": s.spills,
+            "disk_reads": s.disk_reads,
+            "ratio": s.ratio,
+            "hit_rate": s.hit_rate,
+            "error_bound": self.store.error_bound,
+        }
+
+    # -- blocking op bodies (executor threads) ---------------------------------
+
+    def _do_decompress(self, req_id, payload: bytes) -> bytes:
+        out = self.codec.decompress(payload)
+        body, n = protocol.array_to_payload(out)
+        return protocol.encode_response(req_id, {"n": n}, body)
+
+    def _do_store_put(self, req_id, params: dict, payload: bytes) -> bytes:
+        if "key" not in params:
+            raise ParameterError("store.put requires a 'key' param")
+        key = _revive_key(params["key"])
+        data = protocol.payload_to_array(payload, params.get("n"))
+        self.store.put(key, data, dims=params.get("dims"))
+        return protocol.encode_response(req_id, {"stored": True, "n": int(data.size)})
+
+    def _do_store_get(self, req_id, params: dict) -> bytes:
+        if "key" not in params:
+            raise ParameterError("store.get requires a 'key' param")
+        key = _revive_key(params["key"])
+        out = self.store.get(key)
+        body, n = protocol.array_to_payload(out)
+        return protocol.encode_response(req_id, {"n": n}, body)
+
+    # -- micro-batched compression ---------------------------------------------
+
+    async def _enqueue_compress(self, req_id, params: dict, payload: bytes) -> bytes:
+        eb = api.validate_error_bound(params.get("eb", self.config.error_bound))
+        data = protocol.payload_to_array(payload, params.get("n"))
+        if data.size == 0:
+            raise ParameterError("cannot compress an empty array")
+        future = asyncio.get_running_loop().create_future()
+        req = _Request(
+            {"id": req_id, "eb": eb, "dims": params.get("dims")}, data, future
+        )
+        try:
+            self._queue.put_nowait(req)
+        except asyncio.QueueFull:
+            # Admission raced another producer; same refusal as the gate.
+            self._count("service.busy")
+            return protocol.encode_error(
+                req_id, "BUSY",
+                f"compress queue full ({self.config.max_queue})",
+                retry_after_s=0.05,
+            )
+        blob = await future
+        body = bytes(blob)
+        return protocol.encode_response(
+            req_id,
+            {"n": int(data.size), "compressed_bytes": len(body),
+             "ratio": data.nbytes / max(len(body), 1), "eb": eb},
+            body,
+        )
+
+    async def _batch_dispatcher(self) -> None:
+        """Coalesce queued compress requests into batches and run them."""
+        loop = asyncio.get_running_loop()
+        window_s = self.config.batch_window_ms / 1e3
+        while True:
+            first = await self._queue.get()
+            if first is None:
+                return
+            batch = [first]
+            deadline = loop.time() + window_s
+            while len(batch) < self.config.batch_max:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    break
+                try:
+                    nxt = await asyncio.wait_for(self._queue.get(), timeout)
+                except asyncio.TimeoutError:
+                    break
+                if nxt is None:
+                    await self._run_batch(batch)
+                    return
+                batch.append(nxt)
+            await self._run_batch(batch)
+
+    async def _run_batch(self, batch: list[_Request]) -> None:
+        loop = asyncio.get_running_loop()
+        live: list[_Request] = []
+        deadline_s = self.config.request_deadline_ms / 1e3
+        for req in batch:
+            if time.monotonic() - req.arrived > deadline_s:
+                req.future.set_exception(_Deadline(
+                    f"request spent more than {self.config.request_deadline_ms:g} ms "
+                    "queued; dropped unprocessed"
+                ))
+            else:
+                live.append(req)
+        if not live:
+            return
+        t0 = time.perf_counter()
+        jobs = [(r.payload, r.header["eb"], r.header["dims"]) for r in live]
+        try:
+            blobs = await loop.run_in_executor(
+                self._executor, self._compress_jobs, jobs
+            )
+        except Exception as exc:
+            for req in live:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+            return
+        for req, blob in zip(live, blobs):
+            if not req.future.done():
+                req.future.set_result(blob)
+        if telemetry.is_enabled():
+            _METRICS.timer("service.batch").observe(time.perf_counter() - t0)
+            _METRICS.counter("service.batch.requests").add(len(live))
+            _METRICS.counter("service.batches").add(1)
+
+    def _compress_jobs(self, jobs: list[tuple[np.ndarray, float, object]]) -> list[bytes]:
+        """Run one batch, through the worker pool when it pays."""
+        if self._pool is not None and len(jobs) > 1:
+            return self._pool.compress_batch(jobs)
+        out = []
+        for data, eb, dims in jobs:
+            out.append(self.store.codec_for(dims).compress(data, eb))
+        return out
+
+
+class _Deadline(ServiceError):
+    """Internal marker: a queued request expired (wire code ``DEADLINE``)."""
+
+
+# ---------------------------------------------------------------------------
+# thread-hosted server (tests, benchmarks, notebooks)
+
+
+class ServerHandle:
+    """A running server hosted on a background thread.
+
+    ``host``/``port`` identify the live endpoint; :meth:`stop` drains it
+    and joins the thread.  Context-manager use guarantees cleanup.
+    """
+
+    def __init__(self, server: CompressionServer, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self.server = server
+        self.host = server.config.host
+        self.port = server.port
+        self._loop = loop
+        self._thread = thread
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread.is_alive():
+            asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop).result(
+                timeout
+            )
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def serve_in_thread(config: ServerConfig | None = None,
+                    start_timeout: float = 30.0) -> ServerHandle:
+    """Start a :class:`CompressionServer` on a daemon thread; returns a
+    :class:`ServerHandle` once the port is bound and accepting."""
+    server = CompressionServer(config)
+    started = threading.Event()
+    boot_error: list[BaseException] = []
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        holder["loop"] = loop
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # surface bind/codec failures to caller
+            boot_error.append(exc)
+            started.set()
+            return
+        started.set()
+        try:
+            loop.run_until_complete(server._stopped.wait())
+        finally:
+            loop.close()
+
+    holder: dict = {}
+    thread = threading.Thread(target=run, name="pastri-serve", daemon=True)
+    thread.start()
+    if not started.wait(start_timeout):
+        raise ServiceError("server failed to start within the timeout")
+    if boot_error:
+        raise boot_error[0]
+    return ServerHandle(server, holder["loop"], thread)

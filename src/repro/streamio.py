@@ -136,7 +136,10 @@ def _decode_index(payload: bytes) -> list[FrameInfo]:
     def take(n: int, what: str) -> bytes:
         raw = view.read(n)
         if len(raw) != n:
-            raise FormatError(f"truncated frame index: short {what}")
+            raise FormatError(
+                f"truncated frame index: short {what} at index byte "
+                f"{view.tell() - len(raw)} (wanted {n}, got {len(raw)})"
+            )
         return raw
 
     (n_frames,) = struct.unpack("<I", take(4, "frame count"))
@@ -144,7 +147,13 @@ def _decode_index(payload: bytes) -> list[FrameInfo]:
     for _ in range(n_frames):
         offset, length, n_elements, crc = struct.unpack("<QQQI", take(28, "entry"))
         (key_len,) = struct.unpack("<H", take(2, "key length"))
-        key = take(key_len, "key").decode("utf-8") if key_len else None
+        try:
+            key = take(key_len, "key").decode("utf-8") if key_len else None
+        except UnicodeDecodeError as exc:
+            raise FormatError(
+                f"corrupt frame key at index byte {view.tell() - key_len}: "
+                f"not valid UTF-8 ({exc})"
+            ) from exc
         (n_dims,) = struct.unpack("<B", take(1, "dims count"))
         dims = (
             struct.unpack(f"<{n_dims}H", take(2 * n_dims, "dims")) if n_dims else None
@@ -254,7 +263,15 @@ class ContainerWriter:
 def _read_exact(fh: BinaryIO, n: int, what: str) -> bytes:
     raw = fh.read(n)
     if len(raw) != n:
-        raise FormatError(f"truncated container: short {what}")
+        try:
+            pos = fh.tell() - len(raw)
+        except (OSError, ValueError):  # non-seekable or closed handle
+            pos = None
+        where = f" at byte {pos}" if pos is not None else ""
+        raise FormatError(
+            f"truncated container: short {what}{where} "
+            f"(wanted {n} bytes, got {len(raw)})"
+        )
     return raw
 
 
@@ -266,7 +283,12 @@ def _read_header_info(fh: BinaryIO) -> tuple[int, str, dict]:
     version, name_len = head[4], head[5]
     if version not in (_V1, _V2):
         raise FormatError(f"unsupported container version {version}")
-    name = _read_exact(fh, name_len, "codec name").decode("utf-8")
+    try:
+        name = _read_exact(fh, name_len, "codec name").decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise FormatError(
+            f"corrupt codec name at byte 6: not valid UTF-8 ({exc})"
+        ) from exc
     if version == _V1:
         return version, name, {}
     (spec_len,) = struct.unpack("<I", _read_exact(fh, 4, "header length"))
@@ -426,17 +448,24 @@ class ContainerReader:
         file_size = fh.seek(0, io.SEEK_END)
         tail_len = 4 + 8 + len(_INDEX_MAGIC)
         if file_size < tail_len:
-            raise FormatError("truncated container: missing index trailer")
+            raise FormatError(
+                f"truncated container: {file_size}-byte file cannot hold the "
+                f"{tail_len}-byte index trailer"
+            )
         fh.seek(file_size - tail_len)
         stored_crc, payload_len = struct.unpack("<IQ", _read_exact(fh, 12, "trailer"))
         if _read_exact(fh, len(_INDEX_MAGIC), "index magic") != _INDEX_MAGIC:
             raise FormatError(
-                "container is missing its frame index (unclosed writer or "
-                "truncated file); recover sequentially with decompress_stream"
+                f"container is missing its frame index at byte "
+                f"{file_size - len(_INDEX_MAGIC)} (unclosed writer or truncated "
+                "file); recover sequentially with decompress_stream"
             )
         index_start = file_size - tail_len - payload_len
         if payload_len > file_size or index_start < 0:
-            raise FormatError(f"corrupt index length {payload_len}")
+            raise FormatError(
+                f"corrupt index length {payload_len} in trailer at byte "
+                f"{file_size - tail_len}"
+            )
         fh.seek(index_start)
         payload = _read_exact(fh, payload_len, "index payload")
         actual = zlib.crc32(payload) & 0xFFFFFFFF

@@ -42,6 +42,7 @@ from repro.telemetry.instrument import capture_state, instrument_codec, merge_st
 from repro.telemetry.registry import REGISTRY, Counter, Gauge, MetricsRegistry, Timer
 from repro.telemetry.spans import (
     Span,
+    adopt_spans,
     current_span,
     drain_spans,
     peek_spans,
@@ -65,6 +66,7 @@ __all__ = [
     "timer",
     "Span",
     "trace",
+    "adopt_spans",
     "current_span",
     "drain_spans",
     "peek_spans",

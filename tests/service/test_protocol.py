@@ -1,0 +1,160 @@
+"""Wire-format unit tests: framing, caps, error mapping, array payloads."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DeadlineExceeded,
+    ParameterError,
+    ProtocolError,
+    RemoteError,
+    ServerBusyError,
+)
+from repro.service import protocol
+
+
+def _roundtrip(frame_bytes):
+    return protocol.read_frame(io.BytesIO(frame_bytes))
+
+
+class TestFraming:
+    def test_request_roundtrip(self):
+        frame = protocol.encode_request("compress", 7, {"eb": 1e-10}, b"\x01\x02")
+        header, payload = _roundtrip(frame)
+        assert header == {"op": "compress", "id": 7, "params": {"eb": 1e-10}}
+        assert payload == b"\x01\x02"
+
+    def test_response_roundtrip(self):
+        frame = protocol.encode_response(3, {"n": 4}, b"busy bytes")
+        header, payload = _roundtrip(frame)
+        assert header["ok"] is True and header["id"] == 3
+        assert payload == b"busy bytes"
+
+    def test_empty_payload(self):
+        header, payload = _roundtrip(protocol.encode_request("health", 1))
+        assert header["op"] == "health"
+        assert payload == b""
+
+    def test_clean_eof_returns_none(self):
+        assert protocol.read_frame(io.BytesIO(b"")) is None
+
+    def test_two_frames_sequential(self):
+        buf = io.BytesIO(
+            protocol.encode_request("health", 1) + protocol.encode_request("health", 2)
+        )
+        assert protocol.read_frame(buf)[0]["id"] == 1
+        assert protocol.read_frame(buf)[0]["id"] == 2
+        assert protocol.read_frame(buf) is None
+
+    def test_bad_magic(self):
+        with pytest.raises(ProtocolError, match="magic"):
+            _roundtrip(b"JUNK" + b"\x00" * 16)
+
+    def test_short_prefix(self):
+        with pytest.raises(ProtocolError, match="short prefix"):
+            _roundtrip(protocol.MAGIC + b"\x01")
+
+    def test_truncated_header(self):
+        frame = protocol.encode_request("health", 1)
+        with pytest.raises(ProtocolError):
+            _roundtrip(frame[: len(protocol.MAGIC) + 4 + 3])
+
+    def test_truncated_payload(self):
+        frame = protocol.encode_request("compress", 1, {}, b"x" * 100)
+        with pytest.raises(ProtocolError, match="short payload"):
+            _roundtrip(frame[:-10])
+
+    def test_oversized_declared_header(self):
+        raw = protocol.MAGIC + (protocol.MAX_HEADER_BYTES + 1).to_bytes(4, "little")
+        with pytest.raises(ProtocolError, match="header length"):
+            _roundtrip(raw)
+
+    def test_oversized_declared_payload_rejected_before_alloc(self):
+        frame = bytearray(protocol.encode_request("compress", 1, {}, b"abc"))
+        # patch the payload length field to an absurd value
+        hdr_len = int.from_bytes(frame[4:8], "little")
+        off = 8 + hdr_len
+        frame[off:off + 8] = (1 << 62).to_bytes(8, "little")
+        with pytest.raises(ProtocolError, match="payload length"):
+            protocol.read_frame(io.BytesIO(bytes(frame)))
+
+    def test_payload_cap_configurable(self):
+        frame = protocol.encode_request("compress", 1, {}, b"x" * 64)
+        with pytest.raises(ProtocolError, match="exceeds cap 16"):
+            protocol.read_frame(io.BytesIO(frame), max_payload=16)
+
+    def test_header_not_json_object(self):
+        raw = b'["not", "an", "object"]'
+        frame = protocol.MAGIC + len(raw).to_bytes(4, "little") + raw
+        frame += (0).to_bytes(8, "little")
+        with pytest.raises(ProtocolError, match="JSON object"):
+            _roundtrip(frame)
+
+    def test_header_invalid_utf8(self):
+        raw = b"\xff\xfe{}"
+        frame = protocol.MAGIC + len(raw).to_bytes(4, "little") + raw
+        frame += (0).to_bytes(8, "little")
+        with pytest.raises(ProtocolError, match="unparseable"):
+            _roundtrip(frame)
+
+
+class TestErrorMapping:
+    def test_success_passes_through(self):
+        assert protocol.raise_for_error({"ok": True, "result": {"n": 2}}) == {"n": 2}
+
+    @pytest.mark.parametrize(
+        "code,exc",
+        [
+            ("BUSY", ServerBusyError),
+            ("SHUTTING_DOWN", ServerBusyError),
+            ("DEADLINE", DeadlineExceeded),
+            ("BAD_REQUEST", ParameterError),
+            ("NOT_FOUND", KeyError),
+            ("PROTOCOL", ProtocolError),
+            ("INTERNAL", RemoteError),
+        ],
+    )
+    def test_codes_map_to_typed_exceptions(self, code, exc):
+        header, _ = _roundtrip(protocol.encode_error(1, code, "boom"))
+        with pytest.raises(exc):
+            protocol.raise_for_error(header)
+
+    def test_busy_carries_retry_hint(self):
+        header, _ = _roundtrip(
+            protocol.encode_error(1, "BUSY", "full", retry_after_s=0.75)
+        )
+        with pytest.raises(ServerBusyError) as e:
+            protocol.raise_for_error(header)
+        assert e.value.retry_after_s == 0.75
+
+    def test_unknown_code_rejected_at_encode(self):
+        with pytest.raises(ParameterError):
+            protocol.encode_error(1, "TEAPOT", "short and stout")
+
+
+class TestArrayPayload:
+    def test_roundtrip(self):
+        data = np.linspace(-1, 1, 37)
+        payload, n = protocol.array_to_payload(data)
+        assert n == 37 and len(payload) == 37 * 8
+        np.testing.assert_array_equal(protocol.payload_to_array(payload, n), data)
+
+    def test_2d_input_flattens(self):
+        payload, n = protocol.array_to_payload(np.ones((3, 4)))
+        assert n == 12
+
+    def test_ragged_length_rejected(self):
+        with pytest.raises(ProtocolError, match="multiple of 8"):
+            protocol.payload_to_array(b"\x00" * 13)
+
+    def test_count_mismatch_rejected(self):
+        payload, _ = protocol.array_to_payload(np.zeros(4))
+        with pytest.raises(ProtocolError, match="header says 5"):
+            protocol.payload_to_array(payload, 5)
+
+    def test_result_is_writable_copy(self):
+        payload, n = protocol.array_to_payload(np.zeros(4))
+        out = protocol.payload_to_array(payload, n)
+        out[0] = 1.0  # frombuffer views are read-only; we need a real array

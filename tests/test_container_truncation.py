@@ -1,0 +1,136 @@
+"""Container-open hardening: truncated/garbage footers fail loud and located.
+
+Before PR 4, opening a torn PSTF-v2 file could escape with a raw
+``struct.error``, ``KeyError``, ``UnicodeDecodeError``, or ``TypeError``
+depending on exactly where the bytes ran out.  The contract now: every
+truncation or footer corruption raises :class:`FormatError` (or another
+:class:`ReproError`) whose message names the byte offset of the damage, so
+an operator can tell a half-written spill file from a trashed one.
+"""
+
+import io
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core import PaSTRICompressor
+from repro.errors import FormatError, ParameterError, ReproError
+from repro.streamio import ContainerWriter, compress_stream, open_container
+
+EB = 1e-10
+
+
+def _container(meta=None) -> bytes:
+    rng = np.random.default_rng(7)
+    chunks = [rng.standard_normal(6**4 * 2) * 1e-7 for _ in range(3)]
+    buf = io.BytesIO()
+    compress_stream(chunks, PaSTRICompressor(dims=(6, 6, 6, 6)), EB, buf, meta=meta)
+    return buf.getvalue()
+
+
+def _keyed_container() -> bytes:
+    buf = io.BytesIO()
+    w = ContainerWriter(buf, PaSTRICompressor(dims=(2, 2, 3, 3)), EB)
+    rng = np.random.default_rng(8)
+    for i in range(4):
+        w.append(rng.standard_normal(36 * 4) * 1e-7, key=f"block-{i}")
+    w.close()
+    return buf.getvalue()
+
+
+class TestTruncation:
+    def test_zero_byte_file(self):
+        with pytest.raises(FormatError, match=r"short magic at byte 0"):
+            open_container(io.BytesIO(b""))
+
+    def test_mid_magic_truncation(self):
+        raw = _container()
+        with pytest.raises(FormatError, match=r"at byte 0 \(wanted 6 bytes, got 4\)"):
+            open_container(io.BytesIO(raw[:4]))
+
+    def test_mid_footer_truncation(self):
+        # cut inside the 22-byte trailer (crc32 + index length + index magic)
+        raw = _container()
+        for cut in (3, 10, 15, 21):
+            with pytest.raises(FormatError, match=r"at byte \d+"):
+                open_container(io.BytesIO(raw[: len(raw) - cut]))
+
+    def test_mid_index_truncation(self):
+        # cut halfway through the frame index payload, before the trailer
+        raw = _container()
+        with pytest.raises(FormatError, match=r"at byte \d+"):
+            open_container(io.BytesIO(raw[: len(raw) - 40]))
+
+    def test_every_truncation_point_is_contained(self):
+        """No cut anywhere in the file may escape the error hierarchy."""
+        raw = _keyed_container()
+        step = max(1, len(raw) // 97)  # ~100 cut points incl. both ends
+        for cut in list(range(0, len(raw), step)) + [len(raw) - 1]:
+            with pytest.raises(ReproError):
+                open_container(io.BytesIO(raw[:cut]))
+
+    def test_error_message_names_offset(self):
+        raw = _container()
+        with pytest.raises(FormatError) as e:
+            open_container(io.BytesIO(raw[: len(raw) - 5]))
+        assert "byte" in str(e.value)
+
+
+class TestGarbageFooter:
+    def test_trailer_magic_overwritten(self):
+        raw = bytearray(_container())
+        raw[-4:] = b"XXXX"
+        with pytest.raises(FormatError, match=r"missing its frame index at byte \d+"):
+            open_container(io.BytesIO(bytes(raw)))
+
+    def test_lying_index_length(self):
+        raw = bytearray(_container())
+        # trailer layout: [..index..][crc u32][payload_len u64][magic]
+        magic_len = len(raw) - raw.rindex(b"PSTFIDX2")
+        len_off = len(raw) - magic_len - 8
+        raw[len_off:len_off + 8] = struct.pack("<Q", len(raw) * 10)
+        with pytest.raises(FormatError, match=r"corrupt index length .* at byte \d+"):
+            open_container(io.BytesIO(bytes(raw)))
+
+    def test_corrupt_codec_name_utf8(self):
+        raw = bytearray(_container())
+        # header layout: magic(6) + name_len(u8?) ... corrupt a name byte
+        name_at = raw.index(b"pastri")
+        raw[name_at] = 0xFF
+        with pytest.raises(FormatError, match=r"byte 6"):
+            open_container(io.BytesIO(bytes(raw)))
+
+    def test_corrupt_codec_spec_kwargs(self):
+        # a hostile header whose codec kwargs are not valid constructor
+        # arguments must raise ParameterError, not TypeError
+        raw = _container()
+        bad = raw.replace(b'"metric"', b'"m\\u00e9tr!"', 1)
+        assert bad != raw
+        with pytest.raises((ParameterError, FormatError)):
+            open_container(io.BytesIO(bad))
+
+    def test_corrupt_metric_value(self):
+        raw = _container()
+        bad = raw.replace(b'"er"', b'"ur"', 1)
+        assert bad != raw
+        with pytest.raises(ParameterError):
+            open_container(io.BytesIO(bad))
+
+    def test_bit_flip_barrage_stays_contained(self):
+        """Flipping any single byte in the header/footer region is contained:
+
+        open either succeeds (the flip hit a don't-care byte) or raises
+        inside the ReproError hierarchy — never struct.error / KeyError /
+        UnicodeDecodeError / TypeError.
+        """
+        raw = _keyed_container()
+        regions = list(range(0, 64)) + list(range(len(raw) - 64, len(raw)))
+        for pos in regions:
+            mutated = bytearray(raw)
+            mutated[pos] ^= 0x5A
+            try:
+                with open_container(io.BytesIO(bytes(mutated))) as r:
+                    len(r)
+            except ReproError:
+                pass  # contained

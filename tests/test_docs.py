@@ -70,6 +70,7 @@ def test_docs_reference_real_files():
         "docs/FORMAT.md",
         "docs/ALGORITHM.md",
         "docs/OBSERVABILITY.md",
+        "docs/SERVICE.md",
     ):
         assert (root / rel).exists(), rel
 
