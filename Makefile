@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test ci bench bench-record overhead-check serve-smoke harness
+.PHONY: test ci bench bench-record overhead-check serve-smoke fsck-smoke harness
 
 test:
 	$(PY) -m pytest tests/ -q
@@ -40,6 +40,13 @@ overhead-check:
 ## timeout turns a wedged server into a failure, never a hung build.
 serve-smoke:
 	timeout 120 $(PY) scripts/serve_smoke.py
+
+## Crash-recovery check: build a real container, truncate a copy at a
+## random byte (seed printed for reproduction), run `pastri fsck` as a
+## subprocess, and verify the salvaged frames round-trip within the
+## error bound.  Hard timeout so a wedged salvage fails, never hangs.
+fsck-smoke:
+	timeout 120 $(PY) scripts/fsck_smoke.py
 
 harness:
 	$(PY) -m repro.harness all

@@ -9,6 +9,7 @@ Subcommands::
     pastri pack       <in.npy|in.npz> <out.pstf> [--codec pastri] [--workers N]
     pastri unpack     <in.pstf> <out.npy> [--workers N]
     pastri ls         <in.pstf>
+    pastri fsck       <in.pstf> [--output OUT] [--dry-run]
     pastri assess     <in.npz> [--eb 1e-10] [--eb-mode abs|rel] [--codec pastri]
     pastri bench      [experiment ids ...]
     pastri telemetry report <trace.jsonl>
@@ -23,7 +24,11 @@ talks to one from the command line through
 ``compress`` writes one bare PaSTRI bitstream; ``pack`` writes a seekable
 PSTF-v2 *container* (frame index, per-frame CRC32, codec spec in the
 header) that ``unpack``/``ls`` and :func:`repro.streamio.open_container`
-read back with no codec arguments.  ``compress``/``pack`` accept a raw
+read back with no codec arguments.  ``fsck`` checks a container and
+salvages a torn or footerless one (crashed writer, full disk): every
+frame whose payload verifies is kept, the torn tail is dropped, and a
+fresh footer index is written — atomically in place by default, or to
+``--output``; ``--dry-run`` only reports (exit 1 when damage was found).  ``compress``/``pack`` accept a raw
 ``.npy`` float64 array (``--config`` required) or an ``.npz`` saved by
 :meth:`repro.chem.dataset.ERIDataset.save` (block geometry taken from the
 file).  Error bounds are absolute by default; ``--eb-mode rel`` interprets
@@ -224,6 +229,25 @@ def cmd_ls(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fsck(args: argparse.Namespace) -> int:
+    """Handle ``pastri fsck``: check and salvage a PSTF container.
+
+    A valid container is a no-op (exit 0).  A footerless or torn one is
+    scanned frame by frame; every frame whose payload verifies is kept,
+    the damaged tail is dropped, and a fresh footer index is written —
+    in place by default (atomically, via a temp file), or to
+    ``--output``.  With ``--dry-run`` nothing is written and the exit
+    code is 1 when damage was found, so scripts can probe health.
+    """
+    from repro.streamio import salvage_container
+
+    report = salvage_container(args.input, output=args.output, dry_run=args.dry_run)
+    print(report.describe())
+    if args.dry_run and not report.clean:
+        return 1
+    return 0
+
+
 def cmd_gen(args: argparse.Namespace) -> int:
     """Handle ``pastri gen``: run the integral engine."""
     from repro.chem.dataset import generate_dataset
@@ -299,6 +323,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     async def _run() -> None:
         server = CompressionServer(config)
         await server.start()
+        recovered = server.store.stats.recovered
+        if recovered:
+            print(
+                f"recovered {recovered} spilled entr"
+                f"{'y' if recovered == 1 else 'ies'} from {config.spill_path}",
+                flush=True,
+            )
         print(f"pastri service listening on {config.host}:{server.port}", flush=True)
         await server.serve_forever()
         print("pastri service drained, bye", flush=True)
@@ -477,6 +508,21 @@ def main(argv: list[str] | None = None) -> int:
     ls = sub.add_parser("ls", help="list a container's frame index")
     ls.add_argument("input")
     ls.set_defaults(func=cmd_ls)
+
+    fs = sub.add_parser("fsck", help="check/salvage a PSTF container")
+    fs.add_argument("input", help="container to check (PSTF v1/v2)")
+    fs.add_argument(
+        "--output",
+        default=None,
+        help="write the salvaged container here instead of repairing in place",
+    )
+    fs.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be recovered without writing anything",
+    )
+    _add_telemetry_arg(fs)
+    fs.set_defaults(func=cmd_fsck)
 
     g = sub.add_parser("gen", help="generate an ERI dataset with the integral engine")
     g.add_argument("molecule", help="benzene / glutamine / trialanine")

@@ -300,10 +300,11 @@ def parallel_compress_to_container(
         full_meta = {"error_bound": error_bound, "block_size": int(block_size)}
         full_meta.update(meta or {})
         with telemetry.trace("container.write", frames=len(chunks)):
-            with open(path, "wb") as fh:
-                with ContainerWriter(fh, codec, error_bound, meta=full_meta) as w:
-                    for chunk, blob in zip(chunks, blobs):
-                        w.append_blob(blob, chunk.size)
+            # Atomic commit: the container lands at ``path`` only on a clean
+            # close, so a crash mid-write never shadows an existing file.
+            with ContainerWriter.create(path, codec, error_bound, meta=full_meta) as w:
+                for chunk, blob in zip(chunks, blobs):
+                    w.append_blob(blob, chunk.size)
     return w.summary
 
 

@@ -21,8 +21,12 @@ error bound included — with :meth:`CompressedERIStore.load`.
 
 from __future__ import annotations
 
+import contextlib
+import io
 import json
+import os
 import threading
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -30,8 +34,14 @@ import numpy as np
 
 from repro import api
 from repro.api import Codec
-from repro.errors import ParameterError
-from repro.streamio import ContainerWriter, open_container
+from repro.errors import ChecksumError, FormatError, ParameterError, ReproError
+from repro.streamio import (
+    ContainerWriter,
+    FrameInfo,
+    open_container,
+    walk_frames,
+)
+from repro.streamio import _read_header_info as _container_header_info
 from repro.telemetry import REGISTRY as _METRICS
 from repro.telemetry import state as _tstate
 
@@ -68,6 +78,8 @@ class StoreStats:
     spills: int = 0
     #: blob reads served from the spill container rather than memory
     disk_reads: int = 0
+    #: entries salvaged from a pre-existing spill container on open
+    recovered: int = 0
 
     def bump(self, field_name: str, delta: int = 1) -> None:
         """Add ``delta`` to a counter field, mirroring it into telemetry."""
@@ -143,29 +155,58 @@ class ContainerBackend:
     :meth:`close` flushes every hot blob and finalizes the footer index, so
     the spill file is itself a valid container readable by
     :func:`repro.streamio.open_container`.
+
+    **Crash safety.**  Every spilled frame is also logged to an append-only
+    sidecar journal (``path + ".journal"``, one JSON line per frame: key,
+    offset, length, CRC, dims) that is flushed with the frame and deleted
+    on a clean close.  With ``recover=True`` (default) a backend pointed at
+    an existing spill file *recovers* it instead of truncating it: a valid
+    (footered) container is reloaded from its index; a footerless one —
+    the writer was killed mid-run — is salvaged frame-by-frame and re-keyed
+    from the journal.  Recovered entries land in the spilled set, append
+    continues after the last intact frame, and ``stats.recovered`` counts
+    them, so a restarted ``pastri serve`` comes back with its data.
     """
 
-    def __init__(self, path: str, memory_budget_bytes: int = 64 << 20) -> None:
+    def __init__(
+        self,
+        path: str,
+        memory_budget_bytes: int = 64 << 20,
+        *,
+        recover: bool = True,
+        fsync: bool = False,
+    ) -> None:
         if memory_budget_bytes < 0:
             raise ParameterError("memory_budget_bytes must be >= 0")
         self.path = str(path)
+        self.journal_path = self.path + ".journal"
         self.memory_budget_bytes = int(memory_budget_bytes)
         self.stats: StoreStats | None = None  # bound by the store
+        self._recover = bool(recover)
+        self._fsync = bool(fsync)
         self._hot: OrderedDict = OrderedDict()  # key -> _Entry (MRU at end)
         self._hot_bytes = 0
         self._spilled: dict = {}  # key -> (frame offset, length, crc, dims, nbytes)
         self._writer: ContainerWriter | None = None
         self._write_fh = None
         self._read_fh = None
+        self._journal_fh = None
         self._codec: Codec | None = None
         self._error_bound: float | None = None
         self._closed = False
 
     def bind(self, codec: Codec, error_bound: float, stats: StoreStats) -> None:
-        """Called once by the owning store; spill headers need the codec spec."""
+        """Called once by the owning store; spill headers need the codec spec.
+
+        Recovery of a pre-existing spill file happens here (not in
+        ``__init__``) because registering salvaged entries needs the bound
+        stats object.
+        """
         self._codec = codec
         self._error_bound = error_bound
         self.stats = stats
+        if self._recover:
+            self._recover_existing()
 
     # -- spill machinery -----------------------------------------------------
 
@@ -173,14 +214,34 @@ class ContainerBackend:
         if self._writer is None:
             if self._codec is None:
                 raise ParameterError("ContainerBackend used outside a store")
+            # fresh container: a journal left by an earlier life of this
+            # path describes bytes that are about to be truncated away
+            with contextlib.suppress(OSError):
+                os.remove(self.journal_path)
             self._write_fh = open(self.path, "wb")
             self._writer = ContainerWriter(
                 self._write_fh,
                 self._codec,
                 self._error_bound,
                 meta={"error_bound": self._error_bound, "role": "eri-store-spill"},
+                fsync=self._fsync,
             )
         return self._writer
+
+    def _journal_append(self, key, info: FrameInfo, nbytes: int) -> None:
+        """Log one spilled frame so its key survives a footerless crash."""
+        if self._journal_fh is None:
+            self._journal_fh = open(self.journal_path, "a", encoding="utf-8")
+        rec = {
+            "key": key,
+            "offset": info.offset,
+            "length": info.length,
+            "crc": info.crc32,
+            "dims": None if info.dims is None else list(info.dims),
+            "nbytes": int(nbytes),
+        }
+        self._journal_fh.write(json.dumps(rec, separators=(",", ":")) + "\n")
+        self._journal_fh.flush()
 
     def _spill_one(self) -> None:
         key, entry = self._hot.popitem(last=False)  # least recently used
@@ -190,6 +251,7 @@ class ContainerBackend:
             entry.blob, entry.nbytes // 8, key=json.dumps(key), dims=entry.dims
         )
         self._write_fh.flush()
+        self._journal_append(key, info, entry.nbytes)
         self._spilled[key] = (info.offset, info.length, info.crc32, entry.dims, entry.nbytes)
         if self.stats is not None:
             self.stats.bump("spills")
@@ -199,25 +261,152 @@ class ContainerBackend:
             self._spill_one()
 
     def _read_spilled(self, key) -> _Entry:
-        import zlib
-
-        from repro.errors import ChecksumError
-
         offset, length, crc, dims, nbytes = self._spilled[key]
         if self._read_fh is None:
-            self._write_fh.flush()
+            if self._write_fh is not None:
+                self._write_fh.flush()
             self._read_fh = open(self.path, "rb")
         self._read_fh.seek(offset)
         blob = self._read_fh.read(length)
         if len(blob) != length:
-            from repro.errors import FormatError
-
             raise FormatError(f"spill container truncated at frame for key {key!r}")
         if zlib.crc32(blob) & 0xFFFFFFFF != crc:
             raise ChecksumError(f"spill container CRC mismatch for key {key!r}")
         if self.stats is not None:
             self.stats.bump("disk_reads")
         return _Entry(blob, nbytes, dims)
+
+    # -- crash recovery -------------------------------------------------------
+
+    def _recover_existing(self) -> None:
+        """Revive spilled entries from a pre-existing spill file, if any.
+
+        Valid container → reload from the footer index.  Footerless
+        (crashed writer) → structural salvage + journal join.  A file whose
+        very header is torn holds nothing locatable; it is left for
+        :func:`_ensure_writer` to truncate.  Either way the survivors'
+        frames seed a resumed writer so the eventual clean close writes a
+        footer covering them.
+        """
+        try:
+            if os.path.getsize(self.path) == 0:
+                return
+        except OSError:
+            return  # no spill file: a genuinely fresh backend
+        live: dict = {}  # key -> FrameInfo (last write wins)
+        try:
+            with open_container(self.path) as r:
+                end_of_frames = r.data_start
+                for f in r.frames:
+                    end_of_frames = max(end_of_frames, f.offset + f.length)
+                    if f.key is not None:
+                        live[_revive_key(json.loads(f.key))] = f
+        except ReproError:
+            live, end_of_frames = self._salvage_unfooted()
+            if end_of_frames is None:
+                return
+        fh = open(self.path, "r+b")
+        fh.truncate(end_of_frames)  # drop the stale footer / torn tail
+        fh.seek(end_of_frames)
+        self._write_fh = fh
+        self._writer = ContainerWriter.resume(
+            fh,
+            self._codec,
+            self._error_bound,
+            frames=live.values(),
+            pos=end_of_frames,
+            fsync=self._fsync,
+        )
+        for key, f in live.items():
+            self._spilled[key] = (
+                f.offset, f.length, f.crc32, f.dims, f.n_elements * 8
+            )
+            if self.stats is not None:
+                self.stats.bump("n_entries")
+                self.stats.bump("original_bytes", f.n_elements * 8)
+                self.stats.bump("compressed_bytes", f.length)
+                self.stats.bump("recovered")
+        self._rewrite_journal(live)
+
+    def _rewrite_journal(self, live: dict) -> None:
+        """Replace the journal with exactly the surviving entries.
+
+        Appending after a crash must start from a clean file: the old
+        journal may end in a torn line (which would corrupt the next
+        record) or reference frames that no longer exist.  Written via
+        temp-file + rename so a crash here cannot lose the old journal
+        before the new one is complete.
+        """
+        if not live:
+            with contextlib.suppress(OSError):
+                os.remove(self.journal_path)
+            return
+        tmp = self.journal_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for key, f in live.items():
+                fh.write(json.dumps({
+                    "key": key,
+                    "offset": f.offset,
+                    "length": f.length,
+                    "crc": f.crc32,
+                    "dims": None if f.dims is None else list(f.dims),
+                    "nbytes": f.n_elements * 8,
+                }, separators=(",", ":")) + "\n")
+            fh.flush()
+        os.replace(tmp, self.journal_path)
+
+    def _salvage_unfooted(self) -> tuple[dict, int | None]:
+        """Salvage a footerless spill: walk intact frames, re-key via journal."""
+        with open(self.path, "rb") as fh:
+            try:
+                _container_header_info(fh)
+            except ReproError:
+                return {}, None  # torn header: nothing locatable
+            data_start = fh.tell()
+            file_size = fh.seek(0, io.SEEK_END)
+            walk = walk_frames(fh, data_start, file_size)
+            complete = set(walk.frames)
+            live: dict = {}
+            for rec in self._read_journal():
+                try:
+                    offset, length = int(rec["offset"]), int(rec["length"])
+                    crc, nbytes = int(rec["crc"]), int(rec["nbytes"])
+                    key = _revive_key(rec["key"])
+                    dims = rec.get("dims")
+                except (KeyError, TypeError, ValueError):
+                    continue  # malformed record; skip it
+                if (offset, length) not in complete:
+                    continue  # frame fell in the torn tail
+                fh.seek(offset)
+                blob = fh.read(length)
+                if len(blob) != length or zlib.crc32(blob) & 0xFFFFFFFF != crc:
+                    continue  # payload no longer matches what was logged
+                live[key] = FrameInfo(
+                    offset, length, nbytes // 8, crc,
+                    json.dumps(key),
+                    None if dims is None else tuple(int(d) for d in dims),
+                )
+            return live, walk.end_of_frames
+
+    def _read_journal(self) -> list[dict]:
+        """Parse the sidecar journal, tolerating a torn final line."""
+        try:
+            fh = open(self.journal_path, encoding="utf-8")
+        except OSError:
+            return []
+        out: list[dict] = []
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    break  # torn tail write; everything before it is good
+                if isinstance(rec, dict):
+                    out.append(rec)
+        return out
 
     # -- backend interface ----------------------------------------------------
 
@@ -255,18 +444,32 @@ class ContainerBackend:
         return list(self._hot.keys()) + list(self._spilled.keys())
 
     def close(self) -> None:
-        """Flush all hot blobs and finalize the spill container's footer."""
+        """Flush all hot blobs and finalize the spill container's footer.
+
+        A footer that reached the disk supersedes the journal, which is
+        removed — after a clean close the spill file alone is the durable,
+        self-describing record (readable by ``open_container`` and
+        recoverable from its own index on the next open).
+        """
         if self._closed:
             return
         self._closed = True
+        footered = False
         if self._hot or self._writer is not None:
             while self._hot:
                 self._spill_one()
             self._writer.close()
+            footered = True
         if self._write_fh is not None:
             self._write_fh.close()
         if self._read_fh is not None:
             self._read_fh.close()
+        if self._journal_fh is not None:
+            self._journal_fh.close()
+            self._journal_fh = None
+        if footered:
+            with contextlib.suppress(OSError):
+                os.remove(self.journal_path)
 
 
 @dataclass
@@ -409,23 +612,27 @@ class CompressedERIStore:
         the entry's ``dims``; the header records the codec spec and error
         bound, so :meth:`load` needs nothing but the path.  Returns the
         :class:`repro.streamio.StreamSummary` of the written container.
+
+        The snapshot is crash-safe: it is written to ``path + ".tmp"``,
+        fsynced, and renamed into place on success — a failure (or kill)
+        mid-save can never shadow or corrupt an existing snapshot at
+        ``path``.
         """
         with self._lock:
-            with open(path, "wb") as fh:
-                with ContainerWriter(
-                    fh,
-                    self.codec,
-                    self.error_bound,
-                    meta={"error_bound": self.error_bound, "role": "eri-store"},
-                ) as w:
-                    for key in self.backend.keys():
-                        entry = self.backend.get(key)
-                        w.append_blob(
-                            entry.blob,
-                            entry.nbytes // 8,
-                            key=json.dumps(key),
-                            dims=entry.dims,
-                        )
+            with ContainerWriter.create(
+                str(path),
+                self.codec,
+                self.error_bound,
+                meta={"error_bound": self.error_bound, "role": "eri-store"},
+            ) as w:
+                for key in self.backend.keys():
+                    entry = self.backend.get(key)
+                    w.append_blob(
+                        entry.blob,
+                        entry.nbytes // 8,
+                        key=json.dumps(key),
+                        dims=entry.dims,
+                    )
         return w.summary
 
     @classmethod

@@ -88,6 +88,10 @@ class ServerConfig:
     max_payload_bytes: int = protocol.DEFAULT_MAX_PAYLOAD
     # store
     spill_path: str | None = None  # None = MemoryBackend
+    #: on start, salvage a pre-existing spill container at ``spill_path``
+    #: (e.g. left by a killed server) instead of overwriting it; recovered
+    #: entries show up in ``store.stats`` as ``recovered``
+    spill_recover: bool = True
     memory_budget_bytes: int = 64 << 20
     hot_cache_blocks: int = 64
     #: enable the telemetry registry for the server's lifetime (metrics
@@ -121,6 +125,7 @@ class CompressionServer:
             backend = ContainerBackend(
                 self.config.spill_path,
                 memory_budget_bytes=self.config.memory_budget_bytes,
+                recover=self.config.spill_recover,
             )
         self.store = CompressedERIStore(
             self.codec,
@@ -389,6 +394,7 @@ class CompressionServer:
             "cache_misses": s.cache_misses,
             "spills": s.spills,
             "disk_reads": s.disk_reads,
+            "recovered": s.recovered,
             "ratio": s.ratio,
             "hit_rate": s.hit_rate,
             "error_bound": self.store.error_bound,

@@ -41,8 +41,10 @@ sequential scan).
 
 from __future__ import annotations
 
+import contextlib
 import io
 import json
+import os
 import struct
 import time
 import zlib
@@ -53,7 +55,7 @@ import numpy as np
 
 from repro import api
 from repro.api import Codec
-from repro.errors import ChecksumError, FormatError
+from repro.errors import ChecksumError, FormatError, ReproError
 from repro.telemetry import REGISTRY as _METRICS
 from repro.telemetry import state as _tstate
 
@@ -68,6 +70,8 @@ FRAME_SANITY_CAP = 1 << 32
 __all__ = [
     "StreamSummary",
     "FrameInfo",
+    "FrameWalk",
+    "SalvageReport",
     "ContainerWriter",
     "ContainerReader",
     "open_container",
@@ -77,6 +81,8 @@ __all__ = [
     "compress_dataset_to_file",
     "decompress_file",
     "write_v1_stream",
+    "walk_frames",
+    "salvage_container",
 ]
 
 
@@ -164,6 +170,28 @@ def _decode_index(payload: bytes) -> list[FrameInfo]:
     return frames
 
 
+def _fsync_fh(fh: BinaryIO) -> None:
+    """fsync a file object's descriptor when it has one (no-op for BytesIO)."""
+    try:
+        fd = fh.fileno()
+    except (OSError, ValueError):  # io.UnsupportedOperation subclasses both
+        return
+    os.fsync(fd)
+
+
+def _fsync_dir(path: str) -> None:
+    """Best-effort fsync of a directory, so a rename itself is durable."""
+    try:
+        fd = os.open(path or ".", os.O_RDONLY)
+    except OSError:  # platform or filesystem without directory opens
+        return
+    try:
+        with contextlib.suppress(OSError):
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 class ContainerWriter:
     """Incremental PSTF-v2 writer: append frames, then :meth:`close`.
 
@@ -172,8 +200,22 @@ class ContainerWriter:
     The footer index is emitted on close; the target handle only needs to
     support sequential writes.
 
+    Durability contract:
+
+    * :meth:`close` flushes the handle after the footer (and fsyncs it when
+      ``fsync=True``), so a clean close survives a process crash.
+    * :meth:`create` opens a *path*-owned writer with **atomic commit**: the
+      stream lands in ``path + ".tmp"`` and is :func:`os.replace`-d into
+      place only on a successful close — a writer that dies mid-stream can
+      never shadow an existing good file.
+    * On an in-flight exception, the context manager calls :meth:`abort`:
+      the partial stream is flushed (never footered) and the exception is
+      re-raised, leaving a file that ``pastri fsck`` /
+      :func:`salvage_container` can recover frame-by-frame.
+
     Use as a context manager or call :meth:`close` explicitly — a container
-    without its footer is readable only via the sequential compat path.
+    without its footer is readable only via the sequential compat path or
+    after salvage.
     """
 
     def __init__(
@@ -182,6 +224,8 @@ class ContainerWriter:
         codec: Codec,
         error_bound: float,
         meta: dict | None = None,
+        *,
+        fsync: bool = False,
     ) -> None:
         self.fh = fh
         self.codec = codec
@@ -189,6 +233,10 @@ class ContainerWriter:
         self.frames: list[FrameInfo] = []
         self._original_bytes = 0
         self._closed = False
+        self._fsync = bool(fsync)
+        self._owns_fh = False
+        self._work_path: str | None = None   # where bytes land before commit
+        self._final_path: str | None = None  # atomic-commit target, or None
         name = codec.name.encode("utf-8")
         header = json.dumps(
             {"codec": api.codec_spec(codec), "meta": dict(meta or {})},
@@ -198,6 +246,74 @@ class ContainerWriter:
         fh.write(_MAGIC + struct.pack("<BB", _V2, len(name)) + name)
         fh.write(struct.pack("<I", len(header)) + header)
         self._pos = 4 + 2 + len(name) + 4 + len(header)
+
+    @classmethod
+    def create(
+        cls,
+        path: str,
+        codec: Codec,
+        error_bound: float,
+        meta: dict | None = None,
+        *,
+        atomic: bool = True,
+        fsync: bool = True,
+    ) -> "ContainerWriter":
+        """Open a writer that owns its file handle at ``path``.
+
+        With ``atomic=True`` (default) bytes are written to ``path + ".tmp"``
+        and moved into place by :func:`os.replace` on a successful
+        :meth:`close`; an aborted or crashed write leaves the ``.tmp``
+        partial (salvageable) and never touches an existing file at
+        ``path``.  ``fsync=True`` additionally fsyncs the data before the
+        rename and the directory after it.
+        """
+        path = os.fspath(path)
+        work = path + ".tmp" if atomic else path
+        fh = open(work, "wb")
+        try:
+            w = cls(fh, codec, error_bound, meta, fsync=fsync)
+        except BaseException:
+            fh.close()
+            with contextlib.suppress(OSError):
+                os.remove(work)
+            raise
+        w._owns_fh = True
+        w._work_path = work
+        w._final_path = path if atomic else None
+        return w
+
+    @classmethod
+    def resume(
+        cls,
+        fh: BinaryIO,
+        codec: Codec,
+        error_bound: float,
+        *,
+        frames: Iterable[FrameInfo],
+        pos: int,
+        fsync: bool = False,
+    ) -> "ContainerWriter":
+        """Adopt an already-written container prefix (the recovery path).
+
+        ``fh`` must hold a valid header plus the frames in ``frames`` and be
+        positioned (and truncated) at ``pos``, the byte just past the last
+        frame — exactly what a salvage scan yields.  Appends continue from
+        there and :meth:`close` writes a footer covering old and new frames
+        alike.  The caller keeps ownership of the handle.
+        """
+        w = cls.__new__(cls)
+        w.fh = fh
+        w.codec = codec
+        w.error_bound = error_bound
+        w.frames = list(frames)
+        w._original_bytes = sum(f.n_elements for f in w.frames) * 8
+        w._closed = False
+        w._fsync = bool(fsync)
+        w._owns_fh = False
+        w._work_path = None
+        w._final_path = None
+        w._pos = int(pos)
+        return w
 
     def append(self, chunk: np.ndarray, key=None, dims=None) -> FrameInfo:
         """Compress one chunk into a frame; returns its index entry."""
@@ -235,7 +351,14 @@ class ContainerWriter:
         return info
 
     def close(self) -> StreamSummary:
-        """Write the 0-sentinel and footer index; returns the totals."""
+        """Write the 0-sentinel and footer index durably; returns the totals.
+
+        The handle is flushed before the summary is computed (and fsynced
+        when the writer was built with ``fsync=True``), so a clean close
+        means the footer — not just the frames — has left the process.  A
+        path-owned writer (:meth:`create`) also closes its handle and, in
+        atomic mode, renames the finished ``.tmp`` over the target path.
+        """
         if self._closed:
             raise FormatError("container already closed")
         self._closed = True
@@ -244,16 +367,50 @@ class ContainerWriter:
         self.fh.write(payload)
         self.fh.write(struct.pack("<IQ", zlib.crc32(payload) & 0xFFFFFFFF, len(payload)))
         self.fh.write(_INDEX_MAGIC)
+        self.fh.flush()
+        if self._fsync:
+            _fsync_fh(self.fh)
         total = self._pos + 8 + len(payload) + 4 + 8 + len(_INDEX_MAGIC)
         self.summary = StreamSummary(len(self.frames), self._original_bytes, total)
+        if self._owns_fh:
+            self.fh.close()
+            if self._final_path is not None:
+                os.replace(self._work_path, self._final_path)
+                if self._fsync:
+                    _fsync_dir(os.path.dirname(os.path.abspath(self._final_path)))
         return self.summary
+
+    def abort(self) -> None:
+        """Error-path teardown: flush what was written, never write a footer.
+
+        The partial stream stays on disk exactly where it was being written
+        (the ``.tmp`` work file for an atomic :meth:`create` writer — the
+        final path is never shadowed) so every fully-appended frame remains
+        recoverable with ``pastri fsck`` / :func:`salvage_container`.
+        Idempotent; safe to call on a dead handle.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        with contextlib.suppress(OSError, ValueError):
+            self.fh.flush()
+            if self._fsync:
+                _fsync_fh(self.fh)
+        if self._owns_fh:
+            with contextlib.suppress(OSError):
+                self.fh.close()
 
     def __enter__(self) -> "ContainerWriter":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if exc_type is None and not self._closed:
-            self.close()
+        if exc_type is None:
+            if not self._closed:
+                self.close()
+        else:
+            # Flush the partial stream and re-raise: the on-disk prefix
+            # stays salvageable instead of silently losing frames.
+            self.abort()
 
 
 # ---------------------------------------------------------------------------
@@ -409,11 +566,15 @@ class ContainerReader:
         fh: BinaryIO,
         *,
         codec: Codec | None = None,
+        path: str | None = None,
         _owns_fh: bool = False,
     ) -> None:
         self.fh = fh
         self._owns_fh = _owns_fh
+        self._path = path
         self.version, self.codec_name, header = _read_header_info(fh)
+        #: first byte after the container header (start of the frame region)
+        self.data_start = fh.tell()
         self.meta: dict = header.get("meta", {}) if self.version == _V2 else {}
         if self.version == _V2:
             self.frames = self._load_index()
@@ -457,8 +618,8 @@ class ContainerReader:
         if _read_exact(fh, len(_INDEX_MAGIC), "index magic") != _INDEX_MAGIC:
             raise FormatError(
                 f"container is missing its frame index at byte "
-                f"{file_size - len(_INDEX_MAGIC)} (unclosed writer or truncated "
-                "file); recover sequentially with decompress_stream"
+                f"{file_size - len(_INDEX_MAGIC)}: "
+                + self._describe_unfooted(file_size)
             )
         index_start = file_size - tail_len - payload_len
         if payload_len > file_size or index_start < 0:
@@ -483,6 +644,35 @@ class ContainerReader:
                     "index/payload mismatch"
                 )
         return frames
+
+    def _describe_unfooted(self, file_size: int) -> str:
+        """Tell an in-progress stream from real corruption for the error text.
+
+        A footerless file whose frame region still parses cleanly (every
+        length prefix consistent up to EOF or the 0-sentinel) is just an
+        unclosed/killed writer and fully salvageable; a walk that desyncs
+        mid-frame means genuine damage, of which only the leading frames
+        survive.  Either way the operator is pointed at ``pastri fsck``.
+        """
+        where = f" {self._path}" if self._path else ""
+        try:
+            walk = walk_frames(self.fh, self.data_start, file_size)
+        except FormatError:
+            return (
+                "the frame region cannot be scanned either; "
+                f"run `pastri fsck{where}` to salvage what remains"
+            )
+        n = len(walk.frames)
+        if walk.damage is None:
+            return (
+                f"unfooted but frame-consistent ({n} complete frame(s), "
+                "unclosed or killed writer); "
+                f"run `pastri fsck{where}` to rebuild the footer index"
+            )
+        return (
+            f"genuine corruption — {walk.damage}; {n} leading frame(s) are "
+            f"intact; run `pastri fsck{where}` to salvage them"
+        )
 
     # -- access --------------------------------------------------------------
 
@@ -578,14 +768,323 @@ def open_container(
     opened through a compatibility path (sequential index scan, codec
     reconstructed best-effort from the header name, or pass ``codec=``).
     """
-    if isinstance(path_or_fh, (str, bytes)):
-        fh = open(path_or_fh, "rb")
+    if isinstance(path_or_fh, (str, bytes, os.PathLike)):
+        path = os.fsdecode(path_or_fh)
+        fh = open(path, "rb")
         try:
-            return ContainerReader(fh, codec=codec, _owns_fh=True)
+            return ContainerReader(fh, codec=codec, path=path, _owns_fh=True)
         except Exception:
             fh.close()
             raise
     return ContainerReader(path_or_fh, codec=codec)
+
+
+# ---------------------------------------------------------------------------
+# salvage (`pastri fsck`): recover frames from torn / footerless containers
+
+
+@dataclass(frozen=True)
+class FrameWalk:
+    """Structural scan of a container's frame region (no decoding).
+
+    ``frames`` holds the ``(offset, length)`` of every frame whose length
+    prefix and payload bytes are fully present; ``end_of_frames`` is the
+    byte just past the last such frame.  ``damage`` is ``None`` when the
+    region is frame-consistent — the 0-sentinel was reached
+    (``saw_sentinel``) or the file ends exactly on a frame boundary — and
+    otherwise describes the first structural inconsistency (torn tail).
+    """
+
+    frames: tuple[tuple[int, int], ...]
+    end_of_frames: int
+    saw_sentinel: bool
+    tail_start: int | None  # first byte after the sentinel, when one was seen
+    damage: str | None
+
+
+def walk_frames(fh: BinaryIO, data_start: int, file_size: int) -> FrameWalk:
+    """Walk frame length prefixes from ``data_start``; never reads payloads."""
+    fh.seek(data_start)
+    frames: list[tuple[int, int]] = []
+    pos = data_start
+    saw_sentinel = False
+    tail_start = None
+    damage = None
+    while True:
+        raw = fh.read(8)
+        if len(raw) != 8:
+            if raw:
+                damage = f"torn frame length prefix at byte {pos}"
+            break
+        (length,) = struct.unpack("<Q", raw)
+        if length == 0:
+            saw_sentinel = True
+            tail_start = pos + 8
+            break
+        if length > file_size - (pos + 8):
+            damage = (
+                f"torn frame at byte {pos}: declares {length} payload bytes, "
+                f"{file_size - pos - 8} remain"
+            )
+            break
+        pos = fh.seek(length, io.SEEK_CUR)
+        frames.append((pos - length, length))
+    return FrameWalk(tuple(frames), pos if not saw_sentinel else tail_start - 8,
+                     saw_sentinel, tail_start, damage)
+
+
+def _recover_index_tail(
+    tail: bytes, walked: set[tuple[int, int]]
+) -> dict[tuple[int, int], FrameInfo]:
+    """Best-effort prefix parse of a (possibly torn) footer index.
+
+    Returns complete index entries whose ``(offset, length)`` matches a
+    structurally intact frame — these contribute the metadata (key, dims,
+    element count, stored CRC) that the frame bytes alone cannot supply.
+    Entries torn mid-record, and anything after them, are ignored.
+    """
+    view = io.BytesIO(tail)
+    out: dict[tuple[int, int], FrameInfo] = {}
+    head = view.read(4)
+    if len(head) != 4:
+        return out
+    (n_frames,) = struct.unpack("<I", head)
+    for _ in range(min(n_frames, len(walked) + 1)):
+        entry = view.read(28)
+        if len(entry) != 28:
+            break
+        offset, length, n_elements, crc = struct.unpack("<QQQI", entry)
+        raw_key_len = view.read(2)
+        if len(raw_key_len) != 2:
+            break
+        (key_len,) = struct.unpack("<H", raw_key_len)
+        raw_key = view.read(key_len)
+        if len(raw_key) != key_len:
+            break
+        try:
+            key = raw_key.decode("utf-8") if key_len else None
+        except UnicodeDecodeError:
+            break
+        raw_n_dims = view.read(1)
+        if len(raw_n_dims) != 1:
+            break
+        (n_dims,) = struct.unpack("<B", raw_n_dims)
+        raw_dims = view.read(2 * n_dims)
+        if len(raw_dims) != 2 * n_dims:
+            break
+        dims = struct.unpack(f"<{n_dims}H", raw_dims) if n_dims else None
+        if (offset, length) in walked:
+            out[(offset, length)] = FrameInfo(
+                offset, length, n_elements, crc, key, dims
+            )
+    return out
+
+
+@dataclass(frozen=True)
+class SalvageReport:
+    """What a salvage pass found (and, unless dry-run, wrote).
+
+    ``clean`` means the input was already a fully valid container — every
+    structure check and frame CRC passed — and the file was left
+    byte-identical.  Otherwise ``frames_recovered`` frames were carried
+    into a rewritten container (at ``output_path``, unless dry-run),
+    ``frames_dropped`` frames failed payload validation, and
+    ``bytes_dropped`` input bytes (torn tail, stale footer, bad frames)
+    were not carried over.
+    """
+
+    path: str
+    clean: bool
+    version: int
+    frames_recovered: int
+    frames_dropped: int
+    bytes_dropped: int
+    keys_recovered: int
+    n_elements: int
+    damage: str | None
+    output_path: str | None
+
+    def describe(self) -> str:
+        """One-paragraph human rendering (the ``pastri fsck`` output)."""
+        if self.clean:
+            return (
+                f"{self.path}: clean v{self.version} container "
+                f"({self.frames_recovered} frames, all CRCs verified); no-op"
+            )
+        head = (
+            f"{self.path}: {self.damage or 'missing/invalid footer index'}\n"
+            f"  frames recovered : {self.frames_recovered} "
+            f"({self.n_elements} elements, {self.keys_recovered} with keys)\n"
+            f"  frames dropped   : {self.frames_dropped}\n"
+            f"  bytes dropped    : {self.bytes_dropped}"
+        )
+        if self.output_path is None:
+            return head + "\n  (dry run: nothing written)"
+        return head + f"\n  salvaged container written to {self.output_path}"
+
+
+def _verify_open_container(path: str) -> tuple[int, int] | None:
+    """Return ``(version, n_frames)`` when ``path`` is fully valid, else None.
+
+    Full validity = the footer index loads *and* every frame payload passes
+    its CRC (v2).  Never raises for damage — the caller salvages instead.
+    """
+    try:
+        with open_container(path) as r:
+            for i in range(len(r.frames)):
+                r.read_blob(i)
+            return r.version, len(r.frames)
+    except ReproError:
+        return None
+
+
+def salvage_container(
+    path: str,
+    output: str | None = None,
+    *,
+    dry_run: bool = False,
+) -> SalvageReport:
+    """Salvage a torn or footerless PSTF container (the ``fsck`` core).
+
+    Scans the frame region sequentially using the per-frame length
+    prefixes, keeps every frame whose payload verifies — against the CRC
+    recovered from a surviving (possibly torn) footer index when one
+    matches, otherwise by actually decoding the blob — drops the torn
+    tail, and rewrites a valid footer index.  Keys and dims are preserved
+    for frames whose index entries survived; a file killed before its
+    index was written keeps its payloads but loses its keys (see
+    ``docs/FORMAT.md``, *Durability & recovery*).
+
+    An already-valid container is a byte-identical no-op (``clean=True``).
+    In-place repair (``output=None``) is itself atomic: the salvaged
+    stream is committed with :func:`os.replace`.  ``dry_run=True`` only
+    reports.  Raises :class:`FormatError` when not even the header is
+    intact — nothing is recoverable without it.
+    """
+    path = os.fspath(path)
+    valid = _verify_open_container(path)
+    if valid is not None:
+        version, n_frames = valid
+        return SalvageReport(
+            path, True, version, n_frames, 0, 0, 0, 0, None, None
+        )
+
+    with open(path, "rb") as fh:
+        try:
+            version, codec_name, header = _read_header_info(fh)
+        except FormatError as exc:
+            raise FormatError(
+                f"{path}: unrecoverable — the container header itself is "
+                f"damaged ({exc}); no frame can be located without it"
+            ) from exc
+        data_start = fh.tell()
+        file_size = fh.seek(0, io.SEEK_END)
+        walk = walk_frames(fh, data_start, file_size)
+
+        if version == _V2:
+            spec = header.get("codec")
+            if spec is None:
+                raise FormatError(
+                    f"{path}: unrecoverable — v2 header carries no codec spec"
+                )
+            codec = api.codec_from_spec(spec)
+        else:
+            codec = _codec_for_v1(
+                codec_name, fh,
+                [FrameInfo(o, n, 0) for o, n in walk.frames[:1]],
+            )
+
+        index_meta: dict[tuple[int, int], FrameInfo] = {}
+        if walk.saw_sentinel and walk.tail_start is not None:
+            fh.seek(walk.tail_start)
+            index_meta = _recover_index_tail(fh.read(), set(walk.frames))
+
+        kept: list[FrameInfo] = []
+        dropped = 0
+        for offset, length in walk.frames:
+            fh.seek(offset)
+            blob = _read_exact(fh, length, "salvage frame")
+            crc = zlib.crc32(blob) & 0xFFFFFFFF
+            meta = index_meta.get((offset, length))
+            if meta is not None and meta.crc32 == crc:
+                kept.append(meta)
+                continue
+            try:  # no trustworthy stored CRC: validate by decoding
+                n_elements = int(codec.decompress(blob).size)
+            except ReproError:
+                dropped += 1
+                continue
+            kept.append(FrameInfo(offset, length, n_elements, crc))
+
+        report_damage = walk.damage or "footer index missing or invalid"
+        out_path = None
+        if not dry_run:
+            out_path = output if output is not None else path
+            _write_salvaged(fh, data_start, version, codec, kept, out_path)
+
+    # everything not carried over: torn tail, stale footer, dropped frames
+    bytes_kept = data_start + sum(8 + f.length for f in kept)
+    report = SalvageReport(
+        path=path,
+        clean=False,
+        version=version,
+        frames_recovered=len(kept),
+        frames_dropped=dropped,
+        bytes_dropped=file_size - bytes_kept,
+        keys_recovered=sum(1 for f in kept if f.key is not None),
+        n_elements=sum(f.n_elements for f in kept),
+        damage=report_damage,
+        output_path=out_path,
+    )
+    if _tstate.enabled:
+        _METRICS.counter("fsck.frames_recovered").add(report.frames_recovered)
+        _METRICS.counter("fsck.frames_dropped").add(report.frames_dropped)
+        _METRICS.counter("fsck.bytes_dropped").add(report.bytes_dropped)
+    return report
+
+
+def _write_salvaged(
+    src: BinaryIO,
+    data_start: int,
+    version: int,
+    codec: Codec,
+    kept: list[FrameInfo],
+    out_path: str,
+) -> None:
+    """Write header + surviving frames + fresh footer, committed atomically.
+
+    The original header bytes are copied verbatim; frames are re-packed
+    contiguously (offsets shift when a bad frame was dropped) and a new
+    index/trailer is appended — except for v1 inputs, which have no index
+    format and get their sentinel restored instead.
+    """
+    tmp = out_path + ".fsck-tmp"
+    with open(tmp, "wb") as dst:
+        src.seek(0)
+        dst.write(_read_exact(src, data_start, "salvage header"))
+        pos = data_start
+        rebuilt: list[FrameInfo] = []
+        for f in kept:
+            src.seek(f.offset)
+            blob = _read_exact(src, f.length, "salvage frame")
+            dst.write(struct.pack("<Q", f.length))
+            dst.write(blob)
+            rebuilt.append(FrameInfo(
+                pos + 8, f.length, f.n_elements, f.crc32, f.key, f.dims
+            ))
+            pos += 8 + f.length
+        dst.write(struct.pack("<Q", 0))
+        if version == _V2:
+            payload = _encode_index(rebuilt)
+            dst.write(payload)
+            dst.write(struct.pack(
+                "<IQ", zlib.crc32(payload) & 0xFFFFFFFF, len(payload)
+            ))
+            dst.write(_INDEX_MAGIC)
+        dst.flush()
+        _fsync_fh(dst)
+    os.replace(tmp, out_path)
+    _fsync_dir(os.path.dirname(os.path.abspath(out_path)))
 
 
 # ---------------------------------------------------------------------------
@@ -640,9 +1139,15 @@ def write_v1_stream(
 def compress_dataset_to_file(
     data_iter: Iterable[np.ndarray], codec: Codec, error_bound: float, path: str
 ) -> StreamSummary:
-    """Convenience wrapper: stream-compress to a file path (v2 container)."""
-    with open(path, "wb") as fh:
-        return compress_stream(data_iter, codec, error_bound, fh)
+    """Convenience wrapper: stream-compress to a file path (v2 container).
+
+    Commits atomically (``path + ".tmp"`` + rename): a crash mid-write
+    leaves a salvageable partial and never clobbers an existing good file.
+    """
+    with ContainerWriter.create(path, codec, error_bound) as w:
+        for chunk in data_iter:
+            w.append(chunk)
+    return w.summary
 
 
 def decompress_file(path: str, codec: Codec) -> np.ndarray:

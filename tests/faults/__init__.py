@@ -1,0 +1,1 @@
+"""Fault-injection harness: crash the storage stack on purpose, then recover."""

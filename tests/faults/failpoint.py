@@ -1,0 +1,87 @@
+"""A failpoint file wrapper: misbehave after a byte budget is spent.
+
+:class:`FailpointFile` wraps a real binary file object and lets a test
+decide exactly where a write path dies:
+
+* ``mode="raise"`` — writes succeed until ``fail_after`` bytes have been
+  written; the write that crosses the budget persists only the bytes that
+  fit (a short write, like a full disk) and then raises ``OSError``
+  (ENOSPC).  Every later write raises too.
+* ``mode="silent"`` — same budget, but past it the wrapper *pretends* the
+  write succeeded while persisting nothing (the crossing write persists
+  its in-budget prefix).  This models a process killed with dirty
+  user-space buffers: the writer believes everything landed, the disk
+  holds a prefix.
+
+Both modes leave on disk precisely the first ``fail_after`` bytes of the
+stream, so a test can place the kill point at any structural boundary of
+a PSTF container (mid-header, mid-frame, sentinel, index, trailer) and
+assert what salvage recovers.
+"""
+
+import errno
+
+
+class FailpointFile:
+    """Binary-file wrapper that fails after ``fail_after`` written bytes."""
+
+    def __init__(self, fh, fail_after: int, mode: str = "raise") -> None:
+        if mode not in ("raise", "silent"):
+            raise ValueError(f"unknown failpoint mode {mode!r}")
+        self.fh = fh
+        self.remaining = int(fail_after)
+        self.mode = mode
+        self.tripped = False
+        self.written = 0  # bytes actually persisted to the underlying file
+
+    def write(self, data) -> int:
+        data = bytes(data)
+        if not self.tripped and len(data) <= self.remaining:
+            self.remaining -= len(data)
+            self.written += len(data)
+            return self.fh.write(data)
+        # the budget runs out inside this buffer: persist the prefix only
+        if not self.tripped:
+            prefix = data[: self.remaining]
+            if prefix:
+                self.fh.write(prefix)
+                self.written += len(prefix)
+            self.remaining = 0
+            self.tripped = True
+        if self.mode == "raise":
+            raise OSError(errno.ENOSPC, "failpoint: no space left on device")
+        return len(data)  # silent mode: lie, like a kill with dirty buffers
+
+    # -- pass-throughs the writer/reader stack touches ----------------------
+
+    def flush(self) -> None:
+        self.fh.flush()
+
+    def seek(self, *args) -> int:
+        return self.fh.seek(*args)
+
+    def tell(self) -> int:
+        return self.fh.tell()
+
+    def seekable(self) -> bool:
+        return self.fh.seekable()
+
+    def read(self, *args):
+        return self.fh.read(*args)
+
+    def fileno(self) -> int:
+        # refuse, so fsync paths treat us like a non-file stream
+        raise OSError("failpoint file has no os-level descriptor")
+
+    def close(self) -> None:
+        self.fh.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.fh.closed
+
+    def __enter__(self) -> "FailpointFile":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

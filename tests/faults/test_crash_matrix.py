@@ -1,0 +1,216 @@
+"""Crash-recovery matrix: kill the writer at every phase, salvage, verify.
+
+Each case writes the same 5-frame stream through a silent
+:class:`~tests.faults.failpoint.FailpointFile` whose byte budget places
+the kill at a chosen structural boundary — mid-header, mid-frame,
+exactly after a frame, mid-sentinel, mid-index, mid-trailer — so the
+on-disk file is byte-for-byte what a SIGKILL at that instant leaves.
+``salvage_container`` must then recover *exactly* the fully-written
+frames, the salvaged container must satisfy ``open_container`` with every
+CRC passing, and the decoded frames must sit within the error bound of
+the original data.  A valid container must come through fsck untouched.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import PaSTRICompressor
+from repro.errors import FormatError
+from repro.streamio import ContainerWriter, open_container, salvage_container
+
+from tests.faults.failpoint import FailpointFile
+
+EB = 1e-10
+DIMS = (2, 2, 2, 2)
+N_FRAMES = 5
+_TRAILER = 4 + 8 + 8  # index crc32 + index length + b"PSTFIDX2"
+
+
+def _read(path) -> bytes:
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def _chunks():
+    rng = np.random.default_rng(41)
+    return [rng.standard_normal(16 * 40) * 1e-7 for _ in range(N_FRAMES)]
+
+
+def _write_stream(fh) -> None:
+    codec = PaSTRICompressor(dims=DIMS)
+    w = ContainerWriter(fh, codec, EB)
+    for i, c in enumerate(_chunks()):
+        w.append(c, key=f"q{i}", dims=DIMS)
+    w.close()
+
+
+@pytest.fixture(scope="module")
+def ref(tmp_path_factory):
+    """Reference container + its structural byte offsets."""
+    path = str(tmp_path_factory.mktemp("crash") / "ref.pstf")
+    with open(path, "wb") as fh:
+        _write_stream(fh)
+    with open_container(path) as r:
+        info = {
+            "path": path,
+            "data_start": r.data_start,
+            "frames": [(f.offset, f.length) for f in r.frames],
+            "size": os.path.getsize(path),
+        }
+    last_off, last_len = info["frames"][-1]
+    info["sentinel"] = last_off + last_len  # the 8 zero bytes start here
+    info["index"] = info["sentinel"] + 8
+    info["trailer"] = info["size"] - _TRAILER
+    return info
+
+
+def _kill_at(tmp_path, nbytes: int) -> str:
+    """Write the stream through a silent failpoint tripping at ``nbytes``."""
+    path = str(tmp_path / f"killed-{nbytes}.pstf")
+    with open(path, "wb") as raw:
+        fp = FailpointFile(raw, nbytes, mode="silent")
+        _write_stream(fp)
+    assert os.path.getsize(path) == nbytes  # the kill landed where aimed
+    return path
+
+
+def _salvage_and_verify(path: str, n_expected: int) -> None:
+    """fsck ``path`` in place, then check structure, CRCs, and the bound."""
+    report = salvage_container(path)
+    assert not report.clean
+    assert report.frames_recovered == n_expected
+    assert report.output_path == path
+    chunks = _chunks()
+    with open_container(path) as r:
+        assert len(r) == n_expected
+        for i in range(n_expected):
+            r.read_blob(i)  # CRC-checked read
+            out = r.read_frame(i)
+            assert np.max(np.abs(out - chunks[i])) <= EB
+
+
+class TestKillMatrix:
+    def test_mid_header(self, ref, tmp_path):
+        path = _kill_at(tmp_path, ref["data_start"] - 3)
+        with pytest.raises(FormatError, match="unrecoverable"):
+            salvage_container(path)
+
+    @pytest.mark.parametrize("k", range(N_FRAMES))
+    def test_mid_frame(self, ref, tmp_path, k):
+        off, length = ref["frames"][k]
+        path = _kill_at(tmp_path, off + length // 2)
+        _salvage_and_verify(path, n_expected=k)
+
+    @pytest.mark.parametrize("k", [0, N_FRAMES - 1])
+    def test_exactly_after_frame(self, ref, tmp_path, k):
+        off, length = ref["frames"][k]
+        path = _kill_at(tmp_path, off + length)
+        _salvage_and_verify(path, n_expected=k + 1)
+
+    def test_mid_sentinel(self, ref, tmp_path):
+        path = _kill_at(tmp_path, ref["sentinel"] + 4)
+        _salvage_and_verify(path, n_expected=N_FRAMES)
+
+    def test_mid_index(self, ref, tmp_path):
+        mid = (ref["index"] + ref["trailer"]) // 2
+        path = _kill_at(tmp_path, mid)
+        _salvage_and_verify(path, n_expected=N_FRAMES)
+        # the surviving index prefix re-keys at least the leading frames
+        with open_container(path) as r:
+            assert r.frames[0].key == "q0"
+
+    def test_mid_trailer(self, ref, tmp_path):
+        path = _kill_at(tmp_path, ref["size"] - 10)
+        report = salvage_container(path)
+        assert report.frames_recovered == N_FRAMES
+        # the whole index survived, so every key and dims tuple does too
+        assert report.keys_recovered == N_FRAMES
+        with open_container(path) as r:
+            assert [f.key for f in r.frames] == [f"q{i}" for i in range(N_FRAMES)]
+            assert all(f.dims == DIMS for f in r.frames)
+
+
+class TestFsckSemantics:
+    def test_clean_container_is_a_byte_identical_noop(self, ref):
+        before = _read(ref["path"])
+        report = salvage_container(ref["path"])
+        assert report.clean
+        assert report.frames_recovered == N_FRAMES
+        assert _read(ref["path"]) == before
+
+    def test_dry_run_writes_nothing(self, ref, tmp_path):
+        path = _kill_at(tmp_path, ref["sentinel"] + 4)
+        before = _read(path)
+        report = salvage_container(path, dry_run=True)
+        assert not report.clean
+        assert report.output_path is None
+        assert report.frames_recovered == N_FRAMES
+        assert _read(path) == before
+
+    def test_output_path_leaves_source_untouched(self, ref, tmp_path):
+        path = _kill_at(tmp_path, ref["sentinel"] + 4)
+        out = str(tmp_path / "salvaged.pstf")
+        before = _read(path)
+        report = salvage_container(path, output=out)
+        assert report.output_path == out
+        assert _read(path) == before
+        with open_container(out) as r:
+            assert len(r) == N_FRAMES
+
+    def test_corrupt_frame_is_dropped_not_salvaged(self, ref, tmp_path):
+        # footerless file with frame 1's payload bit-flipped: no index CRC
+        # survives to vouch for it, decode-validation must reject it
+        path = _kill_at(tmp_path, ref["sentinel"])  # all frames, no footer
+        off, length = ref["frames"][1]
+        with open(path, "r+b") as fh:
+            fh.seek(off + length // 2)
+            b = fh.read(1)
+            fh.seek(off + length // 2)
+            fh.write(bytes([b[0] ^ 0xFF]))
+        report = salvage_container(path)
+        assert report.frames_dropped == 1
+        assert report.frames_recovered == N_FRAMES - 1
+        chunks = _chunks()
+        survivors = [c for i, c in enumerate(chunks) if i != 1]
+        with open_container(path) as r:
+            assert len(r) == N_FRAMES - 1
+            for i in range(len(r)):
+                assert np.max(np.abs(r.read_frame(i) - survivors[i])) <= EB
+
+    def test_unfooted_open_error_mentions_fsck(self, ref, tmp_path):
+        path = _kill_at(tmp_path, ref["sentinel"])
+        with pytest.raises(FormatError, match=r"pastri fsck"):
+            open_container(path)
+
+    def test_open_error_distinguishes_consistent_from_torn(self, ref, tmp_path):
+        clean_cut = _kill_at(tmp_path, ref["sentinel"])
+        with pytest.raises(FormatError, match="frame-consistent"):
+            open_container(clean_cut)
+        off, length = ref["frames"][2]
+        torn = _kill_at(tmp_path, off + length // 2)
+        with pytest.raises(FormatError, match="corruption"):
+            open_container(torn)
+
+
+class TestFsckCLI:
+    def test_cli_salvages_and_reports(self, ref, tmp_path, capsys):
+        from repro.cli import main
+
+        path = _kill_at(tmp_path, ref["sentinel"] + 4)
+        assert main(["fsck", "--dry-run", path]) == 1
+        assert main(["fsck", path]) == 0
+        out = capsys.readouterr().out
+        assert "frames recovered : 5" in out
+        assert main(["fsck", path]) == 0  # now clean
+        assert "no-op" in capsys.readouterr().out
+        with open_container(path) as r:
+            assert len(r) == N_FRAMES
+
+    def test_cli_unrecoverable_exits_nonzero(self, ref, tmp_path, capsys):
+        from repro.cli import main
+
+        path = _kill_at(tmp_path, ref["data_start"] - 3)
+        assert main(["fsck", path]) == 1
+        assert "unrecoverable" in capsys.readouterr().err

@@ -1,0 +1,240 @@
+"""Store crash recovery: a killed spill-backed store comes back with its data.
+
+``ContainerBackend`` journals every spilled frame to a sidecar file and,
+with ``recover=True`` (the default), salvages whatever a previous life of
+the spill path left behind — a clean footered container *or* a footerless
+file from a killed process.  These tests crash a live store by copying
+its on-disk state mid-life (the moment-of-kill snapshot) and reopening a
+fresh backend over the copy.
+"""
+
+import json
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.core import PaSTRICompressor
+from repro.pipeline import CompressedERIStore, ContainerBackend
+from repro.streamio import open_container
+
+EB = 1e-10
+DIMS = (6, 6, 6, 6)
+BLOCK = 6**4 * 2  # elements per stored block
+
+
+def _read(path) -> bytes:
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def _codec():
+    return PaSTRICompressor(dims=DIMS)
+
+
+def _blocks(n, seed=3):
+    rng = np.random.default_rng(seed)
+    return {(0, 0, 0, i): rng.standard_normal(BLOCK) * 1e-7 for i in range(n)}
+
+
+def _tiny_store(path, recover=True):
+    """Budget small enough that almost everything spills immediately."""
+    backend = ContainerBackend(str(path), memory_budget_bytes=2048, recover=recover)
+    return CompressedERIStore(_codec(), error_bound=EB, backend=backend)
+
+
+def _snapshot(src_spill, dst_dir, name="copy.pstf"):
+    """Copy spill file + journal: the disk state at the moment of a kill."""
+    dst = str(dst_dir / name)
+    shutil.copy(src_spill, dst)
+    journal = str(src_spill) + ".journal"
+    if os.path.exists(journal):
+        shutil.copy(journal, dst + ".journal")
+    return dst
+
+
+class TestRecoverFromKill:
+    def test_mid_life_kill_recovers_all_spilled_entries(self, tmp_path):
+        blocks = _blocks(10)
+        spill = tmp_path / "spill.pstf"
+        store = _tiny_store(spill)
+        for key, block in blocks.items():
+            store.put(key, block, dims=DIMS)
+        assert store.stats.spills > 0
+        # "kill" the process: copy the footerless spill + journal, never close
+        copy = _snapshot(spill, tmp_path)
+
+        revived = _tiny_store(copy)
+        assert revived.stats.recovered == store.stats.spills
+        for key in revived.keys():
+            assert np.max(np.abs(revived.get(key) - blocks[key])) <= EB
+        revived.close()
+        store.close()
+
+    def test_recovered_store_accepts_new_puts_and_closes_clean(self, tmp_path):
+        spill = tmp_path / "spill.pstf"
+        store = _tiny_store(spill)
+        for key, block in _blocks(6).items():
+            store.put(key, block, dims=DIMS)
+        copy = _snapshot(spill, tmp_path)
+        store.close()
+
+        revived = _tiny_store(copy)
+        extra = np.random.default_rng(9).standard_normal(BLOCK) * 1e-7
+        revived.put((9, 9, 9, 9), extra, dims=DIMS)
+        n = len(revived)
+        revived.close()
+        # clean close: the journal is gone, the container is valid and whole
+        assert not os.path.exists(copy + ".journal")
+        with open_container(copy) as r:
+            keyed = {f.key for f in r.frames if f.key is not None}
+            assert json.dumps([9, 9, 9, 9]) in keyed
+        reopened = _tiny_store(copy)
+        assert len(reopened) == n
+        assert np.max(np.abs(reopened.get((9, 9, 9, 9)) - extra)) <= EB
+        reopened.close()
+
+    def test_footered_container_recovers_without_journal(self, tmp_path):
+        """A cleanly closed spill file reloads from its own footer index."""
+        blocks = _blocks(6)
+        spill = tmp_path / "spill.pstf"
+        store = _tiny_store(spill)
+        for key, block in blocks.items():
+            store.put(key, block, dims=DIMS)
+        store.close()
+        assert not os.path.exists(str(spill) + ".journal")
+
+        revived = _tiny_store(spill)
+        assert revived.stats.recovered == len(blocks)
+        for key, block in blocks.items():
+            assert np.max(np.abs(revived.get(key) - block)) <= EB
+        revived.close()
+
+    def test_torn_tail_loses_only_the_torn_frame(self, tmp_path):
+        spill = tmp_path / "spill.pstf"
+        store = _tiny_store(spill)
+        for key, block in _blocks(8).items():
+            store.put(key, block, dims=DIMS)
+        spilled_before = store.stats.spills
+        copy = _snapshot(spill, tmp_path)
+        store.close()
+        with open(copy, "r+b") as fh:
+            fh.truncate(os.path.getsize(copy) - 11)  # tear the last frame
+
+        revived = _tiny_store(copy)
+        assert revived.stats.recovered == spilled_before - 1
+        revived.close()
+
+    def test_recover_false_starts_fresh(self, tmp_path):
+        spill = tmp_path / "spill.pstf"
+        store = _tiny_store(spill)
+        for key, block in _blocks(6).items():
+            store.put(key, block, dims=DIMS)
+        copy = _snapshot(spill, tmp_path)
+        store.close()
+
+        fresh = _tiny_store(copy, recover=False)
+        assert fresh.stats.recovered == 0
+        assert len(fresh) == 0
+        fresh.close()
+
+    def test_torn_header_gives_up_gracefully(self, tmp_path):
+        path = tmp_path / "spill.pstf"
+        path.write_bytes(b"PSTF\x02")  # header torn after the version byte
+        store = _tiny_store(path)
+        assert store.stats.recovered == 0
+        block = np.random.default_rng(1).standard_normal(BLOCK) * 1e-7
+        store.put((0, 0, 0, 0), block, dims=DIMS)
+        store.close()
+        with open_container(str(path)) as r:  # fresh life overwrote the stub
+            assert len(r) >= 1
+
+
+class TestSnapshotDurability:
+    def test_failed_save_never_clobbers_the_old_snapshot(self, tmp_path):
+        store = CompressedERIStore(_codec(), error_bound=EB)
+        block = np.random.default_rng(2).standard_normal(BLOCK) * 1e-7
+        store.put((1, 2, 3, 4), block)
+        snap = str(tmp_path / "snap.pstf")
+        store.save(snap)
+        good = _read(snap)
+
+        class Boom:
+            def keys(self):
+                raise RuntimeError("backend died mid-save")
+
+        broken = CompressedERIStore(_codec(), error_bound=EB)
+        broken.backend.keys = Boom().keys
+        with pytest.raises(RuntimeError, match="mid-save"):
+            broken.save(snap)
+        assert _read(snap) == good
+        loaded = CompressedERIStore.load(snap)
+        assert np.max(np.abs(loaded.get((1, 2, 3, 4)) - block)) <= EB
+
+
+class TestServerRestart:
+    def test_restarted_server_recovers_spilled_entries(self, tmp_path):
+        """The ``pastri serve`` restart path, without the network layer."""
+        from repro.service.server import CompressionServer, ServerConfig
+
+        spill = str(tmp_path / "svc-spill.pstf")
+        config = ServerConfig(
+            codec_name="pastri",
+            codec_kwargs={"dims": list(DIMS)},
+            error_bound=EB,
+            spill_path=spill,
+            memory_budget_bytes=2048,
+        )
+        first = CompressionServer(config)
+        blocks = _blocks(8, seed=5)
+        for key, block in blocks.items():
+            first.store.put(key, block, dims=DIMS)
+        spilled = first.store.stats.spills
+        assert spilled > 0
+        copy = _snapshot(spill, tmp_path, "svc-killed.pstf")
+        first.store.close()
+
+        killed_config = ServerConfig(
+            codec_name="pastri",
+            codec_kwargs={"dims": list(DIMS)},
+            error_bound=EB,
+            spill_path=copy,
+            memory_budget_bytes=2048,
+        )
+        second = CompressionServer(killed_config)
+        stats = second._store_stats()
+        assert stats["recovered"] == spilled
+        for key in second.store.keys():
+            assert np.max(np.abs(second.store.get(key) - blocks[key])) <= EB
+        second.store.close()
+
+    def test_spill_recover_false_is_respected(self, tmp_path):
+        from repro.service.server import CompressionServer, ServerConfig
+
+        spill = str(tmp_path / "svc-spill.pstf")
+        config = ServerConfig(
+            codec_name="pastri",
+            codec_kwargs={"dims": list(DIMS)},
+            error_bound=EB,
+            spill_path=spill,
+            memory_budget_bytes=2048,
+        )
+        first = CompressionServer(config)
+        for key, block in _blocks(6, seed=6).items():
+            first.store.put(key, block, dims=DIMS)
+        first.store.close()
+
+        second = CompressionServer(
+            ServerConfig(
+                codec_name="pastri",
+                codec_kwargs={"dims": list(DIMS)},
+                error_bound=EB,
+                spill_path=spill,
+                memory_budget_bytes=2048,
+                spill_recover=False,
+            )
+        )
+        assert second._store_stats()["recovered"] == 0
+        assert len(second.store) == 0
+        second.store.close()

@@ -1,0 +1,182 @@
+"""Durability contract of ``ContainerWriter``: flush, fsync, atomic commit.
+
+Regression coverage for the PR-5 bug sweep: ``close()`` used to emit the
+footer without ever flushing the handle, and ``__exit__`` used to skip
+``close()`` silently on an in-flight exception — losing the summary and
+leaving an unmarked partial file.  These tests pin the fixed contract.
+"""
+
+import io
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import PaSTRICompressor
+from repro.errors import FormatError
+from repro.streamio import ContainerWriter, open_container, salvage_container
+
+from tests.faults.failpoint import FailpointFile
+
+EB = 1e-10
+DIMS = (2, 2, 2, 2)
+
+
+def _read(path) -> bytes:
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def _codec():
+    return PaSTRICompressor(dims=DIMS)
+
+
+def _chunk(seed=0):
+    return np.random.default_rng(seed).standard_normal(16 * 8) * 1e-7
+
+
+class _FlushProbe(io.BytesIO):
+    """BytesIO that records how many bytes were in the buffer at each flush."""
+
+    def __init__(self):
+        super().__init__()
+        self.flushed_at: list[int] = []
+
+    def flush(self):
+        self.flushed_at.append(self.tell())
+        super().flush()
+
+
+class TestCloseFlushes:
+    def test_close_flushes_after_the_footer(self):
+        """S1 regression: the flush must cover the footer, not precede it."""
+        fh = _FlushProbe()
+        w = ContainerWriter(fh, _codec(), EB)
+        w.append(_chunk(), key="a")
+        w.close()
+        assert fh.flushed_at, "close() never flushed the handle"
+        assert fh.flushed_at[-1] == len(fh.getvalue())
+
+    def test_close_fsyncs_when_asked(self, tmp_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd)))
+        path = str(tmp_path / "c.pstf")
+        with ContainerWriter.create(path, _codec(), EB, fsync=True) as w:
+            w.append(_chunk())
+        assert synced, "fsync=True close() never called os.fsync"
+
+    def test_no_fsync_by_default_on_plain_writer(self, monkeypatch):
+        synced = []
+        monkeypatch.setattr(os, "fsync", lambda fd: synced.append(fd))
+        w = ContainerWriter(io.BytesIO(), _codec(), EB)
+        w.append(_chunk())
+        w.close()
+        assert not synced
+
+    def test_double_close_raises(self):
+        w = ContainerWriter(io.BytesIO(), _codec(), EB)
+        w.close()
+        with pytest.raises(FormatError, match="already closed"):
+            w.close()
+
+
+class TestAtomicCommit:
+    def test_clean_close_commits_and_removes_tmp(self, tmp_path):
+        path = str(tmp_path / "c.pstf")
+        with ContainerWriter.create(path, _codec(), EB) as w:
+            w.append(_chunk(), key="a")
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+        with open_container(path) as r:
+            assert len(r) == 1 and r.frames[0].key == "a"
+
+    def test_crashed_create_never_shadows_the_old_file(self, tmp_path):
+        path = str(tmp_path / "c.pstf")
+        with ContainerWriter.create(path, _codec(), EB) as w:
+            w.append(_chunk(0))
+        good = _read(path)
+
+        with pytest.raises(RuntimeError, match="boom"):
+            with ContainerWriter.create(path, _codec(), EB) as w:
+                w.append(_chunk(1))
+                w.append(_chunk(2))
+                raise RuntimeError("boom")
+        # the good container is untouched; the partial sits in .tmp
+        assert _read(path) == good
+        assert os.path.exists(path + ".tmp")
+        report = salvage_container(path + ".tmp")
+        assert report.frames_recovered == 2
+        with open_container(path + ".tmp") as r:
+            assert np.max(np.abs(r.read_frame(0) - _chunk(1))) <= EB
+
+    def test_non_atomic_create_writes_in_place(self, tmp_path):
+        path = str(tmp_path / "c.pstf")
+        with ContainerWriter.create(path, _codec(), EB, atomic=False) as w:
+            w.append(_chunk())
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+
+
+class TestExitSemantics:
+    def test_exit_reraises_and_leaves_salvageable_prefix(self):
+        """S2 regression: the exception must escape, the prefix must survive."""
+        fh = _FlushProbe()
+        with pytest.raises(ValueError, match="mid-stream"):
+            with ContainerWriter(fh, _codec(), EB) as w:
+                w.append(_chunk())
+                raise ValueError("mid-stream")
+        assert not hasattr(w, "summary")  # never footered
+        assert fh.flushed_at, "abort() must flush the partial stream"
+        raw = fh.getvalue()
+        assert b"PSTFIDX2" not in raw
+
+    def test_abort_is_idempotent_and_close_after_abort_raises(self):
+        w = ContainerWriter(io.BytesIO(), _codec(), EB)
+        w.append(_chunk())
+        w.abort()
+        w.abort()
+        with pytest.raises(FormatError, match="already closed"):
+            w.close()
+
+    def test_enospc_mid_frame_leaves_recoverable_prefix(self, tmp_path):
+        """A full disk mid-append: earlier frames stay salvageable."""
+        path = str(tmp_path / "spill.pstf")
+        codec = _codec()
+        probe = ContainerWriter(io.BytesIO(), codec, EB)
+        first = probe.append(_chunk(0))
+        budget = first.offset + first.length + 30  # dies inside frame 2
+        with open(path, "wb") as raw:
+            fp = FailpointFile(raw, budget, mode="raise")
+            with pytest.raises(OSError, match="failpoint"):
+                with ContainerWriter(fp, codec, EB) as w:
+                    w.append(_chunk(0))
+                    w.append(_chunk(1))
+        report = salvage_container(path)
+        assert report.frames_recovered == 1
+        with open_container(path) as r:
+            assert np.max(np.abs(r.read_frame(0) - _chunk(0))) <= EB
+
+    def test_resume_continues_a_salvaged_container(self, tmp_path):
+        """The store's recovery primitive: salvage, resume, close, reopen."""
+        path = str(tmp_path / "c.pstf")
+        codec = _codec()
+        with open(path, "wb") as fh:
+            w = ContainerWriter(fh, codec, EB)
+            w.append(_chunk(0), key="a")
+            w.append(_chunk(1), key="b")
+            w.close()
+        with open_container(path) as r:
+            frames, end = list(r.frames), max(
+                f.offset + f.length for f in r.frames
+            )
+        with open(path, "r+b") as fh:
+            fh.truncate(end)
+            fh.seek(end)
+            w = ContainerWriter.resume(fh, codec, EB, frames=frames, pos=end)
+            w.append(_chunk(2), key="c")
+            w.close()
+        with open_container(path) as r:
+            assert [f.key for f in r.frames] == ["a", "b", "c"]
+            for i in range(3):
+                assert np.max(np.abs(r.read_frame(i) - _chunk(i))) <= EB
