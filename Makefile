@@ -4,7 +4,8 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test ci bench bench-record overhead-check serve-smoke fsck-smoke harness
+.PHONY: test ci bench bench-record overhead-check serve-smoke fsck-smoke \
+	store-bench-smoke harness
 
 test:
 	$(PY) -m pytest tests/ -q
@@ -47,6 +48,13 @@ serve-smoke:
 ## error bound.  Hard timeout so a wedged salvage fails, never hangs.
 fsck-smoke:
 	timeout 120 $(PY) scripts/fsck_smoke.py
+
+## Spill-store perf gate: a fixed-seed reuse workload run under the
+## pre-overhaul LRU config and the 2Q/mmap/readahead path.  Fails unless
+## the overhauled path is >=3x faster with >=4x fewer disk reads, the
+## ratio is untouched, and a compacted container recovers every frame.
+store-bench-smoke:
+	timeout 120 $(PY) scripts/store_bench_smoke.py
 
 harness:
 	$(PY) -m repro.harness all

@@ -10,7 +10,7 @@ via the blocking client, single-stream and with 16 concurrent clients
 driving the micro-batcher), and writes machine-annotated results so
 future PRs have a baseline to compare against::
 
-    python -m benchmarks.record              # writes BENCH_pr4.json
+    python -m benchmarks.record              # writes BENCH_pr6.json
     python -m benchmarks.record -o out.json --reps 30
 
 Methodology (since PR 3): every measured region runs under a
@@ -149,32 +149,81 @@ def _run(reps: int) -> dict:
         if os.path.exists(tmp):
             os.unlink(tmp)
 
-    # Spillable store: the same reuse workload with a bounded memory budget,
-    # most blobs served back through the PSTF spill container on disk.
+    # Spill-store reuse (the PR 6 read-path overhaul): the same 20-reuse
+    # workload under a 64 KB blob budget, run twice — once as the pre-PR
+    # baseline (plain LRU, forget-on-promote, seek+read, no array tier) and
+    # once with the overhauled path (scan-resistant 2Q tiers, retained
+    # on-disk records, mmap frame reads, class-adjacent readahead) — so the
+    # JSON carries its own A/B comparison with per-tier traffic breakdowns.
     from repro.pipeline.store import CompressedERIStore, ContainerBackend
 
     n_blocks = data.size // ds.spec.block_size
     blocks = data[: n_blocks * ds.spec.block_size].reshape(n_blocks, -1)
-    spill_path = tempfile.mktemp(suffix=".pstf")
-    spill_store = CompressedERIStore(
-        PaSTRICompressor(config="(dd|dd)"),
-        EB,
-        backend=ContainerBackend(spill_path, memory_budget_bytes=64 << 10),
-    )
-    try:
-        spill_timer = telemetry.timer("bench.spill_reuse")
-        with spill_timer.time():
-            for i in range(n_blocks):
-                spill_store.put(i, blocks[i], dims=ds.spec.dims)
-            for _ in range(REUSE_COUNT):
+
+    def spill_workload(tag: str, **store_kwargs) -> dict:
+        backend_kwargs = store_kwargs.pop("backend_kwargs")
+        spill_path = tempfile.mktemp(suffix=".pstf")
+        store = CompressedERIStore(
+            PaSTRICompressor(config="(dd|dd)"),
+            EB,
+            backend=ContainerBackend(
+                spill_path, memory_budget_bytes=64 << 10, **backend_kwargs
+            ),
+            **store_kwargs,
+        )
+        try:
+            t = telemetry.timer(f"bench.spill_reuse.{tag}")
+            with t.time():
                 for i in range(n_blocks):
-                    spill_store.get(i)
-        spill_s = spill_timer.max
-        spill_stats = spill_store.stats
-    finally:
-        spill_store.close()
-        if os.path.exists(spill_path):
-            os.unlink(spill_path)
+                    store.put(i, blocks[i], dims=ds.spec.dims)
+                for _ in range(REUSE_COUNT):
+                    for i in range(n_blocks):
+                        store.get(i)
+            st = store.stats
+            return {
+                "total_ms": round(t.max * 1e3, 1),
+                "amortized_mb_s": round(
+                    nbytes * REUSE_COUNT / t.max / 1e6, 1
+                ),
+                "ratio": round(st.ratio, 2),
+                "spills": st.spills,
+                "disk_reads": st.disk_reads,
+                "blob_tier": {
+                    "hits": st.blob_hits,
+                    "misses": st.blob_misses,
+                    "evictions": st.blob_evictions,
+                },
+                "array_tier": {
+                    "hits": st.cache_hits,
+                    "misses": st.cache_misses,
+                    "evictions": st.array_evictions,
+                    "hot_bytes": st.hot_bytes,
+                },
+                "readahead": {
+                    "issued": st.readahead_issued,
+                    "useful": st.readahead_useful,
+                    "wasted": st.readahead_wasted,
+                    "accuracy": round(st.readahead_accuracy, 3),
+                },
+            }
+        finally:
+            store.close()
+            for leftover in (spill_path, spill_path + ".journal"):
+                if os.path.exists(leftover):
+                    os.unlink(leftover)
+
+    spill_baseline = spill_workload(
+        "baseline_lru",
+        backend_kwargs={
+            "policy": "lru", "use_mmap": False, "retain_spills": False,
+        },
+    )
+    spill_overhauled = spill_workload(
+        "overhauled",
+        backend_kwargs={"policy": "2q", "use_mmap": True},
+        hot_cache_bytes=6 << 20,
+        readahead_depth=4,
+    )
 
     # Service round-trip (PR 4): a localhost asyncio server fronting the same
     # codec, measured through the blocking client — single stream first
@@ -220,7 +269,7 @@ def _run(reps: int) -> dict:
 
     mbs = lambda s: nbytes / s / 1e6  # noqa: E731
     return {
-        "bench": "pr4 compression service: localhost round-trip + 16-client concurrency",
+        "bench": "pr6 spill-store read-path overhaul: 2Q tiers, mmap reads, readahead",
         "recorded_unix": int(time.time()),
         "machine": {
             "platform": platform.platform(),
@@ -269,15 +318,32 @@ def _run(reps: int) -> dict:
             "load_ms": round(load_min * 1e3, 2),
             "load_med_ms": round(load_med * 1e3, 2),
             "load_mb_s": round(mbs(load_min), 1),
-            "spillable_store": {
-                "memory_budget_kb": 64,
+        },
+        "spill_store": {
+            "workload": {
+                "blob_budget_kb": 64,
                 "n_blocks": int(n_blocks),
                 "n_uses": REUSE_COUNT,
-                "total_ms": round(spill_s * 1e3, 1),
-                "amortized_mb_s": round(nbytes * REUSE_COUNT / spill_s / 1e6, 1),
-                "spills": spill_stats.spills,
-                "disk_reads": spill_stats.disk_reads,
             },
+            "baseline_lru": {
+                "config": "policy=lru, forget-on-promote, seek+read, no array tier",
+                **spill_baseline,
+            },
+            "overhauled": {
+                "config": (
+                    "policy=2q, retained on-disk records, mmap reads, "
+                    "hot_cache_bytes=6MB, readahead_depth=4"
+                ),
+                **spill_overhauled,
+            },
+            "speedup": round(
+                spill_overhauled["amortized_mb_s"]
+                / max(spill_baseline["amortized_mb_s"], 1e-9), 2
+            ),
+            "disk_read_reduction": round(
+                spill_baseline["disk_reads"]
+                / max(spill_overhauled["disk_reads"], 1), 2
+            ),
         },
         "service": {
             "transport": "localhost TCP, PSRV framed protocol, blocking client",
@@ -310,7 +376,7 @@ def _run(reps: int) -> dict:
 
 def main(argv: list[str] | None = None) -> None:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("-o", "--output", default="BENCH_pr4.json", type=Path)
+    ap.add_argument("-o", "--output", default="BENCH_pr6.json", type=Path)
     ap.add_argument("--reps", default=15, type=int)
     args = ap.parse_args(argv)
     record = run(reps=args.reps)
@@ -325,8 +391,16 @@ def main(argv: list[str] | None = None) -> None:
     )
     print(
         f"container dump {c['dump_ms']} ms ({c['dump_mb_s']} MB/s)  "
-        f"load {c['load_ms']} ms ({c['load_mb_s']} MB/s)  "
-        f"spillable store {c['spillable_store']['amortized_mb_s']} MB/s amortized"
+        f"load {c['load_ms']} ms ({c['load_mb_s']} MB/s)"
+    )
+    sp = record["spill_store"]
+    print(
+        f"spill store baseline {sp['baseline_lru']['amortized_mb_s']} MB/s "
+        f"({sp['baseline_lru']['disk_reads']} disk reads) -> overhauled "
+        f"{sp['overhauled']['amortized_mb_s']} MB/s "
+        f"({sp['overhauled']['disk_reads']} disk reads): "
+        f"{sp['speedup']}x faster, {sp['disk_read_reduction']}x fewer reads, "
+        f"readahead accuracy {sp['overhauled']['readahead']['accuracy']}"
     )
     s = record["service"]
     print(

@@ -12,6 +12,7 @@ Subcommands::
     pastri fsck       <in.pstf> [--output OUT] [--dry-run]
     pastri assess     <in.npz> [--eb 1e-10] [--eb-mode abs|rel] [--codec pastri]
     pastri bench      [experiment ids ...]
+    pastri stats      <store.pstf> [--hot-cache-mb MB] [--readahead N]
     pastri telemetry report <trace.jsonl>
     pastri serve      [--host H] [--port P] [--workers N] [--spill PATH] ...
     pastri remote     compress|decompress|stats ... [--host H] [--port P]
@@ -318,6 +319,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         spill_path=args.spill,
         memory_budget_bytes=int(args.memory_budget_mb * (1 << 20)),
         hot_cache_blocks=args.hot_cache,
+        hot_cache_bytes=int(args.hot_cache_mb * (1 << 20)),
+        readahead=args.readahead,
+        store_policy=args.store_policy,
     )
 
     async def _run() -> None:
@@ -378,6 +382,34 @@ def cmd_remote_decompress(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Handle ``pastri stats``: store snapshot accounting + cache report.
+
+    Loads a store snapshot (or a cleanly closed spill container) written
+    by :meth:`repro.pipeline.CompressedERIStore.save` and prints its
+    accounting plus the per-tier cache report — the same report a running
+    server exposes through ``pastri remote stats``.
+    """
+    from repro.pipeline import CompressedERIStore
+
+    store = CompressedERIStore.load(
+        args.input,
+        hot_cache_bytes=int(args.hot_cache_mb * (1 << 20)),
+        readahead_depth=args.readahead,
+    )
+    try:
+        st = store.stats
+        print(f"ERI store snapshot: {args.input}")
+        print(f"  entries      : {st.n_entries}")
+        print(f"  original     : {st.original_bytes} B")
+        print(f"  compressed   : {st.compressed_bytes} B (ratio {st.ratio:.2f})")
+        print(f"  error bound  : {store.error_bound:g}")
+        print(store.format_cache_report())
+    finally:
+        store.close()
+    return 0
+
+
 def cmd_remote_stats(args: argparse.Namespace) -> int:
     """Handle ``pastri remote stats``: health + store stats + service metrics."""
     with _remote_client(args) as client:
@@ -387,9 +419,13 @@ def cmd_remote_stats(args: argparse.Namespace) -> int:
     print(f"server {args.host}:{args.port}")
     for k in ("status", "uptime_s", "queued", "inflight_bytes", "store_entries"):
         print(f"  {k:<16} {health.get(k)}")
+    cache_report = stats.pop("cache_report", None)
     print("store:")
     for k, v in stats.items():
         print(f"  {k:<16} {v:.4g}" if isinstance(v, float) else f"  {k:<16} {v}")
+    if cache_report:
+        for line in str(cache_report).splitlines():
+            print(f"  {line}")
     service_metrics = {k: v for k, v in metrics.items() if k.startswith("service.")}
     if service_metrics:
         print("service metrics:")
@@ -543,6 +579,14 @@ def main(argv: list[str] | None = None) -> int:
     b.add_argument("experiments", nargs="*")
     b.set_defaults(func=cmd_bench)
 
+    st = sub.add_parser("stats", help="store snapshot accounting + cache report")
+    st.add_argument("input", help="store snapshot / spill container (.pstf)")
+    st.add_argument("--hot-cache-mb", type=float, default=0.0,
+                    help="decompressed-tier budget in MB for the loaded store")
+    st.add_argument("--readahead", type=int, default=0,
+                    help="readahead depth for the loaded store")
+    st.set_defaults(func=cmd_stats)
+
     sv = sub.add_parser("serve", help="run the asyncio compression service")
     sv.add_argument("--host", default="127.0.0.1")
     sv.add_argument("--port", type=int, default=7557, help="0 = ephemeral")
@@ -569,7 +613,17 @@ def main(argv: list[str] | None = None) -> int:
     sv.add_argument("--memory-budget-mb", type=float, default=64.0,
                     help="hot-set budget for the spill backend")
     sv.add_argument("--hot-cache", type=int, default=64,
-                    help="decompressed blocks kept hot in the store")
+                    help="decompressed blocks kept hot in the store "
+                         "(entry-count budget; see --hot-cache-mb)")
+    sv.add_argument("--hot-cache-mb", type=float, default=0.0,
+                    help="decompressed-tier budget in MB (overrides "
+                         "--hot-cache when > 0)")
+    sv.add_argument("--readahead", type=int, default=2,
+                    help="blocks to speculatively decode after a store "
+                         "miss (0 disables readahead)")
+    sv.add_argument("--store-policy", choices=("2q", "lru"), default="2q",
+                    help="store cache admission policy (lru = the "
+                         "pre-overhaul baseline)")
     sv.set_defaults(func=cmd_serve)
 
     rm = sub.add_parser("remote", help="talk to a running compression service")

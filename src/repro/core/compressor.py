@@ -502,6 +502,8 @@ class PaSTRICompressor:
         decodes of a held stream — the SCF-store access pattern — skip
         straight to the batched reconstruction.
         """
+        if not isinstance(blob, (bytes, bytearray)):
+            blob = bytes(blob)  # mmap views etc.: parse memo needs a hashable key
         r = BitReader(blob)
         hdr = fmt.read_header(r)
         # Corrupt count fields must not drive allocations: every block costs

@@ -7,6 +7,7 @@ the compute-once / decompress-per-use pattern, and
 full recomputation.
 """
 
+from repro.pipeline.cache import CacheTierStats, SegmentedCache
 from repro.pipeline.store import (
     CompressedERIStore,
     ContainerBackend,
@@ -16,6 +17,8 @@ from repro.pipeline.store import (
 from repro.pipeline.workflow import ReuseCostModel, ReuseTimings
 
 __all__ = [
+    "CacheTierStats",
+    "SegmentedCache",
     "CompressedERIStore",
     "ContainerBackend",
     "MemoryBackend",

@@ -8,15 +8,39 @@ keyed store of compressed shell blocks with exact-bound reconstruction.
 
 Storage is pluggable.  :class:`MemoryBackend` (default) keeps every blob in
 a dict — the original behavior.  :class:`ContainerBackend` keeps a bounded
-hot set in memory and spills least-recently-used blobs to a PSTF-v2
-container on disk (:mod:`repro.streamio`), so stores larger than RAM keep
-working; its spill file finalizes into a valid container on close.  On top
-of either backend the store can keep a small LRU of hot *decompressed*
-blocks (``hot_cache_blocks``), which turns repeat SCF reads of the same
-quartet into plain array returns.  All traffic is accounted in
-:class:`StoreStats` (hits/misses/spills included), and any store can be
-persisted with :meth:`CompressedERIStore.save` and revived — codec and
-error bound included — with :meth:`CompressedERIStore.load`.
+hot set in memory and spills colder blobs to a PSTF-v2 container on disk
+(:mod:`repro.streamio`), so stores larger than RAM keep working; its spill
+file finalizes into a valid container on close.
+
+The read path is built for SCF/MP2 traffic, which re-reads far more blocks
+than fit in memory and interleaves the reuse with one-off full scans:
+
+* Both the blob tier and the decompressed array tier are
+  :class:`repro.pipeline.cache.SegmentedCache` instances — scan-resistant
+  windowed SLRUs with frequency-gated admission, budgeted in **bytes**
+  with independent budgets (``memory_budget_bytes`` for blobs,
+  ``hot_cache_bytes`` for arrays).
+* Spilled blobs keep their on-disk frame record when promoted back into
+  memory, so evicting a clean blob is free — the pre-overhaul store
+  deleted the record on promote and re-spilled (with a flush and a
+  journal write) on every eviction, which is what held amortized store
+  throughput to ~29 MB/s.  Dirty blobs spill in batches: one data flush
+  and one journal write per batch, not per frame.
+* Spilled-frame reads are served zero-copy from an mmap of the container
+  (:class:`repro.streamio.FrameMap`) — CRC-checked views of the page
+  cache instead of seek+read copies.
+* On an array-tier miss the store can read ahead: likely-next keys (from
+  a per-key access-sequence profile, falling back to class-adjacent
+  neighbors) are decoded speculatively into the admission window.
+* Overwritten keys orphan their old frames; :meth:`ContainerBackend.compact`
+  rewrites the container with only live frames using the same atomic
+  create-then-rename commit as :meth:`CompressedERIStore.save`, and
+  :meth:`maybe_compact` makes that an idle-time call.
+
+All traffic is accounted in :class:`StoreStats` (per-tier hits/misses/
+evictions, readahead accuracy, and compaction work included), and any
+store can be persisted with :meth:`CompressedERIStore.save` and revived —
+codec and error bound included — with :meth:`CompressedERIStore.load`.
 """
 
 from __future__ import annotations
@@ -27,7 +51,6 @@ import json
 import os
 import threading
 import zlib
-from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -35,9 +58,11 @@ import numpy as np
 from repro import api
 from repro.api import Codec
 from repro.errors import ChecksumError, FormatError, ParameterError, ReproError
+from repro.pipeline.cache import SegmentedCache
 from repro.streamio import (
     ContainerWriter,
     FrameInfo,
+    FrameMap,
     open_container,
     walk_frames,
 )
@@ -52,6 +77,24 @@ __all__ = [
     "CompressedERIStore",
 ]
 
+#: telemetry names for counters whose dotted path differs from the field name
+_METRIC_NAMES = {
+    "readahead_issued": "store.readahead.issued",
+    "readahead_useful": "store.readahead.useful",
+    "readahead_wasted": "store.readahead.wasted",
+    "compactions": "store.compaction.runs",
+    "compaction_reclaimed_bytes": "store.compaction.reclaimed_bytes",
+    "blob_hits": "store.tier.blob.hits",
+    "blob_misses": "store.tier.blob.misses",
+    "blob_evictions": "store.tier.blob.evictions",
+    "array_evictions": "store.tier.array.evictions",
+}
+
+#: per-key cap on tracked successors in the access-sequence profile
+_PROFILE_FANOUT = 8
+#: hard cap on profiled keys; beyond it the profile restarts from empty
+_PROFILE_MAX_KEYS = 65536
+
 
 @dataclass
 class StoreStats:
@@ -59,11 +102,13 @@ class StoreStats:
 
     The public fields are per-store, as they always were.  Mutations made
     through :meth:`bump` are *also* mirrored into the global telemetry
-    registry under ``store.<field>`` when telemetry is enabled, so a
-    process-wide snapshot aggregates traffic across every live store while
-    this object keeps serving per-store numbers.  Direct assignment (e.g.
-    the ``load`` path's ``stats.puts = 0``) only touches the per-store
-    value — the global registry is an append-only ledger.
+    registry (``store.<field>``, or the dotted name in ``_METRIC_NAMES``
+    for the tiered counters, e.g. ``store.readahead.issued``) when
+    telemetry is enabled, so a process-wide snapshot aggregates traffic
+    across every live store while this object keeps serving per-store
+    numbers.  Direct assignment (e.g. the ``load`` path's
+    ``stats.puts = 0`` or the ``hot_bytes`` gauge) only touches the
+    per-store value — the global registry is an append-only ledger.
     """
 
     n_entries: int = 0
@@ -80,12 +125,31 @@ class StoreStats:
     disk_reads: int = 0
     #: entries salvaged from a pre-existing spill container on open
     recovered: int = 0
+    #: decompressed bytes currently held by the hot array tier (a gauge,
+    #: assigned directly — not a counter)
+    hot_bytes: int = 0
+    #: in-memory blob tier traffic (ContainerBackend only)
+    blob_hits: int = 0
+    blob_misses: int = 0
+    blob_evictions: int = 0
+    #: decompressed-tier capacity departures
+    array_evictions: int = 0
+    #: speculative decodes issued / later hit / evicted unused
+    readahead_issued: int = 0
+    readahead_useful: int = 0
+    readahead_wasted: int = 0
+    #: spill-container compaction runs and bytes given back to the filesystem
+    compactions: int = 0
+    compaction_reclaimed_bytes: int = 0
+    #: per-key access-sequence profile driving readahead: key -> {next: count}
+    seq_profile: dict = field(default_factory=dict, repr=False, compare=False)
 
     def bump(self, field_name: str, delta: int = 1) -> None:
         """Add ``delta`` to a counter field, mirroring it into telemetry."""
         setattr(self, field_name, getattr(self, field_name) + delta)
         if _tstate.enabled:
-            _METRICS.counter("store." + field_name).add(delta)
+            metric = _METRIC_NAMES.get(field_name, "store." + field_name)
+            _METRICS.counter(metric).add(delta)
 
     @property
     def ratio(self) -> float:
@@ -101,6 +165,13 @@ class StoreStats:
         if lookups == 0:
             return 0.0
         return self.cache_hits / lookups
+
+    @property
+    def readahead_accuracy(self) -> float:
+        """Fraction of issued prefetches that were later hit (0.0 if none)."""
+        if self.readahead_issued == 0:
+            return 0.0
+        return self.readahead_useful / self.readahead_issued
 
 
 @dataclass(frozen=True)
@@ -119,11 +190,14 @@ class MemoryBackend:
         self._entries: dict = {}
         self.stats: StoreStats | None = None  # bound by the store
 
-    def put(self, key, entry: _Entry) -> _Entry | None:
-        """Insert/overwrite; returns the replaced entry (for accounting)."""
+    def put(self, key, entry: _Entry) -> tuple[int, int] | None:
+        """Insert/overwrite; returns the replaced entry's
+        ``(compressed_len, nbytes)`` for accounting, or ``None``."""
         prev = self._entries.get(key)
         self._entries[key] = entry
-        return prev
+        if prev is None:
+            return None
+        return (len(prev.blob), prev.nbytes)
 
     def get(self, key) -> _Entry:
         return self._entries[key]
@@ -144,28 +218,42 @@ class MemoryBackend:
 class ContainerBackend:
     """Blob backend with a bounded hot set that spills to a PSTF container.
 
-    Blobs live in an in-memory LRU up to ``memory_budget_bytes``; beyond
-    that, least-recently-used blobs are appended to the spill container at
-    ``path`` and dropped from memory (``stats.spills``).  Reads of spilled
-    keys seek straight to the recorded frame offset — O(1), CRC-verified —
-    and re-promote the blob to the hot set (``stats.disk_reads``).
+    Blobs live in an in-memory scan-resistant cache (a
+    :class:`SegmentedCache`) up to ``memory_budget_bytes``; entries the
+    cache lets go are appended to the spill container at ``path``
+    (``stats.spills``) in batches — one data flush and one journal write
+    per batch.  Reads of spilled keys are CRC-verified zero-copy views of
+    an mmap over the container (``stats.disk_reads``) and re-promote the
+    blob to the hot set **without forgetting the on-disk frame**: a clean
+    blob's later eviction is a free drop, not a re-spill.
 
-    Overwriting a spilled key orphans its old frame (append-only spill; the
-    space is reclaimed by :meth:`CompressedERIStore.save` compaction).
-    :meth:`close` flushes every hot blob and finalizes the footer index, so
-    the spill file is itself a valid container readable by
+    Overwriting a key orphans its old frame (append-only spill); the dead
+    bytes are tracked and :meth:`compact` / :meth:`maybe_compact` rewrite
+    the container with only live frames via the same atomic
+    create-then-rename commit used by store snapshots.  :meth:`close`
+    flushes every dirty blob and finalizes the footer index, so the spill
+    file is itself a valid container readable by
     :func:`repro.streamio.open_container`.
 
     **Crash safety.**  Every spilled frame is also logged to an append-only
     sidecar journal (``path + ".journal"``, one JSON line per frame: key,
-    offset, length, CRC, dims) that is flushed with the frame and deleted
+    offset, length, CRC, dims) that is flushed with its batch and deleted
     on a clean close.  With ``recover=True`` (default) a backend pointed at
     an existing spill file *recovers* it instead of truncating it: a valid
     (footered) container is reloaded from its index; a footerless one —
     the writer was killed mid-run — is salvaged frame-by-frame and re-keyed
-    from the journal.  Recovered entries land in the spilled set, append
+    from the journal.  Recovered entries land in the on-disk set, append
     continues after the last intact frame, and ``stats.recovered`` counts
     them, so a restarted ``pastri serve`` comes back with its data.
+    Compaction is kill-safe at every step: the replacement container is
+    footered *before* it atomically replaces the old one, and the journal
+    is rewritten *before* the footer is truncated for resumed appends, so
+    any crash point leaves either a self-describing container or a
+    salvageable journal+frames pair.
+
+    ``policy="lru"`` and ``retain_spills=False`` together reproduce the
+    pre-overhaul store (plain LRU, forget-on-promote, per-eviction
+    flushes) — kept as the A/B baseline for ``make store-bench-smoke``.
     """
 
     def __init__(
@@ -175,6 +263,9 @@ class ContainerBackend:
         *,
         recover: bool = True,
         fsync: bool = False,
+        policy: str = "2q",
+        use_mmap: bool = True,
+        retain_spills: bool = True,
     ) -> None:
         if memory_budget_bytes < 0:
             raise ParameterError("memory_budget_bytes must be >= 0")
@@ -184,16 +275,30 @@ class ContainerBackend:
         self.stats: StoreStats | None = None  # bound by the store
         self._recover = bool(recover)
         self._fsync = bool(fsync)
-        self._hot: OrderedDict = OrderedDict()  # key -> _Entry (MRU at end)
-        self._hot_bytes = 0
-        self._spilled: dict = {}  # key -> (frame offset, length, crc, dims, nbytes)
+        self._use_mmap = bool(use_mmap)
+        self._retain_spills = bool(retain_spills)
+        self._hot = SegmentedCache(
+            self.memory_budget_bytes,
+            sizeof=lambda e: len(e.blob),
+            on_discard=self._on_blob_discard,
+            policy=policy,
+        )
+        #: key -> (frame offset, length, crc, dims, nbytes): every key with a
+        #: clean copy on disk (possibly *also* resident in the hot cache)
+        self._ondisk: dict = {}
+        #: dirty entries the cache discarded, awaiting one batched spill
+        self._pending: list = []
+        self._dead_bytes = 0  # orphaned frame payload awaiting compaction
         self._writer: ContainerWriter | None = None
         self._write_fh = None
         self._read_fh = None
+        self._map: FrameMap | None = None
         self._journal_fh = None
         self._codec: Codec | None = None
         self._error_bound: float | None = None
         self._closed = False
+        #: test hook: called with a stage name at each compaction kill point
+        self._compact_hook = None
 
     def bind(self, codec: Codec, error_bound: float, stats: StoreStats) -> None:
         """Called once by the owning store; spill headers need the codec spec.
@@ -214,6 +319,11 @@ class ContainerBackend:
         if self._writer is None:
             if self._codec is None:
                 raise ParameterError("ContainerBackend used outside a store")
+            if self._ondisk:
+                # live frames but no writer (e.g. an aborted compaction):
+                # reattach to the existing file instead of truncating it
+                self._resume_writer_from_ondisk()
+                return self._writer
             # fresh container: a journal left by an earlier life of this
             # path describes bytes that are about to be truncated away
             with contextlib.suppress(OSError):
@@ -228,53 +338,235 @@ class ContainerBackend:
             )
         return self._writer
 
-    def _journal_append(self, key, info: FrameInfo, nbytes: int) -> None:
-        """Log one spilled frame so its key survives a footerless crash."""
+    def _frame_infos_from_ondisk(self) -> dict:
+        """Rebuild ``key -> FrameInfo`` from the live on-disk records."""
+        return {
+            key: FrameInfo(
+                offset, length, nbytes // 8, crc, json.dumps(key), dims
+            )
+            for key, (offset, length, crc, dims, nbytes) in self._ondisk.items()
+        }
+
+    def _resume_writer_from_ondisk(self) -> None:
+        """Reattach a writer to the spill file from the in-memory records."""
+        live = self._frame_infos_from_ondisk()
+        fh = open(self.path, "r+b")
+        _container_header_info(fh)
+        end = fh.tell()
+        for f in live.values():
+            end = max(end, f.offset + f.length)
+        fh.truncate(end)  # drop any footer so appends continue cleanly
+        fh.seek(end)
+        self._write_fh = fh
+        self._writer = ContainerWriter.resume(
+            fh,
+            self._codec,
+            self._error_bound,
+            frames=live.values(),
+            pos=end,
+            fsync=self._fsync,
+        )
+
+    def _on_blob_discard(self, key, entry: _Entry) -> None:
+        """Cache departure: free drop for clean blobs, spill queue for dirty."""
+        if self.stats is not None:
+            self.stats.bump("blob_evictions")
+        if key not in self._ondisk:
+            self._pending.append((key, entry))
+
+    def _flush_pending(self) -> None:
+        """Write every queued dirty blob: frames, one flush, one journal write.
+
+        The data flush lands before the journal records (a journaled frame
+        must be readable), and the in-memory records are updated only after
+        both — a crash mid-batch loses at most the in-flight dirty blobs,
+        exactly as a crash just before the batch would have.
+        """
+        if not self._pending:
+            return
+        w = self._ensure_writer()
+        spilled: list = []
+        for key, entry in self._pending:
+            info = w.append_blob(
+                entry.blob, entry.nbytes // 8, key=json.dumps(key), dims=entry.dims
+            )
+            spilled.append((key, info, entry))
+        self._pending.clear()
+        self._write_fh.flush()
+        self._journal_write_batch(
+            (key, info, entry.nbytes) for key, info, entry in spilled
+        )
+        for key, info, entry in spilled:
+            self._ondisk[key] = (
+                info.offset, info.length, info.crc32, entry.dims, entry.nbytes
+            )
+            if self.stats is not None:
+                self.stats.bump("spills")
+
+    def _journal_write_batch(self, records) -> None:
+        """Append a batch of spill records with a single write + flush."""
+        lines = []
+        for key, info, nbytes in records:
+            lines.append(json.dumps({
+                "key": key,
+                "offset": info.offset,
+                "length": info.length,
+                "crc": info.crc32,
+                "dims": None if info.dims is None else list(info.dims),
+                "nbytes": int(nbytes),
+            }, separators=(",", ":")) + "\n")
+        if not lines:
+            return
         if self._journal_fh is None:
             self._journal_fh = open(self.journal_path, "a", encoding="utf-8")
-        rec = {
-            "key": key,
-            "offset": info.offset,
-            "length": info.length,
-            "crc": info.crc32,
-            "dims": None if info.dims is None else list(info.dims),
-            "nbytes": int(nbytes),
-        }
-        self._journal_fh.write(json.dumps(rec, separators=(",", ":")) + "\n")
+        self._journal_fh.write("".join(lines))
         self._journal_fh.flush()
 
-    def _spill_one(self) -> None:
-        key, entry = self._hot.popitem(last=False)  # least recently used
-        self._hot_bytes -= len(entry.blob)
-        w = self._ensure_writer()
-        info = w.append_blob(
-            entry.blob, entry.nbytes // 8, key=json.dumps(key), dims=entry.dims
-        )
-        self._write_fh.flush()
-        self._journal_append(key, info, entry.nbytes)
-        self._spilled[key] = (info.offset, info.length, info.crc32, entry.dims, entry.nbytes)
-        if self.stats is not None:
-            self.stats.bump("spills")
-
-    def _shrink_to_budget(self) -> None:
-        while self._hot_bytes > self.memory_budget_bytes and len(self._hot) > 1:
-            self._spill_one()
-
     def _read_spilled(self, key) -> _Entry:
-        offset, length, crc, dims, nbytes = self._spilled[key]
-        if self._read_fh is None:
-            if self._write_fh is not None:
-                self._write_fh.flush()
-            self._read_fh = open(self.path, "rb")
-        self._read_fh.seek(offset)
-        blob = self._read_fh.read(length)
-        if len(blob) != length:
-            raise FormatError(f"spill container truncated at frame for key {key!r}")
-        if zlib.crc32(blob) & 0xFFFFFFFF != crc:
-            raise ChecksumError(f"spill container CRC mismatch for key {key!r}")
+        offset, length, crc, dims, nbytes = self._ondisk[key]
+        if self._use_mmap:
+            blob = self._mapped_frame(key, offset, length, crc)
+        else:
+            if self._read_fh is None:
+                if self._write_fh is not None:
+                    self._write_fh.flush()
+                self._read_fh = open(self.path, "rb")
+            self._read_fh.seek(offset)
+            blob = self._read_fh.read(length)
+            if len(blob) != length:
+                raise FormatError(
+                    f"spill container truncated at frame for key {key!r}"
+                )
+            if zlib.crc32(blob) & 0xFFFFFFFF != crc:
+                raise ChecksumError(f"spill container CRC mismatch for key {key!r}")
         if self.stats is not None:
             self.stats.bump("disk_reads")
         return _Entry(blob, nbytes, dims)
+
+    def _mapped_frame(self, key, offset: int, length: int, crc: int):
+        """Zero-copy CRC-checked view of one spilled frame's payload."""
+        if self._map is None:
+            self._map = FrameMap(self.path)
+        try:
+            return self._map.check(offset, length, crc)
+        except ChecksumError:
+            raise ChecksumError(
+                f"spill container CRC mismatch for key {key!r}"
+            ) from None
+        except FormatError:
+            raise FormatError(
+                f"spill container truncated at frame for key {key!r}"
+            ) from None
+
+    # -- compaction -----------------------------------------------------------
+
+    def _kill_point(self, stage: str) -> None:
+        if self._compact_hook is not None:
+            self._compact_hook(stage)
+
+    def compact(self) -> int:
+        """Rewrite the spill container with only live frames; returns bytes
+        given back to the filesystem.
+
+        Kill-safe sequence (each step leaves a recoverable state):
+
+        1. The replacement container is written to ``path + ".tmp"`` and
+           **footered** before ``os.replace`` makes it visible — a crash
+           before the rename leaves the old container + journal untouched;
+           after it, the new container recovers from its own index and the
+           (stale) journal is ignored.
+        2. The journal is rewritten for the new layout *before* the footer
+           is truncated for resumed appends — a footerless crash after
+           that salvages via the fresh journal.
+        """
+        self._flush_pending()
+        if not self._ondisk:
+            return 0
+        self._kill_point("begin")
+        try:
+            old_size = os.path.getsize(self.path)
+        except OSError:
+            return 0
+        live_items = list(self._ondisk.items())
+        new_infos: dict = {}
+        with open(self.path, "rb") as src:
+            with ContainerWriter.create(
+                self.path,
+                self._codec,
+                self._error_bound,
+                meta={
+                    "error_bound": self._error_bound,
+                    "role": "eri-store-spill",
+                },
+            ) as w:
+                for i, (key, (offset, length, crc, dims, nbytes)) in enumerate(
+                    live_items
+                ):
+                    src.seek(offset)
+                    blob = src.read(length)
+                    if len(blob) != length or zlib.crc32(blob) & 0xFFFFFFFF != crc:
+                        raise ChecksumError(
+                            f"spill frame for key {key!r} corrupt during compaction"
+                        )
+                    info = w.append_blob(
+                        blob, nbytes // 8, key=json.dumps(key), dims=dims
+                    )
+                    new_infos[key] = (info, nbytes)
+                    if i == 0:
+                        self._kill_point("mid_copy")
+        # the old inode is gone; drop every handle that pointed at it
+        self._kill_point("after_replace")
+        if self._write_fh is not None:
+            self._write_fh.close()
+            self._write_fh = None
+        self._writer = None
+        if self._read_fh is not None:
+            self._read_fh.close()
+            self._read_fh = None
+        if self._map is not None:
+            self._map.invalidate()
+        self._ondisk = {
+            key: (info.offset, info.length, info.crc32, info.dims, nbytes)
+            for key, (info, nbytes) in new_infos.items()
+        }
+        self._dead_bytes = 0
+        if self._journal_fh is not None:
+            self._journal_fh.close()
+            self._journal_fh = None
+        self._rewrite_journal({key: info for key, (info, nbytes) in new_infos.items()})
+        self._kill_point("after_journal")
+        self._resume_writer_from_ondisk()
+        self._kill_point("after_resume")
+        try:
+            reclaimed = max(0, old_size - os.path.getsize(self.path))
+        except OSError:  # pragma: no cover - file must exist post-rename
+            reclaimed = 0
+        if self.stats is not None:
+            self.stats.bump("compactions")
+            self.stats.bump("compaction_reclaimed_bytes", reclaimed)
+        return reclaimed
+
+    def maybe_compact(
+        self,
+        *,
+        min_dead_bytes: int = 1 << 16,
+        min_dead_fraction: float = 0.5,
+    ) -> int:
+        """Compact only when enough of the container is orphaned frames.
+
+        Meant for idle moments (the service calls it between batches).
+        Returns the bytes reclaimed, or 0 when the thresholds say the
+        rewrite is not worth the I/O yet.
+        """
+        if self._dead_bytes < min_dead_bytes:
+            return 0
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return 0
+        if size <= 0 or self._dead_bytes < min_dead_fraction * size:
+            return 0
+        return self.compact()
 
     # -- crash recovery -------------------------------------------------------
 
@@ -318,7 +610,7 @@ class ContainerBackend:
             fsync=self._fsync,
         )
         for key, f in live.items():
-            self._spilled[key] = (
+            self._ondisk[key] = (
                 f.offset, f.length, f.crc32, f.dims, f.n_elements * 8
             )
             if self.stats is not None:
@@ -331,10 +623,10 @@ class ContainerBackend:
     def _rewrite_journal(self, live: dict) -> None:
         """Replace the journal with exactly the surviving entries.
 
-        Appending after a crash must start from a clean file: the old
-        journal may end in a torn line (which would corrupt the next
-        record) or reference frames that no longer exist.  Written via
-        temp-file + rename so a crash here cannot lose the old journal
+        Appending after a crash (or a compaction) must start from a clean
+        file: the old journal may end in a torn line (which would corrupt
+        the next record) or reference frames that no longer exist.  Written
+        via temp-file + rename so a crash here cannot lose the old journal
         before the new one is complete.
         """
         if not live:
@@ -410,60 +702,81 @@ class ContainerBackend:
 
     # -- backend interface ----------------------------------------------------
 
-    def put(self, key, entry: _Entry) -> _Entry | None:
+    def put(self, key, entry: _Entry) -> tuple[int, int] | None:
+        """Insert/overwrite; returns the replaced entry's
+        ``(compressed_len, nbytes)`` without touching the disk."""
         prev = None
-        if key in self._hot:
-            prev = self._hot.pop(key)
-            self._hot_bytes -= len(prev.blob)
-        elif key in self._spilled:
-            prev = self._read_spilled(key)
-            del self._spilled[key]  # old frame is orphaned
-        self._hot[key] = entry
-        self._hot_bytes += len(entry.blob)
-        self._shrink_to_budget()
+        dropped = self._hot.pop(key)
+        if dropped is not None:
+            prev = (len(dropped.blob), dropped.nbytes)
+        rec = self._ondisk.pop(key, None)
+        if rec is not None:
+            self._dead_bytes += rec[1]  # old frame is orphaned
+            if prev is None:
+                prev = (rec[1], rec[4])
+        self._hot.put(key, entry, sticky=True)  # dirty: must reach disk
+        self._flush_pending()
         return prev
 
     def get(self, key) -> _Entry:
-        if key in self._hot:
-            self._hot.move_to_end(key)
-            return self._hot[key]
+        entry = self._hot.get(key)
+        if entry is not None:
+            if self.stats is not None:
+                self.stats.bump("blob_hits")
+            return entry
+        if self.stats is not None and (key in self._ondisk):
+            self.stats.bump("blob_misses")
         entry = self._read_spilled(key)  # KeyError for unknown keys
-        del self._spilled[key]
-        self._hot[key] = entry
-        self._hot_bytes += len(entry.blob)
-        self._shrink_to_budget()
+        if not self._retain_spills:
+            # legacy promote: forget the on-disk copy, re-spill on eviction
+            offset, length, crc, dims, nbytes = self._ondisk.pop(key)
+            self._dead_bytes += length
+            self._hot.put(key, entry, sticky=True)
+        else:
+            self._hot.put(key, entry)  # clean: on-disk record retained
+        self._flush_pending()
         return entry
 
     def __contains__(self, key) -> bool:
-        return key in self._hot or key in self._spilled
+        return key in self._hot or key in self._ondisk
 
     def __len__(self) -> int:
-        return len(self._hot) + len(self._spilled)
+        extra = sum(1 for k in self._hot.keys() if k not in self._ondisk)
+        return len(self._ondisk) + extra
 
     def keys(self):
-        return list(self._hot.keys()) + list(self._spilled.keys())
+        seen = dict.fromkeys(self._hot.keys())
+        seen.update(dict.fromkeys(self._ondisk))
+        return list(seen)
 
     def close(self) -> None:
-        """Flush all hot blobs and finalize the spill container's footer.
+        """Flush all dirty blobs and finalize the spill container's footer.
 
-        A footer that reached the disk supersedes the journal, which is
-        removed — after a clean close the spill file alone is the durable,
-        self-describing record (readable by ``open_container`` and
-        recoverable from its own index on the next open).
+        Clean blobs (already on disk) are simply dropped.  A footer that
+        reached the disk supersedes the journal, which is removed — after a
+        clean close the spill file alone is the durable, self-describing
+        record (readable by ``open_container`` and recoverable from its own
+        index on the next open).
         """
         if self._closed:
             return
         self._closed = True
+        for key in list(self._hot.keys()):
+            entry = self._hot.pop(key)
+            if key not in self._ondisk:
+                self._pending.append((key, entry))
         footered = False
-        if self._hot or self._writer is not None:
-            while self._hot:
-                self._spill_one()
+        if self._pending or self._writer is not None:
+            self._flush_pending()
             self._writer.close()
             footered = True
         if self._write_fh is not None:
             self._write_fh.close()
         if self._read_fh is not None:
             self._read_fh.close()
+        if self._map is not None:
+            self._map.close()
+            self._map = None
         if self._journal_fh is not None:
             self._journal_fh.close()
             self._journal_fh = None
@@ -486,32 +799,72 @@ class CompressedERIStore:
     >>> store.put((0, 1, 2, 3), block)
     >>> again = store.get((0, 1, 2, 3))   # |again - block| <= 1e-10
 
-    Spillable variant (bounded memory, disk-backed):
+    Spillable variant (bounded memory, disk-backed, with a byte-budgeted
+    decompressed tier and sequence-profile readahead):
 
     >>> backend = ContainerBackend("eris.pstf", memory_budget_bytes=256 << 20)
-    >>> store = CompressedERIStore(codec, 1e-10, backend=backend, hot_cache_blocks=64)
+    >>> store = CompressedERIStore(
+    ...     codec, 1e-10, backend=backend,
+    ...     hot_cache_bytes=64 << 20, readahead_depth=2,
+    ... )
 
-    The store is **thread-safe**: one reentrant lock serializes every
-    backend mutation, LRU move, spill, hot-array cache update, and stats
-    bump, so the compression service (and any multi-threaded SCF driver)
-    can share a single store across request handlers.  The lock is coarse
-    by design — codec work dominates, and a single lock keeps the
-    LRU/spill/stats invariants trivially consistent.
+    ``hot_cache_bytes`` budgets the decompressed tier in bytes (the right
+    unit — d-quartet blocks are orders of magnitude bigger than s-quartet
+    blocks); the legacy ``hot_cache_blocks`` entry-count cap still works
+    when no byte budget is given.  Either way the tier is scan-resistant
+    (:class:`SegmentedCache`), so one full sweep — a ``save``, an fsck, a
+    cold MP2 transform — cannot flush the SCF working set.
+
+    The store is **thread-safe**: one reentrant lock serializes backend
+    mutations, cache updates, and stats bumps.  Decompression of a missed
+    block runs *outside* the lock under a single-flight guard — concurrent
+    readers of the same key wait on the one in-flight decode instead of
+    repeating it, and readers of different keys decode in parallel.
     """
 
     codec: Codec
     error_bound: float
     backend: MemoryBackend | ContainerBackend | None = None
-    #: max decompressed blocks kept hot (0 disables the array cache)
+    #: max decompressed blocks kept hot (legacy entry-count budget;
+    #: ignored when ``hot_cache_bytes`` is set; 0 disables the array cache)
     hot_cache_blocks: int = 0
+    #: decompressed-tier budget in bytes (preferred; 0 defers to blocks)
+    hot_cache_bytes: int = 0
+    #: keys to speculatively decode after an array-tier miss (0 = off)
+    readahead_depth: int = 0
+    #: array-tier policy: "2q" (scan-resistant, default) or "lru" (baseline)
+    hot_cache_policy: str = "2q"
     _shaped: dict = field(default_factory=dict, repr=False)
     stats: StoreStats = field(default_factory=StoreStats)
-    _hot_arrays: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    _hot_arrays: SegmentedCache | None = field(default=None, repr=False)
     _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
     def __post_init__(self) -> None:
         if self.backend is None:
             self.backend = MemoryBackend()
+        if self.hot_cache_bytes > 0:
+            self._hot_arrays = SegmentedCache(
+                self.hot_cache_bytes,
+                sizeof=lambda a: a.nbytes,
+                on_discard=self._on_array_discard,
+                policy=self.hot_cache_policy,
+            )
+        elif self.hot_cache_blocks > 0:
+            self._hot_arrays = SegmentedCache(
+                self.hot_cache_blocks,
+                sizeof=lambda a: 1,
+                on_discard=self._on_array_discard,
+                policy=self.hot_cache_policy,
+            )
+        else:
+            self._hot_arrays = None
+        self._cond = threading.Condition(self._lock)
+        self._decoding: set = set()  # keys with a decode in flight
+        self._decode_stale: set = set()  # overwritten while decoding
+        self._computing: set = set()  # keys with a get_or_compute in flight
+        self._hot_array_bytes = 0
+        self._prefetched: set = set()  # readahead keys not yet hit
+        self._last_key = None  # previous accessed key (sequence profile)
         bind = getattr(self.backend, "bind", None)
         if bind is not None:
             bind(self.codec, self.error_bound, self.stats)
@@ -556,33 +909,145 @@ class CompressedERIStore:
         with self._lock:
             prev = self.backend.put(key, _Entry(blob, nbytes, dims))
             if prev is not None:
-                self.stats.bump("compressed_bytes", -len(prev.blob))
-                self.stats.bump("original_bytes", -prev.nbytes)
+                prev_len, prev_nbytes = prev
+                self.stats.bump("compressed_bytes", -prev_len)
+                self.stats.bump("original_bytes", -prev_nbytes)
                 self.stats.bump("n_entries", -1)
-            self._hot_arrays.pop(key, None)
+            if self._hot_arrays is not None:
+                dropped = self._hot_arrays.pop(key)
+                if dropped is not None:
+                    self._hot_array_bytes -= dropped.nbytes
+                    self.stats.hot_bytes = self._hot_array_bytes
+                self._prefetched.discard(key)
+            if key in self._decoding:
+                self._decode_stale.add(key)  # in-flight decode is now stale
             self.stats.bump("n_entries")
             self.stats.bump("puts")
             self.stats.bump("original_bytes", nbytes)
             self.stats.bump("compressed_bytes", len(blob))
 
+    # -- array tier ------------------------------------------------------------
+
+    def _on_array_discard(self, key, arr) -> None:
+        self._hot_array_bytes -= arr.nbytes
+        self.stats.hot_bytes = self._hot_array_bytes
+        self.stats.bump("array_evictions")
+        if key in self._prefetched:
+            self._prefetched.discard(key)
+            self.stats.bump("readahead_wasted")
+
+    def _array_insert(self, key, arr) -> None:
+        arr.setflags(write=False)  # cached arrays are shared; keep them frozen
+        self._hot_array_bytes += arr.nbytes
+        self._hot_arrays.put(key, arr)
+        self.stats.hot_bytes = self._hot_array_bytes
+
+    def _note_access(self, key) -> None:
+        """Feed the per-key access-sequence profile that drives readahead."""
+        prev = self._last_key
+        self._last_key = key
+        if prev is None or prev == key:
+            return
+        profile = self.stats.seq_profile
+        if len(profile) > _PROFILE_MAX_KEYS:
+            profile.clear()  # runaway key space; restart the profile
+        succ = profile.setdefault(prev, {})
+        if key in succ:
+            succ[key] += 1
+        elif len(succ) < _PROFILE_FANOUT:
+            succ[key] = 1
+        else:
+            coldest = min(succ, key=succ.get)
+            if succ[coldest] <= 1:
+                del succ[coldest]
+                succ[key] = 1
+
+    def _class_adjacent(self, key):
+        """Neighbor keys in the same shell class (canonical quartet layout).
+
+        Quartet tuples share their class prefix and step in the final
+        index; integer keys (flat block numbering) step directly.
+        """
+        for step in range(1, self.readahead_depth + 1):
+            if isinstance(key, tuple) and key and isinstance(key[-1], int):
+                yield key[:-1] + (key[-1] + step,)
+            elif isinstance(key, int) and not isinstance(key, bool):
+                yield key + step
+
+    def _readahead_from(self, key) -> None:
+        """Speculatively decode likely-next keys into the admission window.
+
+        Candidates come from the access-sequence profile first (what
+        actually followed this key before), then class-adjacent neighbors.
+        Runs under the store lock on the miss path; each prefetched array
+        lands in the cache's admission window, where it survives exactly
+        long enough for the near-term access that justified it.
+        """
+        succ = self.stats.seq_profile.get(key, {})
+        candidates = sorted(succ, key=succ.get, reverse=True)
+        candidates.extend(self._class_adjacent(key))
+        issued = 0
+        seen = {key}
+        for cand in candidates:
+            if issued >= self.readahead_depth:
+                break
+            if cand in seen:
+                continue
+            seen.add(cand)
+            if cand in self._decoding or cand in self._hot_arrays:
+                continue
+            if cand not in self.backend:
+                continue
+            entry = self.backend.get(cand)
+            arr = self.codec.decompress(entry.blob)
+            self._array_insert(cand, arr)
+            self._prefetched.add(cand)
+            self.stats.bump("readahead_issued")
+            issued += 1
+
     def get(self, key) -> np.ndarray:
-        """Decompress one block; raises KeyError for unknown keys."""
-        with self._lock:
+        """Decompress one block; raises KeyError for unknown keys.
+
+        With the array tier enabled, a miss claims a single-flight decode
+        slot and decompresses *outside* the lock: concurrent readers of the
+        same key wait for the in-flight decode and then hit the cache,
+        readers of other keys proceed in parallel.
+        """
+        with self._cond:
             self.stats.bump("gets")
-            if self.hot_cache_blocks > 0:
+            self._note_access(key)
+            if self._hot_arrays is None:
+                entry = self.backend.get(key)
+                return self.codec.decompress(entry.blob)
+            while True:
                 hit = self._hot_arrays.get(key)
                 if hit is not None:
-                    self._hot_arrays.move_to_end(key)
                     self.stats.bump("cache_hits")
+                    if key in self._prefetched:
+                        self._prefetched.discard(key)
+                        self.stats.bump("readahead_useful")
                     return hit
-                self.stats.bump("cache_misses")
-            out = self.codec.decompress(self.backend.get(key).blob)
-            if self.hot_cache_blocks > 0:
-                out.setflags(write=False)  # cached arrays are shared; keep them frozen
-                self._hot_arrays[key] = out
-                while len(self._hot_arrays) > self.hot_cache_blocks:
-                    self._hot_arrays.popitem(last=False)
-            return out
+                if key not in self._decoding:
+                    break
+                self._cond.wait()
+            self.stats.bump("cache_misses")
+            entry = self.backend.get(key)  # KeyError for unknown keys
+            self._decoding.add(key)
+        try:
+            out = self.codec.decompress(entry.blob)
+        finally:
+            with self._cond:
+                self._decoding.discard(key)
+                stale = key in self._decode_stale
+                self._decode_stale.discard(key)
+                self._cond.notify_all()
+        with self._cond:
+            if not stale:  # an overwrite raced the decode; don't cache it
+                self._array_insert(key, out)
+                if self.readahead_depth > 0:
+                    self._readahead_from(key)
+                self._cond.notify_all()
+        return out
 
     def get_or_compute(self, key, compute, dims=None) -> np.ndarray:
         """Fetch from the store, or compute, insert, and return.
@@ -590,18 +1055,98 @@ class CompressedERIStore:
         The returned array is always the *decompressed* value — including
         on the first, freshly-computed use — so a key yields bit-identical
         data on every access (the lossy roundtrip is never silently
-        bypassed).
+        bypassed).  Computation is single-flight: under concurrent calls
+        for the same missing key exactly one thread computes and inserts;
+        the rest wait and then read the stored value.
         """
-        with self._lock:
-            if key in self.backend:
-                return self.get(key)
+        claimed = False
+        with self._cond:
+            while True:
+                if key in self.backend:
+                    break
+                if key not in self._computing:
+                    self._computing.add(key)
+                    claimed = True
+                    break
+                self._cond.wait()
+        if not claimed:
+            return self.get(key)
+        try:
             block = np.asarray(compute(), dtype=np.float64)
             if block.ndim != 1:
                 block = block.ravel()
             if block.size == 0:
                 raise ParameterError("computed block is empty")
             self.put(key, block, dims=dims)
-            return self.get(key)
+        finally:
+            with self._cond:
+                self._computing.discard(key)
+                self._cond.notify_all()
+        return self.get(key)
+
+    # -- maintenance -----------------------------------------------------------
+
+    def maybe_compact(self, **thresholds) -> int:
+        """Idle-time spill-container compaction (no-op for MemoryBackend)."""
+        fn = getattr(self.backend, "maybe_compact", None)
+        if fn is None:
+            return 0
+        with self._lock:
+            return fn(**thresholds)
+
+    def compact(self) -> int:
+        """Force spill-container compaction (no-op for MemoryBackend)."""
+        fn = getattr(self.backend, "compact", None)
+        if fn is None:
+            return 0
+        with self._lock:
+            return fn()
+
+    def format_cache_report(self) -> str:
+        """Human-readable per-tier cache report (the ``pastri stats`` view)."""
+        st = self.stats
+        lines = ["cache report"]
+        if self._hot_arrays is not None:
+            c = self._hot_arrays
+            unit = "B" if self.hot_cache_bytes > 0 else "blocks"
+            lines.append(
+                f"  array tier [{c.policy}]: {c.bytes}/{c.budget} {unit} "
+                f"({len(c)} blocks, {st.hot_bytes} B decompressed)"
+            )
+            lines.append(
+                f"    hits {st.cache_hits}  misses {st.cache_misses}  "
+                f"hit-rate {st.hit_rate:.3f}  evictions {st.array_evictions}  "
+                f"rejections {c.stats.rejections}"
+            )
+        else:
+            lines.append("  array tier: disabled")
+        hot = getattr(self.backend, "_hot", None)
+        if isinstance(hot, SegmentedCache):
+            lines.append(
+                f"  blob tier [{hot.policy}]: {hot.bytes}/{hot.budget} B "
+                f"({len(hot)} blobs hot, "
+                f"{len(getattr(self.backend, '_ondisk', {}))} frames on disk)"
+            )
+            lines.append(
+                f"    hits {st.blob_hits}  disk reads {st.disk_reads}  "
+                f"spills {st.spills}  evictions {st.blob_evictions}  "
+                f"rejections {hot.stats.rejections}"
+            )
+            dead = getattr(self.backend, "_dead_bytes", 0)
+            lines.append(
+                f"    compactions {st.compactions}  "
+                f"reclaimed {st.compaction_reclaimed_bytes} B  "
+                f"dead {dead} B"
+            )
+        else:
+            lines.append("  blob tier: in-memory (unbounded)")
+        lines.append(
+            f"  readahead: depth {self.readahead_depth}  "
+            f"issued {st.readahead_issued}  useful {st.readahead_useful}  "
+            f"wasted {st.readahead_wasted}  "
+            f"accuracy {st.readahead_accuracy:.3f}"
+        )
+        return "\n".join(lines)
 
     # -- persistence -----------------------------------------------------------
 
@@ -616,7 +1161,9 @@ class CompressedERIStore:
         The snapshot is crash-safe: it is written to ``path + ".tmp"``,
         fsynced, and renamed into place on success — a failure (or kill)
         mid-save can never shadow or corrupt an existing snapshot at
-        ``path``.
+        ``path``.  (The scan this performs cannot flush the working set:
+        the blob tier's admission filter treats it as the one-time sweep
+        it is.)
         """
         with self._lock:
             with ContainerWriter.create(
@@ -641,6 +1188,9 @@ class CompressedERIStore:
         path: str,
         backend: MemoryBackend | ContainerBackend | None = None,
         hot_cache_blocks: int = 0,
+        *,
+        hot_cache_bytes: int = 0,
+        readahead_depth: int = 0,
     ) -> "CompressedERIStore":
         """Revive a store from a :meth:`save` snapshot (or spill container).
 
@@ -659,6 +1209,8 @@ class CompressedERIStore:
                 float(eb),
                 backend=backend,
                 hot_cache_blocks=hot_cache_blocks,
+                hot_cache_bytes=hot_cache_bytes,
+                readahead_depth=readahead_depth,
             )
             for i, f in enumerate(r.frames):
                 if f.key is None:

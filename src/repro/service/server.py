@@ -94,6 +94,16 @@ class ServerConfig:
     spill_recover: bool = True
     memory_budget_bytes: int = 64 << 20
     hot_cache_blocks: int = 64
+    #: decompressed-tier budget in bytes (preferred over hot_cache_blocks
+    #: when > 0; see CompressedERIStore.hot_cache_bytes)
+    hot_cache_bytes: int = 0
+    #: speculative decodes after an array-tier miss (0 = off)
+    readahead: int = 2
+    #: cache admission policy for both tiers: "2q" or "lru" (A/B baseline)
+    store_policy: str = "2q"
+    #: idle seconds on the batch queue before the spill container is
+    #: checked for compaction (0 disables idle compaction)
+    idle_compact_s: float = 5.0
     #: enable the telemetry registry for the server's lifetime (metrics
     #: replies are empty without it)
     telemetry: bool = True
@@ -126,12 +136,16 @@ class CompressionServer:
                 self.config.spill_path,
                 memory_budget_bytes=self.config.memory_budget_bytes,
                 recover=self.config.spill_recover,
+                policy=self.config.store_policy,
             )
         self.store = CompressedERIStore(
             self.codec,
             self.config.error_bound,
             backend=backend,
             hot_cache_blocks=self.config.hot_cache_blocks,
+            hot_cache_bytes=self.config.hot_cache_bytes,
+            readahead_depth=self.config.readahead,
+            hot_cache_policy=self.config.store_policy,
         )
         self._server: asyncio.AbstractServer | None = None
         self._queue: asyncio.Queue | None = None
@@ -398,6 +412,18 @@ class CompressionServer:
             "ratio": s.ratio,
             "hit_rate": s.hit_rate,
             "error_bound": self.store.error_bound,
+            "hot_bytes": s.hot_bytes,
+            "blob_hits": s.blob_hits,
+            "blob_misses": s.blob_misses,
+            "blob_evictions": s.blob_evictions,
+            "array_evictions": s.array_evictions,
+            "readahead_issued": s.readahead_issued,
+            "readahead_useful": s.readahead_useful,
+            "readahead_wasted": s.readahead_wasted,
+            "readahead_accuracy": s.readahead_accuracy,
+            "compactions": s.compactions,
+            "compaction_reclaimed_bytes": s.compaction_reclaimed_bytes,
+            "cache_report": self.store.format_cache_report(),
         }
 
     # -- blocking op bodies (executor threads) ---------------------------------
@@ -457,8 +483,20 @@ class CompressionServer:
         """Coalesce queued compress requests into batches and run them."""
         loop = asyncio.get_running_loop()
         window_s = self.config.batch_window_ms / 1e3
+        idle_s = self.config.idle_compact_s
         while True:
-            first = await self._queue.get()
+            if idle_s > 0:
+                try:
+                    first = await asyncio.wait_for(self._queue.get(), idle_s)
+                except asyncio.TimeoutError:
+                    # the queue sat empty for a while: use the lull to fold
+                    # orphaned frames out of the spill container
+                    await loop.run_in_executor(
+                        self._executor, self.store.maybe_compact
+                    )
+                    continue
+            else:
+                first = await self._queue.get()
             if first is None:
                 return
             batch = [first]

@@ -1,0 +1,136 @@
+"""Compaction crash matrix: a kill at any stage loses no live data.
+
+``ContainerBackend.compact`` rewrites the spill container through the
+same atomic-commit machinery as a normal save (footered tmp file,
+``os.replace``, journal rewrite, footer truncation for resumed appends).
+``backend._compact_hook`` is the seam: these tests raise at every
+structural stage, snapshot the disk exactly as a killed process would
+leave it, and require a fresh store over the snapshot to serve every
+live key within the error bound.
+"""
+
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.core import PaSTRICompressor
+from repro.pipeline import CompressedERIStore, ContainerBackend
+
+EB = 1e-10
+DIMS = (6, 6, 6, 6)
+BLOCK = 6**4 * 2
+
+STAGES = ["begin", "mid_copy", "after_replace", "after_journal", "after_resume"]
+
+
+class _Kill(RuntimeError):
+    pass
+
+
+def _blocks(n, seed=7):
+    rng = np.random.default_rng(seed)
+    return {(0, 0, 0, i): rng.standard_normal(BLOCK) * 1e-7 for i in range(n)}
+
+
+def _store(path):
+    backend = ContainerBackend(str(path), memory_budget_bytes=2048)
+    return CompressedERIStore(
+        PaSTRICompressor(dims=DIMS), error_bound=EB, backend=backend
+    )
+
+
+def _populate_with_garbage(store, blocks):
+    """Fill the store, then overwrite half the keys so dead frames exist."""
+    for key, block in blocks.items():
+        store.put(key, block, dims=DIMS)
+    for key in list(blocks)[::2]:
+        store.put(key, blocks[key], dims=DIMS)  # orphans the first frame
+    assert store.backend._dead_bytes > 0
+
+
+def _snapshot(spill, tmp_path, name):
+    dst = str(tmp_path / name)
+    shutil.copy(str(spill), dst)
+    journal = str(spill) + ".journal"
+    if os.path.exists(journal):
+        shutil.copy(journal, dst + ".journal")
+    return dst
+
+
+@pytest.mark.parametrize("stage", STAGES)
+def test_kill_at_stage_loses_nothing(tmp_path, stage):
+    blocks = _blocks(10)
+    spill = tmp_path / "spill.pstf"
+    store = _store(spill)
+    _populate_with_garbage(store, blocks)
+
+    def hook(s):
+        if s == stage:
+            raise _Kill(stage)
+
+    store.backend._compact_hook = hook
+    with pytest.raises(_Kill):
+        store.backend.compact()
+
+    # the "kill": copy whatever is on disk at the moment of the raise and
+    # abandon the wounded store without closing it
+    copy = _snapshot(spill, tmp_path, f"killed_{stage}.pstf")
+
+    revived = _store(copy)
+    with revived:
+        assert set(revived.keys()) >= set(blocks)
+        for key, block in blocks.items():
+            assert np.max(np.abs(revived.get(key) - block)) <= EB
+
+
+@pytest.mark.parametrize("stage", STAGES)
+def test_killed_compaction_can_be_compacted_again(tmp_path, stage):
+    """Recovery then a clean compaction: second attempt completes fully."""
+    blocks = _blocks(8)
+    spill = tmp_path / "spill.pstf"
+    store = _store(spill)
+    _populate_with_garbage(store, blocks)
+    store.backend._compact_hook = lambda s: (_ for _ in ()).throw(
+        _Kill(s)
+    ) if s == stage else None
+    with pytest.raises(_Kill):
+        store.backend.compact()
+    copy = _snapshot(spill, tmp_path, f"again_{stage}.pstf")
+
+    revived = _store(copy)
+    with revived:
+        revived.backend.compact()  # no hook: runs to completion
+        assert revived.stats.compactions == 1
+        for key, block in blocks.items():
+            assert np.max(np.abs(revived.get(key) - block)) <= EB
+        # post-compaction the container carries no dead frames
+        assert revived.backend._dead_bytes == 0
+    # clean close leaves a valid footered container and no journal
+    assert not os.path.exists(copy + ".journal")
+
+    reopened = _store(copy)
+    with reopened:
+        for key, block in blocks.items():
+            assert np.max(np.abs(reopened.get(key) - block)) <= EB
+
+
+def test_completed_compaction_survives_a_subsequent_kill(tmp_path):
+    """Frames written after a compaction recover like any others."""
+    blocks = _blocks(6)
+    spill = tmp_path / "spill.pstf"
+    store = _store(spill)
+    _populate_with_garbage(store, blocks)
+    store.backend.compact()
+    extra_key = (9, 9, 9, 9)
+    extra = np.random.default_rng(5).standard_normal(BLOCK) * 1e-7
+    store.put(extra_key, extra, dims=DIMS)
+    store.backend._flush_pending()
+    copy = _snapshot(spill, tmp_path, "post_compact_kill.pstf")
+    store.close()
+
+    revived = _store(copy)
+    with revived:
+        for key, block in {**blocks, extra_key: extra}.items():
+            assert np.max(np.abs(revived.get(key) - block)) <= EB

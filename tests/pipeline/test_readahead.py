@@ -1,0 +1,109 @@
+"""Class-adjacent + profile-driven readahead: issuance and accounting."""
+
+import numpy as np
+
+from repro.core import PaSTRICompressor
+from repro.pipeline import CompressedERIStore
+from tests.conftest import make_patterned_stream
+
+EB = 1e-10
+
+
+def make_store(rng, keys, *, depth, blocks=64):
+    store = CompressedERIStore(
+        PaSTRICompressor(dims=(6, 6, 6, 6)),
+        EB,
+        hot_cache_blocks=blocks,
+        readahead_depth=depth,
+    )
+    data = {}
+    for k in keys:
+        b = make_patterned_stream(rng, n_blocks=1, zero_blocks=0)
+        store.put(k, b, dims=(6, 6, 6, 6))
+        data[k] = b
+    return store, data
+
+
+def test_disabled_by_default(rng):
+    store, _ = make_store(rng, range(4), depth=0)
+    for k in range(4):
+        store.get(k)
+    assert store.stats.readahead_issued == 0
+
+
+def test_class_adjacent_int_keys(rng):
+    store, data = make_store(rng, range(6), depth=2)
+    store.get(0)  # miss: decode 0, speculatively decode 1 and 2
+    assert store.stats.readahead_issued == 2
+    assert 1 in store._hot_arrays and 2 in store._hot_arrays
+    hits = store.stats.cache_hits
+    out = store.get(1)  # served by the prefetch
+    assert store.stats.cache_hits == hits + 1
+    assert store.stats.readahead_useful == 1
+    assert np.max(np.abs(out - data[1])) <= EB
+
+
+def test_class_adjacent_tuple_keys_step_the_last_index(rng):
+    keys = [("dd", 0), ("dd", 1), ("dd", 2), ("ss", 0)]
+    store, _ = make_store(rng, keys, depth=2)
+    store.get(("dd", 0))
+    # neighbors share the class prefix; ("ss", 0) is not a candidate
+    assert ("dd", 1) in store._hot_arrays
+    assert ("dd", 2) in store._hot_arrays
+    assert ("ss", 0) not in store._hot_arrays
+
+
+def test_missing_neighbors_are_skipped(rng):
+    store, _ = make_store(rng, [0, 7], depth=2)  # 1 and 2 don't exist
+    store.get(0)
+    assert store.stats.readahead_issued == 0
+
+
+def test_profile_beats_adjacency_once_trained(rng):
+    """A learned successor is prefetched even when it is not adjacent."""
+    store, _ = make_store(rng, [0, 100], depth=1)
+    for _ in range(3):  # train the sequence profile: 0 is followed by 100
+        store.get(0)
+        store.get(100)
+    assert store.stats.seq_profile[0][100] >= 2
+    # evict both so the next get(0) is a real miss that triggers readahead
+    store._hot_arrays.pop(0)
+    store._hot_arrays.pop(100)
+    store._prefetched.discard(100)
+    issued = store.stats.readahead_issued
+    store.get(0)
+    assert store.stats.readahead_issued == issued + 1
+    assert 100 in store._hot_arrays  # profile candidate won the single slot
+
+
+def test_prefetch_accounting_balances(rng):
+    """issued == useful + wasted + still-pending, and accuracy is in [0,1]."""
+    store, _ = make_store(rng, range(10), depth=1, blocks=2)
+    for k in (0, 2, 4, 6, 8):  # prefetched odd keys are never read
+        store.get(k)
+    st = store.stats
+    assert st.readahead_issued > 0
+    assert st.readahead_issued == (
+        st.readahead_useful + st.readahead_wasted + len(store._prefetched)
+    )
+    assert st.readahead_wasted >= 1  # tiny tier: unused prefetches churned out
+    assert 0.0 <= st.readahead_accuracy <= 1.0
+
+
+def test_profile_fanout_is_bounded(rng):
+    from repro.pipeline.store import _PROFILE_FANOUT
+
+    store, _ = make_store(rng, range(_PROFILE_FANOUT + 6), depth=0)
+    for succ in range(1, _PROFILE_FANOUT + 6):  # key 0 "precedes" everything
+        store.get(0)
+        store.get(succ)
+    assert len(store.stats.seq_profile[0]) <= _PROFILE_FANOUT
+
+
+def test_readahead_counts_surface_in_cache_report(rng):
+    store, _ = make_store(rng, range(4), depth=2)
+    store.get(0)
+    store.get(1)
+    report = store.format_cache_report()
+    assert "readahead" in report
+    assert "issued" in report and "useful" in report

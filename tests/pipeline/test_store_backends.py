@@ -174,13 +174,31 @@ def test_hot_array_cache_hits(rng):
     store.get((0, 0))
     assert store.stats.cache_hits == 1
     assert store.stats.cache_misses == 1
-    # LRU capacity 2: touching the third key evicts the oldest
-    store.get((1, 0))
-    store.get((2, 0))
-    store.get((0, 0))
-    assert store.stats.cache_misses == 4
+    # capacity 2 blocks: the tier never holds more than its budget, and
+    # churning through every key costs at least one eviction
+    for key in blocks:
+        store.get(key)
+    assert len(store._hot_arrays) <= 2
+    assert store.stats.array_evictions >= 1
     for key, b in blocks.items():
         assert np.max(np.abs(store.get(key) - b)) <= EB
+
+
+def test_hot_array_cache_byte_budget(rng):
+    """hot_cache_bytes sizes the tier in decompressed bytes, not entries."""
+    one_block = 1296 * 8  # (6,6,6,6) quartet, float64
+    store = CompressedERIStore(codec(), EB, hot_cache_bytes=2 * one_block)
+    blocks = fill(store, rng, n=4)
+    for key in blocks:
+        store.get(key)
+    assert store._hot_arrays.bytes <= 2 * one_block
+    assert store.stats.hot_bytes == store._hot_arrays.bytes
+    assert store.stats.hot_bytes % one_block == 0
+    # repeated reads of a resident key are pure cache hits
+    hits = store.stats.cache_hits
+    resident = next(iter(store._hot_arrays.keys()))
+    store.get(resident)
+    assert store.stats.cache_hits == hits + 1
 
 
 def test_cached_arrays_are_frozen(rng):
