@@ -5,7 +5,7 @@ PY ?= python
 export PYTHONPATH := src
 
 .PHONY: test ci bench bench-record overhead-check serve-smoke fsck-smoke \
-	store-bench-smoke harness
+	store-bench-smoke scaling-smoke harness
 
 test:
 	$(PY) -m pytest tests/ -q
@@ -55,6 +55,15 @@ fsck-smoke:
 ## ratio is untouched, and a compacted container recovers every frame.
 store-bench-smoke:
 	timeout 120 $(PY) scripts/store_bench_smoke.py
+
+## Zero-copy data-plane gate: a 2-worker compress/decompress round-trip
+## over the shared-memory segment pool, byte-identical to the in-process
+## codec, with telemetry proving bytes_borrowed >= bytes_copied and a
+## leak check (no in-process segments, no orphaned /dev/shm entries)
+## after shutdown.  Degrades to a pickle-fallback correctness check on
+## hosts without POSIX shared memory.
+scaling-smoke:
+	timeout 120 $(PY) scripts/scaling_smoke.py
 
 harness:
 	$(PY) -m repro.harness all

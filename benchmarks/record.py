@@ -7,10 +7,13 @@ write one indexed container file, then open it with no codec arguments and
 decode through the frame index), and — since PR 4 — a localhost
 *service* round-trip (compress + decompress through the asyncio TCP server
 via the blocking client, single-stream and with 16 concurrent clients
-driving the micro-batcher), and writes machine-annotated results so
-future PRs have a baseline to compare against::
+driving the micro-batcher), and — since PR 7 — a *worker-scaling* sweep
+(compress, container load, and concurrent service at 1/2/4/N workers over
+the shared-memory data plane, with borrowed-vs-copied byte telemetry), and
+writes machine-annotated results so future PRs have a baseline to compare
+against::
 
-    python -m benchmarks.record              # writes BENCH_pr6.json
+    python -m benchmarks.record              # writes BENCH_pr7.json
     python -m benchmarks.record -o out.json --reps 30
 
 Methodology (since PR 3): every measured region runs under a
@@ -82,6 +85,129 @@ def _best(name: str, fn, reps: int, warmup: int = 2) -> tuple[float, float]:
         with t.time():
             fn()
     return t.min, float(np.median(t.samples))
+
+
+def _counter_value(snapshot: dict, name: str) -> int:
+    return snapshot.get(name, {}).get("value", 0)
+
+
+def _scaling_sweep(data, ds, reps: int) -> dict:
+    """Measure compress / container-load / service throughput at 1/2/4/N
+    workers over the shared-memory data plane.
+
+    Every multi-worker stage runs on the persistent :func:`shared_pool`
+    (warm processes, shm transport when available); the 1-worker row is
+    the in-process baseline.  Telemetry deltas bracket the sweep so the
+    record carries the zero-copy evidence (``bytes_borrowed`` vs
+    ``bytes_copied``) alongside the timings.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.parallel import shm as shm_mod
+    from repro.parallel.pool import (
+        parallel_compress,
+        parallel_compress_to_container,
+        parallel_decompress_container,
+        shutdown_shared_pools,
+    )
+    from repro.service import ServerConfig, ServiceClient, serve_in_thread
+
+    nbytes = data.nbytes
+    kwargs = {"dims": list(ds.spec.dims)}
+    worker_axis = sorted({1, 2, 4, os.cpu_count() or 1})
+    sweep_reps = max(3, reps // 3)
+    before = telemetry.metrics_snapshot()
+
+    compress_rows = {}
+    for w in worker_axis:
+        t_min, t_med = _best(
+            f"bench.scaling.compress.w{w}",
+            lambda w=w: parallel_compress(
+                "pastri", data, EB, w, ds.spec.block_size, codec_kwargs=kwargs
+            ),
+            sweep_reps, warmup=1,
+        )
+        compress_rows[str(w)] = {
+            "total_ms": round(t_min * 1e3, 2),
+            "med_ms": round(t_med * 1e3, 2),
+            "mb_s": round(nbytes / t_min / 1e6, 1),
+        }
+
+    tmp = tempfile.mktemp(suffix=".pstf")
+    load_rows = {}
+    try:
+        parallel_compress_to_container(
+            "pastri", data, EB, 1, ds.spec.block_size, tmp,
+            codec_kwargs=kwargs, n_frames=8,
+        )
+        for w in worker_axis:
+            t_min, t_med = _best(
+                f"bench.scaling.container_load.w{w}",
+                lambda w=w: parallel_decompress_container(tmp, w),
+                sweep_reps, warmup=1,
+            )
+            load_rows[str(w)] = {
+                "total_ms": round(t_min * 1e3, 2),
+                "med_ms": round(t_med * 1e3, 2),
+                "mb_s": round(nbytes / t_min / 1e6, 1),
+            }
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+    service_rows = {}
+    n_clients = 8
+    for w in worker_axis:
+        cfg = ServerConfig(
+            codec_kwargs=kwargs, error_bound=EB, n_workers=w,
+            batch_window_ms=5.0, max_inflight_bytes=1 << 30,
+        )
+
+        def one_client(i):
+            with ServiceClient(handle.host, handle.port, timeout=300.0) as c:
+                c.compress(data, EB, dims=ds.spec.dims)
+
+        with serve_in_thread(cfg) as handle:
+            with ThreadPoolExecutor(n_clients) as ex:  # warm connections+pool
+                list(ex.map(one_client, range(n_clients)))
+            t = telemetry.timer(f"bench.scaling.service.w{w}")
+            with t.time():
+                with ThreadPoolExecutor(n_clients) as ex:
+                    list(ex.map(one_client, range(n_clients)))
+            service_rows[str(w)] = {
+                "total_ms": round(t.max * 1e3, 1),
+                "aggregate_mb_s": round(nbytes * n_clients / t.max / 1e6, 1),
+            }
+
+    shutdown_shared_pools()
+    after = telemetry.metrics_snapshot()
+    delta = lambda n: _counter_value(after, n) - _counter_value(before, n)  # noqa: E731
+
+    def speedups(rows):
+        base = rows["1"]["total_ms"]
+        return {w: round(base / r["total_ms"], 2) for w, r in rows.items()}
+
+    return {
+        "workers_axis": worker_axis,
+        "note": (
+            "host exposes a single vCPU: multi-process rows timeshare one "
+            "core, so wall-clock speedup above 1x is not physically "
+            "reachable here — the axis records transport overhead (shm "
+            "descriptor passing vs in-process) rather than parallel gain; "
+            "re-record on a multi-core host for scaling numbers"
+        ),
+        "transport": "shared-memory segment pool"
+        if shm_mod.shm_available() else "pickle fallback",
+        "compress": {"rows": compress_rows, "speedup_vs_1": speedups(compress_rows)},
+        "container_load": {"rows": load_rows, "speedup_vs_1": speedups(load_rows)},
+        "service_concurrent": {"n_clients": n_clients, "rows": service_rows},
+        "shm_telemetry_delta": {
+            "bytes_borrowed": delta("store.shm.bytes_borrowed"),
+            "bytes_copied": delta("store.shm.bytes_copied"),
+            "segments_created": delta("store.shm.segments_created"),
+            "pool_hits": delta("store.shm.pool_hits"),
+        },
+    }
 
 
 def run(reps: int = 15) -> dict:
@@ -225,6 +351,12 @@ def _run(reps: int) -> dict:
         readahead_depth=4,
     )
 
+    # Worker-scaling axis (PR 7): the same compress / container-load /
+    # service workloads at 1/2/4 workers over the shared-memory transport,
+    # so the JSON records how the zero-copy data plane scales.  Telemetry
+    # deltas around the sweep capture the borrowed-vs-copied byte split.
+    scaling = _scaling_sweep(data, ds, reps)
+
     # Service round-trip (PR 4): a localhost asyncio server fronting the same
     # codec, measured through the blocking client — single stream first
     # (protocol + framing overhead on top of the raw codec numbers above),
@@ -269,13 +401,16 @@ def _run(reps: int) -> dict:
 
     mbs = lambda s: nbytes / s / 1e6  # noqa: E731
     return {
-        "bench": "pr6 spill-store read-path overhaul: 2Q tiers, mmap reads, readahead",
+        "bench": (
+            "pr7 zero-copy data plane: shm pool transport, pooled PSRV "
+            "buffers, fused micro-batch dispatch"
+        ),
         "recorded_unix": int(time.time()),
         "machine": {
             "platform": platform.platform(),
             "python": platform.python_version(),
             "numpy": np.__version__,
-            "cpus": 1,
+            "cpus": os.cpu_count(),
         },
         "dataset": {
             "name": "trialanine_dd_dd_400",
@@ -345,6 +480,7 @@ def _run(reps: int) -> dict:
                 / max(spill_overhauled["disk_reads"], 1), 2
             ),
         },
+        "scaling": scaling,
         "service": {
             "transport": "localhost TCP, PSRV framed protocol, blocking client",
             "roundtrip_ms": round(svc_min * 1e3, 2),
@@ -376,7 +512,7 @@ def _run(reps: int) -> dict:
 
 def main(argv: list[str] | None = None) -> None:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("-o", "--output", default="BENCH_pr6.json", type=Path)
+    ap.add_argument("-o", "--output", default="BENCH_pr7.json", type=Path)
     ap.add_argument("--reps", default=15, type=int)
     args = ap.parse_args(argv)
     record = run(reps=args.reps)
@@ -408,6 +544,14 @@ def main(argv: list[str] | None = None) -> None:
         f"{s['concurrent']['n_clients']} clients {s['concurrent']['total_ms']} ms "
         f"({s['concurrent']['aggregate_mb_s']} MB/s aggregate, "
         f"coalescing x{s['concurrent']['coalescing_factor']})"
+    )
+    sc = record["scaling"]
+    print(
+        f"scaling ({sc['transport']}, cpus={record['machine']['cpus']}): "
+        f"compress {sc['compress']['speedup_vs_1']}  "
+        f"container load {sc['container_load']['speedup_vs_1']}  "
+        f"shm borrowed {sc['shm_telemetry_delta']['bytes_borrowed']} B / "
+        f"copied {sc['shm_telemetry_delta']['bytes_copied']} B"
     )
     print(f"speedups vs pre-PR: {record['speedup_vs_pre_pr']}")
 

@@ -2,7 +2,11 @@
 
 * :mod:`repro.parallel.pool` — real block-parallel (de)compression with
   ``multiprocessing`` (PaSTRI "is highly parallelizable ... each block
-  compressed and decompressed completely independent", §IV-C).
+  compressed and decompressed completely independent", §IV-C), running on
+  persistent shared worker pools.
+* :mod:`repro.parallel.shm` — the zero-copy task transport: pooled
+  ``multiprocessing.shared_memory`` segments carrying arrays and blobs as
+  descriptors instead of pickles (``store.shm.*`` telemetry).
 * :mod:`repro.parallel.pfs` — an analytic GPFS-like parallel-filesystem
   model (per-process link bandwidth, aggregate backend ceiling, per-file
   metadata latency).
@@ -11,19 +15,25 @@
 """
 
 from repro.parallel.pool import (
+    CodecWorkerPool,
     parallel_compress,
     parallel_compress_to_container,
     parallel_decompress,
     parallel_decompress_container,
+    shared_pool,
+    shutdown_shared_pools,
 )
 from repro.parallel.pfs import GPFSModel
 from repro.parallel.iosim import IOSimulator, IOResult
 
 __all__ = [
+    "CodecWorkerPool",
     "parallel_compress",
     "parallel_compress_to_container",
     "parallel_decompress",
     "parallel_decompress_container",
+    "shared_pool",
+    "shutdown_shared_pools",
     "GPFSModel",
     "IOSimulator",
     "IOResult",

@@ -15,22 +15,36 @@ Two tiers of API:
   :func:`parallel_decompress_container` — the storage-stack path (paper
   Fig. 10's dump/load): compression fans chunks out to workers and streams
   the blobs into one PSTF-v2 container; decompression ships each worker
-  only a *frame-index entry* (offset/length/CRC) — every worker opens the
-  file itself and seeks, so no blob bytes cross the process boundary in
-  either direction on the load side.
+  only a *frame-index entry* — every worker maps the file itself
+  (:class:`repro.streamio.FrameMap`), so no blob bytes cross the process
+  boundary in either direction on the load side.
 
-Telemetry rides the same wire: when the parent has
-:mod:`repro.telemetry` enabled, the pool initializer enables it in every
-worker (fork *and* spawn), each task returns ``(payload, delta)`` where
-the delta carries the worker's metric state and finished span trees, and
-the parent merges every delta — so a parallel run yields one coherent
-trace with worker spans grafted (tagged ``proc=<pid>``) under the
-parent's stage span.  Disabled, the delta slot is ``None`` and costs one
-tuple per chunk.
+Since PR 7 the data plane is **zero-copy and pooled**:
+
+* All four module functions run on one *persistent* process-wide
+  :func:`shared_pool` per (codec, worker-count) instead of minting a
+  throwaway ``Pool`` per call — warm workers keep their shaped-codec
+  caches, shared-memory attachments, and mmapped containers across calls.
+* Task payloads travel through :mod:`repro.parallel.shm` segments: the
+  parent writes arrays/blobs into a pooled segment once and submits only
+  ``(segment, offset, dtype, shape)`` descriptors; workers map the same
+  pages.  Container loads scatter straight into a
+  :class:`repro.parallel.shm.SharedOutput` the parent hands back
+  zero-copy.  When shared memory is unavailable (or exhausted), every
+  path degrades to the original pickling transport automatically —
+  ``store.shm.bytes_borrowed`` vs ``bytes_copied`` records which road the
+  bytes took.
+
+Telemetry rides the same wire as before: workers return
+``(payload, capture_state())`` deltas that the parent merges, so a
+parallel run still yields one coherent trace with worker spans grafted
+(tagged ``proc=<pid>``) under the parent's stage span.
 """
 
 from __future__ import annotations
 
+import atexit
+import json
 import multiprocessing as mp
 from typing import Sequence
 
@@ -38,11 +52,11 @@ import numpy as np
 
 from repro import api, telemetry
 from repro.errors import CompressionError, ParameterError
-from repro.streamio import ContainerWriter, StreamSummary, open_container
+from repro.parallel import shm
+from repro.streamio import ContainerWriter, FrameMap, StreamSummary, open_container
 from repro.telemetry import state as _tstate
 
 _WORKER_CODEC = None
-_WORKER_FH = None
 
 
 def pool_context() -> mp.context.BaseContext:
@@ -84,12 +98,10 @@ def _init_worker_telemetry(telemetry_on: bool) -> None:
 
 def _compress_chunk(args: tuple[np.ndarray, float]) -> tuple[bytes, dict | None]:
     chunk, eb = args
+    if isinstance(chunk, shm.ArrayRef):
+        chunk = shm.attach_array(chunk)
     blob = _WORKER_CODEC.compress(chunk, eb)
     return blob, telemetry.capture_state()
-
-
-def _decompress_chunk(blob: bytes) -> tuple[np.ndarray, dict | None]:
-    return _WORKER_CODEC.decompress(blob), telemetry.capture_state()
 
 
 _WORKER_SHAPED: dict = {}
@@ -116,47 +128,243 @@ def _compress_chunk_shaped(
 ) -> tuple[bytes, dict | None]:
     """Like :func:`_compress_chunk` but with a per-job ``dims`` override."""
     chunk, eb, dims = args
+    if isinstance(chunk, shm.ArrayRef):
+        chunk = shm.attach_array(chunk)
     blob = _shaped_worker_codec(dims).compress(chunk, eb)
     return blob, telemetry.capture_state()
+
+
+def _compress_group(
+    args: tuple[list, float, tuple | None],
+) -> tuple[list[bytes], dict | None]:
+    """Compress one fused micro-batch group: several same-shape streams in
+    a single batched kernel pass (``compress_many``)."""
+    chunks, eb, dims = args
+    views = [shm.attach_array(c) if isinstance(c, shm.ArrayRef) else c for c in chunks]
+    codec = _shaped_worker_codec(dims)
+    if hasattr(codec, "compress_many"):
+        blobs = codec.compress_many(views, eb)
+    else:
+        blobs = [codec.compress(v, eb) for v in views]
+    return blobs, telemetry.capture_state()
+
+
+def _decompress_blob(blob) -> tuple[tuple, dict | None]:
+    """Decompress one blob; big results ship back through shared memory."""
+    if isinstance(blob, shm.BytesRef):
+        blob = bytes(shm.attach_bytes(blob))
+    out = _WORKER_CODEC.decompress(blob)
+    if shm.shm_available() and out.nbytes >= shm.SHIP_MIN_BYTES:
+        try:
+            return ("shm", shm.ship_array(out)), telemetry.capture_state()
+        except OSError:  # pragma: no cover - /dev/shm exhausted mid-flight
+            pass
+    shm.count_copied(out.nbytes)
+    return ("raw", out), telemetry.capture_state()
+
+
+# -- container-load worker state: codecs by spec, mmaps by path -------------
+
+_WORKER_SPEC_CODECS: dict = {}
+_WORKER_MAPS: dict = {}
+
+
+def _codec_for_spec(spec: dict):
+    key = json.dumps(spec, sort_keys=True, default=str)
+    codec = _WORKER_SPEC_CODECS.get(key)
+    if codec is None:
+        codec = api.codec_from_spec(spec)
+        _WORKER_SPEC_CODECS[key] = codec
+    return codec
+
+
+def _worker_framemap(path: str, sig: tuple) -> FrameMap:
+    """Per-worker mmap cache keyed by path; ``sig`` (mtime, size) detects a
+    replaced file so a stale mapping is never read."""
+    cur = _WORKER_MAPS.get(path)
+    if cur is not None and cur[0] == sig:
+        return cur[1]
+    if cur is not None:
+        cur[1].close()
+    fm = FrameMap(path)
+    _WORKER_MAPS[path] = (sig, fm)
+    return fm
+
+
+def _decompress_frame(args) -> tuple[tuple, dict | None]:
+    """Decompress one container frame addressed by its index entry.
+
+    The frame bytes come straight off the worker's own :class:`FrameMap`
+    mmap (CRC-checked on the view); the result lands in the parent's
+    :class:`SharedOutput` slice when one was provided, else returns by
+    pickle (the fallback transport).
+    """
+    path, sig, spec, offset, length, crc, out_ref = args
+    codec = _codec_for_spec(spec)
+    fm = _worker_framemap(path, sig)
+    view = fm.check(offset, length, crc) if crc is not None else fm.view(offset, length)
+    out = codec.decompress(bytes(view))
+    if out_ref is not None:
+        dst = shm.attach_array(out_ref)
+        if out.size != dst.size:
+            raise CompressionError(
+                f"frame at offset {offset} decoded {out.size} elements, "
+                f"index promised {dst.size}"
+            )
+        np.copyto(dst, out)
+        return ("done", int(out.size)), telemetry.capture_state()
+    shm.count_copied(out.nbytes)
+    return ("raw", out), telemetry.capture_state()
 
 
 class CodecWorkerPool:
     """A persistent worker pool for batch compress/decompress.
 
-    The one-shot pools above amortize startup over a single large stream;
-    the compression *service* instead sees a steady trickle of small
-    batches, so it keeps one pool alive for its whole lifetime and feeds
-    micro-batches through it.  Jobs carry per-request error bounds and an
-    optional block geometry (``dims``), which workers resolve against a
+    The compression *service* (and, since PR 7, every module-level
+    parallel function) sees a steady trickle of batches, so the pool stays
+    alive for its whole lifetime.  Jobs carry per-request error bounds and
+    an optional block geometry (``dims``), which workers resolve against a
     local shaped-codec cache — the same dispatch rule as
     :meth:`repro.pipeline.store.CompressedERIStore.codec_for`.
+
+    Transport is zero-copy by default: arrays and blobs are written once
+    into a pooled :class:`repro.parallel.shm.ShmSegmentPool` segment and
+    submitted as descriptors.  ``use_shm=False`` (or an unavailable
+    platform) selects the original pickling transport; both produce
+    byte-identical blobs.
     """
 
     def __init__(
-        self, codec_name: str, codec_kwargs: dict | None = None, n_workers: int = 2
+        self,
+        codec_name: str,
+        codec_kwargs: dict | None = None,
+        n_workers: int = 2,
+        use_shm: bool | None = None,
     ) -> None:
         if n_workers < 1:
             raise ParameterError("n_workers must be >= 1")
         self.n_workers = n_workers
+        self.codec_name = codec_name
+        self.codec_kwargs = dict(codec_kwargs or {})
+        if use_shm is None:
+            use_shm = shm.shm_available()
+        self._shm: shm.ShmSegmentPool | None = None
+        if use_shm and shm.shm_available():
+            try:
+                self._shm = shm.ShmSegmentPool()
+            except Exception:  # pragma: no cover - no /dev/shm
+                self._shm = None
+        self._closed = False
+        # One resource tracker for the whole family — must start before the
+        # workers exist (see shm.ensure_family_tracker).
+        shm.ensure_family_tracker()
         self._pool = pool_context().Pool(
             n_workers,
             initializer=_init_worker,
-            initargs=(codec_name, codec_kwargs or {}, _tstate.enabled),
+            initargs=(codec_name, self.codec_kwargs, _tstate.enabled),
         )
+
+    @property
+    def uses_shm(self) -> bool:
+        """Whether the shared-memory transport is active."""
+        return self._shm is not None
+
+    def _lease(self, nbytes: int):
+        """A segment lease for ``nbytes``, or ``None`` to fall back to pickle."""
+        if self._shm is None or nbytes <= 0:
+            return None
+        try:
+            return self._shm.acquire(nbytes)
+        except (OSError, ValueError, ParameterError):
+            return None
+
+    def _map(self, fn, tasks: list) -> list:
+        return _merge_results(self._pool.map(fn, tasks))
 
     def compress_batch(
         self, jobs: Sequence[tuple[np.ndarray, float, tuple | None]]
     ) -> list[bytes]:
         """Compress ``(data, error_bound, dims)`` jobs; blobs in job order."""
-        return _merge_results(self._pool.map(_compress_chunk_shaped, list(jobs)))
+        jobs = [(np.ascontiguousarray(d), eb, dims) for d, eb, dims in jobs]
+        lease = self._lease(sum(d.nbytes for d, _, _ in jobs))
+        if lease is None:
+            for d, _, _ in jobs:
+                shm.count_copied(d.nbytes)
+            tasks = jobs
+        else:
+            tasks = [(lease.put_array(d), eb, dims) for d, eb, dims in jobs]
+        try:
+            return self._map(_compress_chunk_shaped, tasks)
+        finally:
+            if lease is not None:
+                lease.release()
+
+    def compress_groups(
+        self, groups: Sequence[tuple[list, float, tuple | None]]
+    ) -> list[list[bytes]]:
+        """Compress fused groups ``(arrays, error_bound, dims)``.
+
+        Each group is one worker task: its member streams run through a
+        single ``compress_many`` batched kernel pass, so a micro-batch of
+        same-class requests costs one numeric front instead of N.  Returns
+        per-group blob lists in submission order.
+        """
+        groups = [(list(arrays), eb, dims) for arrays, eb, dims in groups]
+        total = sum(a.nbytes for arrays, _, _ in groups for a in arrays)
+        lease = self._lease(total)
+        if lease is None:
+            for arrays, _, _ in groups:
+                for a in arrays:
+                    shm.count_copied(a.nbytes)
+            tasks = groups
+        else:
+            tasks = [
+                ([lease.put_array(np.ascontiguousarray(a)) for a in arrays], eb, dims)
+                for arrays, eb, dims in groups
+            ]
+        try:
+            return self._map(_compress_group, tasks)
+        finally:
+            if lease is not None:
+                lease.release()
 
     def decompress_batch(self, blobs: Sequence[bytes]) -> list[np.ndarray]:
         """Decompress blobs in parallel; arrays in blob order."""
-        return _merge_results(self._pool.map(_decompress_chunk, list(blobs)))
+        blobs = list(blobs)
+        lease = self._lease(sum(len(b) for b in blobs))
+        if lease is None:
+            for b in blobs:
+                shm.count_copied(len(b))
+            tasks = blobs
+        else:
+            tasks = [lease.put_bytes(b) for b in blobs]
+        try:
+            results = self._map(_decompress_blob, tasks)
+        finally:
+            if lease is not None:
+                lease.release()
+        return [
+            shm.adopt_array(val) if kind == "shm" else val for kind, val in results
+        ]
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         self._pool.close()
         self._pool.join()
+        if self._shm is not None:
+            self._shm.close()
+
+    def terminate(self) -> None:
+        """Hard stop (crash-path cleanup); still releases every segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.terminate()
+        self._pool.join()
+        if self._shm is not None:
+            self._shm.close()
 
     def __enter__(self) -> "CodecWorkerPool":
         return self
@@ -172,6 +380,60 @@ def _merge_results(results: list) -> list:
         telemetry.merge_state(delta)
         payloads.append(payload)
     return payloads
+
+
+# ---------------------------------------------------------------------------
+# the process-wide persistent pool registry
+
+_SHARED_POOLS: dict[tuple, CodecWorkerPool] = {}
+
+
+def _context_tag() -> str:
+    ctx = pool_context()
+    method = getattr(ctx, "get_start_method", None)
+    return method() if callable(method) else type(ctx).__name__
+
+
+def shared_pool(
+    codec_name: str, codec_kwargs: dict | None = None, n_workers: int = 2
+) -> CodecWorkerPool:
+    """The persistent process-wide pool for a (codec, worker-count) pair.
+
+    Repeated parallel calls — a benchmark loop, an SCF iteration dumping
+    containers, the CLI — reuse warm workers, their shaped-codec caches,
+    their shared-memory attachments, and their container mmaps instead of
+    paying pool startup per call.  Pools live until
+    :func:`shutdown_shared_pools` (registered ``atexit``).  The cache key
+    includes the start method and the telemetry flag, so a monkeypatched
+    context or a telemetry toggle gets a fresh, correctly-configured pool.
+    """
+    if n_workers < 1:
+        raise ParameterError("n_workers must be >= 1")
+    key = (
+        _context_tag(),
+        codec_name,
+        json.dumps(codec_kwargs or {}, sort_keys=True, default=str),
+        n_workers,
+        bool(_tstate.enabled),
+    )
+    pool = _SHARED_POOLS.get(key)
+    if pool is None or pool._closed:
+        pool = CodecWorkerPool(codec_name, codec_kwargs, n_workers)
+        _SHARED_POOLS[key] = pool
+    return pool
+
+
+def shutdown_shared_pools() -> None:
+    """Close every persistent pool (and leak-check its segments)."""
+    while _SHARED_POOLS:
+        _, pool = _SHARED_POOLS.popitem()
+        try:
+            pool.close()
+        except Exception:  # pragma: no cover - interpreter teardown races
+            pool.terminate()
+
+
+atexit.register(shutdown_shared_pools)
 
 
 def split_stream(data: np.ndarray, n_chunks: int, block_size: int) -> list[np.ndarray]:
@@ -202,7 +464,8 @@ def parallel_compress(
 
     Chunk boundaries respect ``block_size`` so each worker sees whole
     blocks (file-per-process mode writes one blob per worker, as in the
-    paper's POSIX I/O setup).
+    paper's POSIX I/O setup).  Runs on the persistent :func:`shared_pool`
+    with shared-memory transport when available.
     """
     if n_workers < 1:
         raise ParameterError("n_workers must be >= 1")
@@ -211,13 +474,8 @@ def parallel_compress(
         codec = api.get_codec(codec_name, **(codec_kwargs or {}))
         return [codec.compress(c, error_bound) for c in chunks]
     with telemetry.trace("parallel.compress", workers=n_workers, chunks=len(chunks)):
-        with pool_context().Pool(
-            n_workers,
-            initializer=_init_worker,
-            initargs=(codec_name, codec_kwargs or {}, _tstate.enabled),
-        ) as pool:
-            results = pool.map(_compress_chunk, [(c, error_bound) for c in chunks])
-        return _merge_results(results)
+        pool = shared_pool(codec_name, codec_kwargs, n_workers)
+        return pool.compress_batch([(c, error_bound, None) for c in chunks])
 
 
 def parallel_decompress(
@@ -232,12 +490,8 @@ def parallel_decompress(
         parts = [codec.decompress(b) for b in blobs]
     else:
         with telemetry.trace("parallel.decompress", workers=n_workers, chunks=len(blobs)):
-            with pool_context().Pool(
-                n_workers,
-                initializer=_init_worker,
-                initargs=(codec_name, codec_kwargs or {}, _tstate.enabled),
-            ) as pool:
-                parts = _merge_results(pool.map(_decompress_chunk, list(blobs)))
+            pool = shared_pool(codec_name, codec_kwargs, n_workers)
+            parts = pool.decompress_batch(blobs)
     return np.concatenate(parts)
 
 
@@ -277,25 +531,20 @@ def parallel_compress_to_container(
             blobs = [codec.compress(c, error_bound) for c in chunks]
         else:
             with telemetry.trace("parallel.compress", workers=n_workers):
-                with pool_context().Pool(
-                    n_workers,
-                    initializer=_init_worker,
-                    initargs=(codec_name, kwargs, _tstate.enabled),
-                ) as pool:
-                    try:
-                        results = pool.map(
-                            _compress_chunk, [(c, error_bound) for c in chunks]
-                        )
-                    except CompressionError:
-                        raise
-                    except Exception as exc:
-                        # Pool.map re-raises the first worker exception in the
-                        # parent; normalize it so callers see one library
-                        # error type instead of a bare worker traceback.
-                        raise CompressionError(
-                            f"worker failed while compressing a chunk: {exc}"
-                        ) from exc
-                blobs = _merge_results(results)
+                pool = shared_pool(codec_name, kwargs, n_workers)
+                try:
+                    blobs = pool.compress_batch(
+                        [(c, error_bound, None) for c in chunks]
+                    )
+                except CompressionError:
+                    raise
+                except Exception as exc:
+                    # Pool.map re-raises the first worker exception in the
+                    # parent; normalize it so callers see one library
+                    # error type instead of a bare worker traceback.
+                    raise CompressionError(
+                        f"worker failed while compressing a chunk: {exc}"
+                    ) from exc
         codec = api.get_codec(codec_name, **kwargs)
         full_meta = {"error_bound": error_bound, "block_size": int(block_size)}
         full_meta.update(meta or {})
@@ -308,41 +557,17 @@ def parallel_compress_to_container(
     return w.summary
 
 
-def _init_container_worker(
-    path: str, codec_spec: dict, telemetry_on: bool = False
-) -> None:
-    """Each load worker owns a file handle and a codec rebuilt from the spec."""
-    global _WORKER_CODEC, _WORKER_FH
-    _WORKER_CODEC = api.codec_from_spec(codec_spec)
-    _WORKER_FH = open(path, "rb")
-    _init_worker_telemetry(telemetry_on)
-
-
-def _decompress_indexed_frame(
-    entry: tuple[int, int, int | None],
-) -> tuple[np.ndarray, dict | None]:
-    """Decompress one frame addressed by (offset, length, crc32)."""
-    import zlib
-
-    from repro.errors import ChecksumError, FormatError
-
-    offset, length, crc = entry
-    _WORKER_FH.seek(offset)
-    blob = _WORKER_FH.read(length)
-    if len(blob) != length:
-        raise FormatError(f"truncated container: short frame at offset {offset}")
-    if crc is not None and zlib.crc32(blob) & 0xFFFFFFFF != crc:
-        raise ChecksumError(f"frame payload CRC mismatch at offset {offset}")
-    return _WORKER_CODEC.decompress(blob), telemetry.capture_state()
-
-
 def parallel_decompress_container(path: str, n_workers: int) -> np.ndarray:
     """Decompress a container with ``n_workers`` processes via its frame index.
 
-    Workers receive only ``(offset, length, crc)`` triples — the paper's
-    PFS load pattern, where each rank reads its own byte range — and the
-    parent concatenates results in frame order.  Works on v1 streams too
-    (compat index built by :func:`repro.streamio.open_container`).
+    Workers receive only frame-index entries — the paper's PFS load
+    pattern, where each rank reads its own byte range — map the file with
+    their own CRC-checked :class:`FrameMap`, and scatter results straight
+    into one :class:`repro.parallel.shm.SharedOutput` buffer the parent
+    returns zero-copy (frame bytes never round-trip through pickle).
+    Works on v1 streams too (compat index built by
+    :func:`repro.streamio.open_container`); falls back to pickled results
+    when shared memory is unavailable.
     """
     if n_workers < 1:
         raise ParameterError("n_workers must be >= 1")
@@ -350,14 +575,32 @@ def parallel_decompress_container(path: str, n_workers: int) -> np.ndarray:
         with open_container(path) as reader:
             if n_workers == 1 or len(reader) <= 1:
                 return reader.read_all()
-            spec = reader.codec_spec
-            entries = [(f.offset, f.length, f.crc32) for f in reader.frames]
-        with pool_context().Pool(
-            n_workers,
-            initializer=_init_container_worker,
-            initargs=(path, spec, _tstate.enabled),
-        ) as pool:
-            parts = _merge_results(pool.map(_decompress_indexed_frame, entries))
+            path, sig, spec, frames = reader.frame_table()
+        pool = shared_pool(spec["name"], spec.get("kwargs"), n_workers)
+        counts = [f.n_elements for f in frames]
+        total = int(sum(counts))
+        output = None
+        # v1 compat indexes carry no element counts (all zeros) — the
+        # scatter buffer cannot be pre-sized, so those fall back to pickle.
+        if pool.uses_shm and total > 0 and all(c > 0 for c in counts):
+            try:
+                output = shm.SharedOutput(total, "<f8")
+            except OSError:  # pragma: no cover - /dev/shm exhausted
+                output = None
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        tasks = []
+        for f, lo in zip(frames, offsets):
+            out_ref = output.ref(int(lo), f.n_elements) if output is not None else None
+            tasks.append((path, sig, spec, f.offset, f.length, f.crc32, out_ref))
+        try:
+            results = pool._map(_decompress_frame, tasks)
+        except BaseException:
+            if output is not None:
+                output.abort()
+            raise
+        if output is not None:
+            return output.finish()
+    parts = [val for _, val in results]
     if not parts:
         return np.zeros(0, dtype=np.float64)
     return np.concatenate(parts)

@@ -1049,6 +1049,64 @@ class CompressedERIStore:
                 self._cond.notify_all()
         return out
 
+    def get_many(self, keys, n_workers: int = 1) -> list[np.ndarray]:
+        """Bulk fetch: hot-tier hits in place, misses decoded as one batch.
+
+        With ``n_workers > 1`` every miss blob goes through the persistent
+        shared worker pool in a single :meth:`~repro.parallel.pool.
+        CodecWorkerPool.decompress_batch` call — blobs travel to workers
+        over shared memory and large results ship back the same way, so a
+        bulk load (snapshot warm-up, an MP2 sweep over a stored tensor)
+        uses every core without pickling frame bytes.  Decoded arrays are
+        admitted to the array tier exactly like :meth:`get` misses;
+        the access-sequence profile is *not* fed (a bulk scan is not a
+        pattern worth learning).  Raises ``KeyError`` on the first unknown
+        key, before any decode runs.
+        """
+        keys = list(keys)
+        if n_workers <= 1 or len(keys) < 2:
+            return [self.get(k) for k in keys]
+        from repro.parallel.pool import shared_pool
+
+        out: list = [None] * len(keys)
+        miss_idx: list[int] = []
+        miss_blobs: list = []
+        with self._cond:
+            self.stats.bump("gets", len(keys))
+            for i, key in enumerate(keys):
+                hit = None
+                if self._hot_arrays is not None:
+                    hit = self._hot_arrays.get(key)
+                if hit is not None:
+                    self.stats.bump("cache_hits")
+                    if key in self._prefetched:
+                        self._prefetched.discard(key)
+                        self.stats.bump("readahead_useful")
+                    out[i] = hit
+                else:
+                    self.stats.bump("cache_misses")
+                    entry = self.backend.get(key)  # KeyError for unknown keys
+                    miss_idx.append(i)
+                    miss_blobs.append(entry.blob)
+        if miss_idx:
+            spec = api.codec_spec(self.codec)
+            pool = shared_pool(spec["name"], spec.get("kwargs"), n_workers)
+            arrays = pool.decompress_batch(miss_blobs)
+            with self._cond:
+                for i, arr in zip(miss_idx, arrays):
+                    out[i] = arr
+                    key = keys[i]
+                    # Admit unless a racing get() already cached / is
+                    # decoding this key (never double-account hot bytes).
+                    if (
+                        self._hot_arrays is not None
+                        and key not in self._decoding
+                        and self._hot_arrays.peek(key) is None
+                    ):
+                        self._array_insert(key, arr)
+                self._cond.notify_all()
+        return out
+
     def get_or_compute(self, key, compute, dims=None) -> np.ndarray:
         """Fetch from the store, or compute, insert, and return.
 

@@ -7,16 +7,23 @@ integrals can be compressed centrally and fetched on demand — the
 producer/consumer split the paper's GAMESS deployment and the FPGA /
 hierarchical-matrix ERI backends in PAPERS.md all assume.
 
-Three modules:
+Four modules:
 
 * :mod:`repro.service.protocol` — the length-prefixed framed wire format
-  (JSON header + raw binary payload) shared by both ends;
+  (JSON header + raw binary payload) shared by both ends, with
+  writev-style ``encode_*_parts`` buffer chains and ``recv_into`` frame
+  reads for the zero-copy data plane;
+* :mod:`repro.service.buffers` — reusable growable payload buffers and a
+  small free-list pool (``service.buffers.*`` telemetry);
 * :mod:`repro.service.server` — an asyncio TCP server with micro-batched
-  compression, bounded-queue backpressure (BUSY replies, never unbounded
-  buffering), per-request deadlines, and graceful drain on SIGTERM;
+  compression fused into the batched kernels (``compress_many``),
+  bounded-queue backpressure (BUSY replies, never unbounded buffering),
+  per-request deadlines, and graceful drain on SIGTERM;
 * :mod:`repro.service.client` — sync and async clients with connection
-  reuse, timeouts, and retry-with-exponential-backoff-and-jitter on BUSY
-  and connection errors.
+  reuse, a per-connection receive buffer (no per-request allocation on
+  the happy path), timeouts, and
+  retry-with-exponential-backoff-and-jitter on BUSY and connection
+  errors.
 
 ``pastri serve`` and ``pastri remote ...`` expose the two ends on the
 command line; ``docs/SERVICE.md`` documents the protocol and the
@@ -25,24 +32,33 @@ batching/backpressure knobs.
 
 from __future__ import annotations
 
+from repro.service.buffers import BufferPool, PayloadBuffer
 from repro.service.client import AsyncServiceClient, RetryPolicy, ServiceClient
 from repro.service.protocol import (
     MAGIC,
     encode_error,
     encode_frame,
+    encode_frame_parts,
     encode_response,
+    encode_response_parts,
     read_frame,
     read_frame_async,
+    read_frame_socket,
 )
 from repro.service.server import CompressionServer, ServerConfig, serve_in_thread
 
 __all__ = [
     "MAGIC",
     "encode_frame",
+    "encode_frame_parts",
     "encode_response",
+    "encode_response_parts",
     "encode_error",
     "read_frame",
     "read_frame_async",
+    "read_frame_socket",
+    "BufferPool",
+    "PayloadBuffer",
     "CompressionServer",
     "ServerConfig",
     "serve_in_thread",

@@ -32,6 +32,7 @@ from repro.errors import (
     ServiceError,
 )
 from repro.service import protocol
+from repro.service.buffers import PayloadBuffer
 
 __all__ = ["RetryPolicy", "ServiceClient", "AsyncServiceClient"]
 
@@ -87,8 +88,11 @@ class ServiceClient:
         self.retry = retry or RetryPolicy()
         self.max_payload = max_payload
         self._sock: socket.socket | None = None
-        self._fh = None
         self._next_id = 0
+        # One growable receive buffer for the connection's lifetime:
+        # responses land in it via recv_into, so the steady-state happy
+        # path does zero per-request allocation (see buffers.PayloadBuffer).
+        self._recv_buf = PayloadBuffer()
 
     # -- connection management -------------------------------------------------
 
@@ -98,22 +102,28 @@ class ServiceClient:
         sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock = sock
-        self._fh = sock.makefile("rwb")
 
     def close(self) -> None:
         """Close the connection (the client can be reused; it reconnects)."""
-        if self._fh is not None:
-            try:
-                self._fh.close()
-            except OSError:
-                pass
-            self._fh = None
         if self._sock is not None:
             try:
                 self._sock.close()
             except OSError:
                 pass
             self._sock = None
+
+    def _send_parts(self, parts: list) -> None:
+        """writev-style send: header prefix + payload go out as one
+        scatter-gather call, no concatenation copy."""
+        bufs = [memoryview(p) if not isinstance(p, memoryview) else p
+                for p in parts]
+        while bufs:
+            sent = self._sock.sendmsg(bufs)
+            while bufs and sent >= bufs[0].nbytes:
+                sent -= bufs[0].nbytes
+                bufs.pop(0)
+            if bufs and sent:
+                bufs[0] = bufs[0][sent:]
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -123,15 +133,20 @@ class ServiceClient:
 
     # -- request plumbing ------------------------------------------------------
 
-    def _roundtrip_once(self, op: str, params: dict, payload: bytes
-                        ) -> tuple[dict, bytes]:
+    def _roundtrip_once(self, op: str, params: dict, payload
+                        ) -> tuple[dict, memoryview]:
+        """One request/response; the returned body is a memoryview into
+        the client's reusable receive buffer — valid until the next call."""
         self._connect()
         self._next_id += 1
         req_id = self._next_id
         try:
-            self._fh.write(protocol.encode_request(op, req_id, params, payload))
-            self._fh.flush()
-            frame = protocol.read_frame(self._fh, self.max_payload)
+            self._send_parts(
+                protocol.encode_request_parts(op, req_id, params, payload)
+            )
+            frame = protocol.read_frame_socket(
+                self._sock, self._recv_buf, self.max_payload
+            )
         except (ConnectionError, socket.timeout, OSError):
             self.close()
             raise
@@ -149,7 +164,7 @@ class ServiceClient:
         return result, body
 
     def _roundtrip(self, op: str, params: dict | None = None,
-                   payload: bytes = b"") -> tuple[dict, bytes]:
+                   payload=b"") -> tuple[dict, memoryview]:
         params = params or {}
         attempt = 0
         while True:
@@ -168,22 +183,24 @@ class ServiceClient:
         """Compress ``data`` remotely; returns ``(blob, info)`` where info
         carries ``n``, ``compressed_bytes``, ``ratio``, and the applied
         ``eb``."""
-        payload, n = protocol.array_to_payload(data)
+        payload, n = protocol.array_to_view(data)
         params: dict = {"eb": float(eb), "n": n}
         if dims is not None:
             params["dims"] = [int(d) for d in dims]
         result, body = self._roundtrip("compress", params, payload)
-        return body, result
+        # the view aliases the reusable receive buffer; the blob escapes
+        # this call, so materialize it (the one copy on this path)
+        return bytes(body), result
 
     def decompress(self, blob: bytes) -> np.ndarray:
         """Decompress a codec blob remotely; returns the float64 array."""
-        result, body = self._roundtrip("decompress", {}, bytes(blob))
+        result, body = self._roundtrip("decompress", {}, blob)
         return protocol.payload_to_array(body, result.get("n"))
 
     def put(self, key, block: np.ndarray, dims=None) -> dict:
         """Store one block under ``key`` (compressed server-side at the
         store's error bound)."""
-        payload, n = protocol.array_to_payload(block)
+        payload, n = protocol.array_to_view(block)
         params: dict = {"key": key, "n": n}
         if dims is not None:
             params["dims"] = [int(d) for d in dims]
@@ -261,7 +278,9 @@ class AsyncServiceClient:
         self._next_id += 1
         req_id = self._next_id
         try:
-            self._writer.write(protocol.encode_request(op, req_id, params, payload))
+            self._writer.writelines(
+                protocol.encode_request_parts(op, req_id, params, payload)
+            )
             await asyncio.wait_for(self._writer.drain(), self.timeout)
             frame = await asyncio.wait_for(
                 protocol.read_frame_async(self._reader, self.max_payload),
@@ -302,7 +321,7 @@ class AsyncServiceClient:
 
     async def compress(self, data: np.ndarray, eb: float, dims=None
                        ) -> tuple[bytes, dict]:
-        payload, n = protocol.array_to_payload(data)
+        payload, n = protocol.array_to_view(data)
         params: dict = {"eb": float(eb), "n": n}
         if dims is not None:
             params["dims"] = [int(d) for d in dims]
@@ -310,11 +329,11 @@ class AsyncServiceClient:
         return body, result
 
     async def decompress(self, blob: bytes) -> np.ndarray:
-        result, body = await self._roundtrip("decompress", {}, bytes(blob))
+        result, body = await self._roundtrip("decompress", {}, blob)
         return protocol.payload_to_array(body, result.get("n"))
 
     async def put(self, key, block: np.ndarray, dims=None) -> dict:
-        payload, n = protocol.array_to_payload(block)
+        payload, n = protocol.array_to_view(block)
         params: dict = {"key": key, "n": n}
         if dims is not None:
             params["dims"] = [int(d) for d in dims]

@@ -46,13 +46,18 @@ __all__ = [
     "DEFAULT_MAX_PAYLOAD",
     "ERROR_CODES",
     "encode_frame",
+    "encode_frame_parts",
     "encode_request",
+    "encode_request_parts",
     "encode_response",
+    "encode_response_parts",
     "encode_error",
     "read_frame",
     "read_frame_async",
+    "read_frame_socket",
     "raise_for_error",
     "array_to_payload",
+    "array_to_view",
     "payload_to_array",
 ]
 
@@ -78,14 +83,27 @@ _HDR_LEN = struct.Struct("<I")
 _PAY_LEN = struct.Struct("<Q")
 
 
-def encode_frame(header: dict, payload: bytes = b"") -> bytes:
-    """Serialize one frame (header JSON + payload) to wire bytes."""
+def encode_frame_parts(header: dict, payload=b"") -> list:
+    """Serialize one frame as a writev-style buffer chain.
+
+    Returns ``[prefix, payload]`` (or just ``[prefix]`` when the payload
+    is empty): the prefix is one small ``bytes`` holding magic, header
+    length, header JSON, and payload length; the payload rides along
+    *unconcatenated* — pass a ``bytes``/``memoryview`` (e.g. from
+    :func:`array_to_view`) and no bulk copy happens at the framing layer.
+    Write with ``writer.writelines(parts)`` / ``socket.sendmsg(parts)``.
+    """
     raw = json.dumps(header, separators=(",", ":"), sort_keys=True).encode("utf-8")
     if len(raw) > MAX_HEADER_BYTES:
         raise ProtocolError(f"frame header too large ({len(raw)} bytes)")
-    return b"".join(
-        (MAGIC, _HDR_LEN.pack(len(raw)), raw, _PAY_LEN.pack(len(payload)), payload)
-    )
+    plen = payload.nbytes if isinstance(payload, memoryview) else len(payload)
+    prefix = b"".join((MAGIC, _HDR_LEN.pack(len(raw)), raw, _PAY_LEN.pack(plen)))
+    return [prefix, payload] if plen else [prefix]
+
+
+def encode_frame(header: dict, payload: bytes = b"") -> bytes:
+    """Serialize one frame (header JSON + payload) to one wire blob."""
+    return b"".join(bytes(p) for p in encode_frame_parts(header, payload))
 
 
 def encode_request(op: str, req_id: int, params: dict | None = None,
@@ -94,10 +112,26 @@ def encode_request(op: str, req_id: int, params: dict | None = None,
     return encode_frame({"op": op, "id": req_id, "params": params or {}}, payload)
 
 
+def encode_request_parts(op: str, req_id: int, params: dict | None = None,
+                         payload=b"") -> list:
+    """Buffer-chain twin of :func:`encode_request` (zero-copy payload)."""
+    return encode_frame_parts(
+        {"op": op, "id": req_id, "params": params or {}}, payload
+    )
+
+
 def encode_response(req_id: int | None, result: dict | None = None,
                     payload: bytes = b"") -> bytes:
     """Frame a success reply echoing ``req_id``."""
     return encode_frame({"ok": True, "id": req_id, "result": result or {}}, payload)
+
+
+def encode_response_parts(req_id: int | None, result: dict | None = None,
+                          payload=b"") -> list:
+    """Buffer-chain twin of :func:`encode_response` (zero-copy payload)."""
+    return encode_frame_parts(
+        {"ok": True, "id": req_id, "result": result or {}}, payload
+    )
 
 
 def encode_error(req_id: int | None, code: str, message: str, **extra) -> bytes:
@@ -162,6 +196,53 @@ def read_frame(fh: BinaryIO, max_payload: int = DEFAULT_MAX_PAYLOAD
     return header, payload
 
 
+def read_frame_socket(sock, buf, max_payload: int = DEFAULT_MAX_PAYLOAD
+                      ) -> tuple[dict, memoryview] | None:
+    """Read one frame from a raw socket into a reusable buffer.
+
+    ``buf`` is a :class:`repro.service.buffers.PayloadBuffer` the
+    connection owns; the payload lands in it via ``recv_into`` and the
+    returned :class:`memoryview` aliases it — the caller must consume (or
+    copy) the view before the next read.  Steady-state traffic therefore
+    allocates nothing per frame beyond the small header objects.
+    ``None`` on clean EOF at a frame boundary.
+    """
+    prefix_len = len(MAGIC) + 4
+    try:
+        first = sock.recv(prefix_len)
+    except InterruptedError:  # pragma: no cover
+        first = b""
+    if not first:
+        return None
+    while len(first) < prefix_len:
+        more = sock.recv(prefix_len - len(first))
+        if not more:
+            raise ProtocolError("connection closed mid-frame (short prefix)")
+        first += more
+    if first[:4] != MAGIC:
+        raise ProtocolError(f"bad frame magic {first[:4]!r}")
+    (hdr_len,) = _HDR_LEN.unpack(first[4:])
+    if hdr_len > MAX_HEADER_BYTES:
+        raise ProtocolError(f"declared header length {hdr_len} exceeds cap")
+    try:
+        raw = buf.recv(sock, hdr_len + 8) if hdr_len else buf.recv(sock, 8)
+    except ConnectionError as exc:
+        raise ProtocolError("connection closed mid-frame (short header)") from exc
+    header = _parse_header(bytes(raw[:hdr_len]))
+    (plen,) = _PAY_LEN.unpack(raw[hdr_len:hdr_len + 8])
+    if plen > max_payload:
+        raise ProtocolError(
+            f"declared payload length {plen} exceeds cap {max_payload}"
+        )
+    if not plen:
+        return header, memoryview(b"")
+    try:
+        payload = buf.recv(sock, plen)
+    except ConnectionError as exc:
+        raise ProtocolError("connection closed mid-frame (short payload)") from exc
+    return header, payload
+
+
 async def read_frame_async(reader: asyncio.StreamReader,
                            max_payload: int = DEFAULT_MAX_PAYLOAD
                            ) -> tuple[dict, bytes] | None:
@@ -221,13 +302,37 @@ def array_to_payload(data: np.ndarray) -> tuple[bytes, int]:
     return arr.tobytes(), arr.size
 
 
-def payload_to_array(payload: bytes, n: int | None = None) -> np.ndarray:
-    """Rebuild a float64 array from wire bytes, validating the count."""
-    if len(payload) % 8:
+def array_to_view(data: np.ndarray) -> tuple[memoryview, int]:
+    """Zero-copy twin of :func:`array_to_payload`.
+
+    Returns a flat byte :class:`memoryview` over the array's own memory
+    (no ``tobytes`` copy) plus the element count.  The view keeps the
+    array alive; a non-contiguous or non-``<f8`` input falls back to one
+    conversion copy.  Feed the view to :func:`encode_frame_parts` so the
+    payload goes from array memory straight to the socket.
+    """
+    arr = np.ascontiguousarray(data, dtype="<f8").ravel()
+    return arr.data.cast("B"), arr.size
+
+
+def payload_to_array(payload, n: int | None = None, copy: bool = True
+                     ) -> np.ndarray:
+    """Rebuild a float64 array from wire bytes, validating the count.
+
+    ``copy=False`` borrows the payload's memory (read-only array) instead
+    of materializing — safe whenever the backing buffer outlives the
+    array or the consumer only reads once (the compress path).  A
+    borrowed view of a *reused* receive buffer must be consumed before
+    the next frame lands.
+    """
+    nbytes = payload.nbytes if isinstance(payload, memoryview) else len(payload)
+    if nbytes % 8:
         raise ProtocolError(
-            f"array payload length {len(payload)} is not a multiple of 8"
+            f"array payload length {nbytes} is not a multiple of 8"
         )
-    arr = np.frombuffer(payload, dtype="<f8").astype(np.float64, copy=True)
+    arr = np.frombuffer(payload, dtype="<f8")
+    if copy:
+        arr = arr.astype(np.float64, copy=True)
     if n is not None and arr.size != int(n):
         raise ProtocolError(
             f"array payload holds {arr.size} elements, header says {n}"

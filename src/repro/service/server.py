@@ -55,7 +55,7 @@ from repro.pipeline.store import (
     ContainerBackend,
     _revive_key,
 )
-from repro.service import protocol
+from repro.service import buffers, protocol
 from repro.telemetry import REGISTRY as _METRICS
 from repro.telemetry.spans import adopt_spans
 
@@ -292,11 +292,22 @@ class CompressionServer:
             )
         return None
 
-    async def _write(self, writer, lock: asyncio.Lock, frame: bytes) -> None:
+    async def _write(self, writer, lock: asyncio.Lock, frame) -> None:
+        """Write one frame — ``bytes`` or a writev-style parts list.
+
+        Parts go out via ``writelines`` so a bulk payload (a codec blob, a
+        decompressed array's memoryview) is never concatenated with its
+        header; the transport scatter-gathers straight from the source
+        buffers.
+        """
+        parts = frame if isinstance(frame, list) else [frame]
+        nbytes = sum(
+            p.nbytes if isinstance(p, memoryview) else len(p) for p in parts
+        )
         async with lock:
-            writer.write(frame)
+            writer.writelines(parts)
             await writer.drain()
-        self._count("service.bytes_out", len(frame))
+        self._count("service.bytes_out", nbytes)
 
     async def _serve_request(
         self, header: dict, payload: bytes, writer, write_lock: asyncio.Lock
@@ -428,32 +439,40 @@ class CompressionServer:
 
     # -- blocking op bodies (executor threads) ---------------------------------
 
-    def _do_decompress(self, req_id, payload: bytes) -> bytes:
+    def _do_decompress(self, req_id, payload: bytes) -> list:
         out = self.codec.decompress(payload)
-        body, n = protocol.array_to_payload(out)
-        return protocol.encode_response(req_id, {"n": n}, body)
+        body, n = protocol.array_to_view(out)
+        buffers.count_borrowed(body.nbytes)
+        return protocol.encode_response_parts(req_id, {"n": n}, body)
 
     def _do_store_put(self, req_id, params: dict, payload: bytes) -> bytes:
         if "key" not in params:
             raise ParameterError("store.put requires a 'key' param")
+        # Borrow, don't copy: the store compresses the block without
+        # retaining it, and ``payload`` outlives the call.
+        data = protocol.payload_to_array(payload, params.get("n"), copy=False)
+        buffers.count_borrowed(data.nbytes)
         key = _revive_key(params["key"])
-        data = protocol.payload_to_array(payload, params.get("n"))
         self.store.put(key, data, dims=params.get("dims"))
         return protocol.encode_response(req_id, {"stored": True, "n": int(data.size)})
 
-    def _do_store_get(self, req_id, params: dict) -> bytes:
+    def _do_store_get(self, req_id, params: dict) -> list:
         if "key" not in params:
             raise ParameterError("store.get requires a 'key' param")
         key = _revive_key(params["key"])
         out = self.store.get(key)
-        body, n = protocol.array_to_payload(out)
-        return protocol.encode_response(req_id, {"n": n}, body)
+        body, n = protocol.array_to_view(out)
+        buffers.count_borrowed(body.nbytes)
+        return protocol.encode_response_parts(req_id, {"n": n}, body)
 
     # -- micro-batched compression ---------------------------------------------
 
-    async def _enqueue_compress(self, req_id, params: dict, payload: bytes) -> bytes:
+    async def _enqueue_compress(self, req_id, params: dict, payload: bytes) -> list:
         eb = api.validate_error_bound(params.get("eb", self.config.error_bound))
-        data = protocol.payload_to_array(payload, params.get("n"))
+        # Borrowed view of the request payload (kept alive by the request
+        # object until the batch runs) — the kernels only read it.
+        data = protocol.payload_to_array(payload, params.get("n"), copy=False)
+        buffers.count_borrowed(data.nbytes)
         if data.size == 0:
             raise ParameterError("cannot compress an empty array")
         future = asyncio.get_running_loop().create_future()
@@ -471,12 +490,11 @@ class CompressionServer:
                 retry_after_s=0.05,
             )
         blob = await future
-        body = bytes(blob)
-        return protocol.encode_response(
+        return protocol.encode_response_parts(
             req_id,
-            {"n": int(data.size), "compressed_bytes": len(body),
-             "ratio": data.nbytes / max(len(body), 1), "eb": eb},
-            body,
+            {"n": int(data.size), "compressed_bytes": len(blob),
+             "ratio": data.nbytes / max(len(blob), 1), "eb": eb},
+            blob,
         )
 
     async def _batch_dispatcher(self) -> None:
@@ -549,13 +567,41 @@ class CompressionServer:
             _METRICS.counter("service.batches").add(1)
 
     def _compress_jobs(self, jobs: list[tuple[np.ndarray, float, object]]) -> list[bytes]:
-        """Run one batch, through the worker pool when it pays."""
+        """Run one batch, fused per (eb, dims) class.
+
+        The micro-batch is grouped by error bound and block geometry, and
+        each group runs as ONE batched kernel pass (``compress_many``):
+        no intermediate ``np.concatenate`` of request arrays — the fused
+        numeric front reads the per-request views and emission scatters
+        blobs back per request.  With a worker pool, whole groups ship to
+        workers over shared memory; without one, the fusion runs inline.
+        Output order always matches job order, byte-identical to
+        per-request ``compress``.
+        """
+        groups: dict[tuple, list[int]] = {}
+        for i, (_, eb, dims) in enumerate(jobs):
+            key = (float(eb), tuple(dims) if dims is not None else None)
+            groups.setdefault(key, []).append(i)
+        blobs: list[bytes | None] = [None] * len(jobs)
         if self._pool is not None and len(jobs) > 1:
-            return self._pool.compress_batch(jobs)
-        out = []
-        for data, eb, dims in jobs:
-            out.append(self.store.codec_for(dims).compress(data, eb))
-        return out
+            order = list(groups.items())
+            results = self._pool.compress_groups(
+                [([jobs[i][0] for i in idxs], eb, dims)
+                 for (eb, dims), idxs in order]
+            )
+            for ((_, idxs), group_blobs) in zip(order, results):
+                for i, blob in zip(idxs, group_blobs):
+                    blobs[i] = blob
+            return blobs
+        for (eb, dims), idxs in groups.items():
+            codec = self.store.codec_for(dims)
+            if len(idxs) > 1 and hasattr(codec, "compress_many"):
+                group_blobs = codec.compress_many([jobs[i][0] for i in idxs], eb)
+            else:
+                group_blobs = [codec.compress(jobs[i][0], eb) for i in idxs]
+            for i, blob in zip(idxs, group_blobs):
+                blobs[i] = blob
+        return blobs
 
 
 class _Deadline(ServiceError):

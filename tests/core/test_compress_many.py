@@ -1,0 +1,68 @@
+"""``compress_many`` — the fused micro-batch kernel entry point.
+
+The load-bearing invariant: fusing several streams into one batched
+numeric pass must be **byte-identical** to compressing each stream alone.
+Every per-block decision (pattern fit, ECQ widths, dense/sparse choice,
+raw fallback) is per-block independent, so the fused emission can differ
+only by a bug.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import PaSTRICompressor
+
+
+def _streams(codec, rng, include_edge_cases=True):
+    N = codec.spec.block_size
+    sizes = [N, 3 * N, 5 * N + 7, 40 * N]
+    if include_edge_cases:
+        sizes += [3, N - 1]  # tail-only streams
+    out = [
+        rng.normal(scale=1e-4, size=n) * np.exp(rng.normal(size=n))
+        for n in sizes
+    ]
+    out.append(np.zeros(2 * N))  # zero blocks
+    big = rng.normal(size=N)
+    big[0] = 1e200  # forces the raw-block path
+    out.append(np.tile(big, 2))
+    return out
+
+
+@pytest.mark.parametrize("tree_id", [1, 3, 4, 5])
+@pytest.mark.parametrize("ecq_mode", ["adaptive", "dense", "sparse"])
+def test_byte_identical_to_single_stream(tree_id, ecq_mode):
+    codec = PaSTRICompressor(dims=(2, 2, 2, 2), tree_id=tree_id, ecq_mode=ecq_mode)
+    rng = np.random.default_rng(tree_id * 17 + len(ecq_mode))
+    streams = _streams(codec, rng)
+    eb = 1e-10
+    fused = codec.compress_many(streams, eb)
+    for i, s in enumerate(streams):
+        assert fused[i] == codec.compress(s, eb), f"stream {i} diverged"
+
+
+def test_roundtrip_within_bound():
+    codec = PaSTRICompressor(dims=(2, 2, 2, 2))
+    rng = np.random.default_rng(0)
+    streams = _streams(codec, rng, include_edge_cases=False)
+    eb = 1e-8
+    for s, blob in zip(streams, codec.compress_many(streams, eb)):
+        out = codec.decompress(blob)
+        assert out.size == s.size
+        assert np.max(np.abs(out - s)) <= eb
+
+
+def test_single_and_empty_batch():
+    codec = PaSTRICompressor(dims=(1, 1, 1, 1))
+    assert codec.compress_many([], 1e-10) == []
+    data = np.random.default_rng(5).normal(size=64)
+    assert codec.compress_many([data], 1e-10) == [codec.compress(data, 1e-10)]
+
+
+def test_last_stats_cleared():
+    codec = PaSTRICompressor(dims=(1, 1, 1, 1), collect_stats=True)
+    data = np.random.default_rng(9).normal(size=64)
+    codec.compress(data, 1e-10)
+    assert codec.last_stats is not None
+    codec.compress_many([data, data], 1e-10)
+    assert codec.last_stats is None  # per-stream attribution is meaningless

@@ -149,4 +149,11 @@ def test_server_survives_the_whole_barrage(server):
     with ServiceClient(server.host, server.port) as c:
         blob, _ = c.compress(data, 1e-10)
         back = c.decompress(blob)
-    assert np.max(np.abs(back - data)) <= 1e-10
+        assert np.max(np.abs(back - data)) <= 1e-10
+        # happy path does no per-request allocation: once warm, the same
+        # receive buffer (same backing bytearray) serves every response
+        backing = c._recv_buf._buf
+        for _ in range(5):
+            c.decompress(blob)
+            c.health()
+        assert c._recv_buf._buf is backing
