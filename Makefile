@@ -5,7 +5,7 @@ PY ?= python
 export PYTHONPATH := src
 
 .PHONY: test ci bench bench-record overhead-check serve-smoke fsck-smoke \
-	store-bench-smoke scaling-smoke harness
+	store-bench-smoke scaling-smoke cluster-smoke harness
 
 test:
 	$(PY) -m pytest tests/ -q
@@ -64,6 +64,13 @@ store-bench-smoke:
 ## hosts without POSIX shared memory.
 scaling-smoke:
 	timeout 120 $(PY) scripts/scaling_smoke.py
+
+## Cluster failover gate: a 3-shard `pastri serve` fleet (replication 2)
+## behind the gateway; client round-trip, SIGKILL one shard with zero
+## failed reads, hints drained on rejoin, zero payload bytes copied on
+## the forward path, and no leaked shm segments after teardown.
+cluster-smoke:
+	timeout 180 $(PY) scripts/cluster_smoke.py
 
 harness:
 	$(PY) -m repro.harness all

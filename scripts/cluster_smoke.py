@@ -1,0 +1,147 @@
+"""Cluster smoke test (``make cluster-smoke``).
+
+Boots a 3-shard ``SubprocessFleet`` (real ``pastri serve`` processes,
+each owning its own spill container) behind an in-process
+:class:`ClusterGateway` with replication 2, then gates on the PR 8
+acceptance criteria end to end:
+
+* a client round-trip through the gateway honors the error bound;
+* SIGKILLing one shard mid-traffic leaves **zero** failed client reads
+  (the gateway fails over to the surviving replica);
+* writes issued while the shard is dead leave hints; the restarted
+  shard drains them and the fleet reports all-up with no open hints;
+* the gateway forward path materialized no payload bytes
+  (``service.buffers.bytes_copied`` delta is 0);
+* after teardown no shm segment survives: the in-process ledger is
+  empty and ``/dev/shm`` gained no ``pastri-shm-*`` entries.
+
+Hard deadlines everywhere — a wedged fleet fails the build, never hangs
+it (the Makefile adds an outer ``timeout`` as a backstop).
+"""
+
+import glob
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro import telemetry  # noqa: E402
+from repro.cluster import GatewayConfig, SubprocessFleet, gateway_in_thread  # noqa: E402
+from repro.parallel import shm  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+
+EB = 1e-10
+SHAPE = (4, 4, 4, 4)
+N_BLOCKS = 16
+RECOVER_DEADLINE_S = 30.0
+
+
+def _dev_shm_segments() -> set[str]:
+    return set(glob.glob(f"/dev/shm/{shm.SEGMENT_PREFIX}*"))
+
+
+def _copied() -> int:
+    snap = telemetry.metrics_snapshot()
+    return snap.get("service.buffers.bytes_copied", {}).get("value", 0)
+
+
+def main() -> int:
+    shm_baseline = _dev_shm_segments()
+    tmp = tempfile.mkdtemp(prefix="pastri-cluster-smoke-")
+    rng = np.random.default_rng(7)
+    blocks = {("blk", i): rng.normal(size=SHAPE) for i in range(N_BLOCKS)}
+
+    fleet = SubprocessFleet(3, tmp, error_bound=EB)
+    with fleet:
+        handle = gateway_in_thread(GatewayConfig(
+            shards=[(s.name, s.host, s.port) for s in fleet.specs],
+            replication=2,
+            hint_path=os.path.join(tmp, "hints.jsonl"),
+            health_interval_s=0.2,
+            fail_after=1,
+        ))
+        copied_before = _copied()
+        try:
+            with ServiceClient(handle.host, handle.port) as c:
+                # -- round-trip through the gateway ---------------------------
+                for key, data in blocks.items():
+                    c.put(key, data)
+                for key, data in blocks.items():
+                    out = c.get(key).reshape(SHAPE)
+                    if np.max(np.abs(out - data)) > EB:
+                        print(f"FAIL: bound violated for {key}", file=sys.stderr)
+                        return 1
+
+                # -- hard kill: every read must still succeed -----------------
+                fleet.kill("shard-01")
+                failed = 0
+                for key, data in blocks.items():
+                    try:
+                        out = c.get(key).reshape(SHAPE)
+                    except Exception as exc:
+                        print(f"FAIL: read {key} failed after kill: {exc}",
+                              file=sys.stderr)
+                        failed += 1
+                        continue
+                    if np.max(np.abs(out - data)) > EB:
+                        print(f"FAIL: bound violated for {key} after kill",
+                              file=sys.stderr)
+                        failed += 1
+                if failed:
+                    return 1
+
+                # -- writes while down leave hints; restart drains them -------
+                for i in range(N_BLOCKS, N_BLOCKS + 8):
+                    key = ("blk", i)
+                    blocks[key] = rng.normal(size=SHAPE)
+                    c.put(key, blocks[key])
+                hinted = c.health()["hints_pending"]
+                fleet.restart("shard-01")
+                deadline = time.monotonic() + RECOVER_DEADLINE_S
+                while time.monotonic() < deadline:
+                    h = c.health()
+                    if not h["shards_down"] and h["hints_pending"] == 0:
+                        break
+                    time.sleep(0.2)
+                else:
+                    print(f"FAIL: fleet never recovered: {c.health()}",
+                          file=sys.stderr)
+                    return 1
+                for key, data in blocks.items():
+                    out = c.get(key).reshape(SHAPE)
+                    if np.max(np.abs(out - data)) > EB:
+                        print(f"FAIL: bound violated for {key} after rejoin",
+                              file=sys.stderr)
+                        return 1
+                copied_delta = _copied() - copied_before
+        finally:
+            handle.stop()
+
+    if copied_delta != 0:
+        print(f"FAIL: gateway path copied {copied_delta} payload bytes",
+              file=sys.stderr)
+        return 1
+    if shm.active_segments():
+        print(f"FAIL: leaked shm segments: {shm.active_segments()}",
+              file=sys.stderr)
+        return 1
+    orphans = sorted(_dev_shm_segments() - shm_baseline)
+    if orphans:
+        print(f"FAIL: orphaned /dev/shm entries: {orphans}", file=sys.stderr)
+        return 1
+
+    print(
+        f"OK: 3-shard fleet R=2, {len(blocks)} blocks round-tripped, hard kill "
+        f"survived with zero failed reads, {hinted} hints drained on rejoin, "
+        f"0 payload bytes copied, zero leaked shm segments"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

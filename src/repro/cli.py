@@ -16,11 +16,16 @@ Subcommands::
     pastri telemetry report <trace.jsonl>
     pastri serve      [--host H] [--port P] [--workers N] [--spill PATH] ...
     pastri remote     compress|decompress|stats ... [--host H] [--port P]
+    pastri cluster    launch|status|kill|drain ... [--dir DIR]
 
 ``serve`` runs the asyncio compression service (micro-batching,
 backpressure, graceful SIGTERM drain — see ``docs/SERVICE.md``); ``remote``
 talks to one from the command line through
-:class:`repro.service.client.ServiceClient`.
+:class:`repro.service.client.ServiceClient`.  ``cluster`` launches and
+manages a local sharded fleet — N ``pastri serve`` subprocess shards
+behind a consistent-hashing gateway with replicated writes, health-
+checked failover, and hinted handoff (``docs/CLUSTER.md``); ``remote``
+commands pointed at the gateway port work unchanged.
 
 ``compress`` writes one bare PaSTRI bitstream; ``pack`` writes a seekable
 PSTF-v2 *container* (frame index, per-frame CRC32, codec spec in the
@@ -46,6 +51,7 @@ report PATH``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -307,6 +313,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     config = ServerConfig(
         host=args.host,
         port=args.port,
+        shard_id=args.shard_id,
         codec_name=args.codec,
         codec_kwargs=codec_kwargs,
         error_bound=args.eb,
@@ -410,28 +417,189 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metric_scalars(metrics: dict, prefixes=("service.", "cluster.", "store.")
+                    ) -> dict:
+    """Pull scalar values out of a registry snapshot for tree rendering."""
+    out = {}
+    for name, summary in metrics.items():
+        if not str(name).startswith(prefixes):
+            continue
+        if isinstance(summary, dict):
+            val = summary.get("value", summary.get("count"))
+        else:
+            val = summary
+        if isinstance(val, (int, float)):
+            out[name] = val
+    return out
+
+
 def cmd_remote_stats(args: argparse.Namespace) -> int:
-    """Handle ``pastri remote stats``: health + store stats + service metrics."""
+    """Handle ``pastri remote stats``: health + store stats + metrics.
+
+    Counters render as a namespace tree (``format_counter_tree``) instead
+    of the old flat dict dump, so nested fleet metrics — per-shard
+    aggregates, ``service.buffers.*``, ``cluster.hints.*`` — stay
+    readable.  Pointed at a gateway, the store section is the fleet
+    aggregate and a per-shard summary follows.
+    """
+    from repro.telemetry import format_counter_tree
+
     with _remote_client(args) as client:
         health = client.health()
         stats = client.stats()
         metrics = client.metrics()
-    print(f"server {args.host}:{args.port}")
-    for k in ("status", "uptime_s", "queued", "inflight_bytes", "store_entries"):
-        print(f"  {k:<16} {health.get(k)}")
+        cluster = (
+            client.cluster_stats() if health.get("role") == "gateway" else None
+        )
+    role = health.get("role", "server")
+    print(f"{role} {args.host}:{args.port}")
+    if role == "gateway":
+        keys = ("status", "gateway_id", "uptime_s", "replication",
+                "shards_up", "shards_down", "hints_pending")
+    else:
+        keys = ("status", "shard_id", "uptime_s", "queued", "inflight_bytes",
+                "store_entries")
+    for k in keys:
+        if health.get(k) is not None:
+            print(f"  {k:<16} {health.get(k)}")
     cache_report = stats.pop("cache_report", None)
-    print("store:")
-    for k, v in stats.items():
-        print(f"  {k:<16} {v:.4g}" if isinstance(v, float) else f"  {k:<16} {v}")
+    print("store:" if role != "gateway" else "store (fleet aggregate):")
+    print(format_counter_tree(stats, indent=1))
     if cache_report:
         for line in str(cache_report).splitlines():
             print(f"  {line}")
-    service_metrics = {k: v for k, v in metrics.items() if k.startswith("service.")}
-    if service_metrics:
-        print("service metrics:")
-        for k, v in sorted(service_metrics.items()):
-            val = v.get("value", v.get("count"))
-            print(f"  {k:<28} {val}")
+    if cluster is not None:
+        print("shards:")
+        for name, shard in sorted(cluster.get("shards", {}).items()):
+            store = shard.get("store", {})
+            state = "up" if shard.get("up") else "DOWN"
+            if "error" in shard.get("health", {}):
+                detail = f"unreachable: {shard['health']['error']}"
+            else:
+                detail = (
+                    f"entries {store.get('n_entries', '?'):>5}  "
+                    f"puts {store.get('puts', '?'):>6}  "
+                    f"gets {store.get('gets', '?'):>6}  "
+                    f"ratio {store.get('ratio', 0):.2f}"
+                )
+            print(f"  {name:<12} {state:<5} {shard.get('addr', ''):<21} {detail}")
+        pending = cluster.get("fleet", {}).get("hints_pending") or {}
+        if pending:
+            print("hints pending:")
+            print(format_counter_tree(pending, indent=1))
+    scalars = _metric_scalars(metrics)
+    if scalars:
+        print("metrics:")
+        print(format_counter_tree(scalars, indent=1))
+    return 0
+
+
+def cmd_cluster_launch(args: argparse.Namespace) -> int:
+    """Handle ``pastri cluster launch``: shard subprocesses + foreground gateway.
+
+    Shards run as real ``pastri serve`` subprocesses, each with its own
+    spill container under ``--dir``; the gateway runs in this process
+    until SIGTERM/SIGINT, then the whole fleet drains gracefully.  The
+    topology lands in ``<dir>/cluster.json`` for ``status``/``kill``/
+    ``drain``.
+    """
+    import asyncio
+
+    from repro.cluster.fleet import SubprocessFleet, write_state
+    from repro.cluster.gateway import ClusterGateway, GatewayConfig
+
+    serve_args = []
+    if args.workers > 1:
+        serve_args += ["--workers", str(args.workers)]
+    if args.memory_budget_mb is not None:
+        serve_args += ["--memory-budget-mb", str(args.memory_budget_mb)]
+    fleet = SubprocessFleet(
+        args.shards, args.dir, error_bound=args.eb, serve_args=serve_args
+    )
+    fleet.start()
+    config = GatewayConfig(
+        shards=[(s.name, s.host, s.port) for s in fleet.specs],
+        host=args.host,
+        port=args.gateway_port,
+        replication=args.replication,
+        vnodes=args.vnodes,
+        hint_path=os.path.join(args.dir, "hints.jsonl"),
+    )
+
+    async def _run() -> None:
+        gateway = ClusterGateway(config)
+        await gateway.start()
+        write_state(args.dir, args.host, gateway.port, os.getpid(),
+                    fleet.specs, args.replication)
+        print(
+            f"pastri cluster gateway listening on {args.host}:{gateway.port} "
+            f"({len(fleet.specs)} shards, R={args.replication})",
+            flush=True,
+        )
+        for s in fleet.specs:
+            print(f"  {s.name} pid {s.pid} @ {s.host}:{s.port}", flush=True)
+        await gateway.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    finally:
+        fleet.terminate_all()
+        print("pastri cluster drained, bye", flush=True)
+    return 0
+
+
+def _cluster_endpoint(args: argparse.Namespace) -> tuple[str, int]:
+    if args.host is not None and args.port is not None:
+        return args.host, args.port
+    if not args.dir:
+        raise ReproError("give --dir (a launched fleet) or --host/--port")
+    from repro.cluster.fleet import read_state
+
+    state = read_state(args.dir)
+    return state["gateway"]["host"], int(state["gateway"]["port"])
+
+
+def cmd_cluster_status(args: argparse.Namespace) -> int:
+    """Handle ``pastri cluster status``: gateway + per-shard fleet report."""
+    args.host, args.port = _cluster_endpoint(args)
+    return cmd_remote_stats(args)
+
+
+def cmd_cluster_kill(args: argparse.Namespace) -> int:
+    """Handle ``pastri cluster kill``: SIGKILL one shard (failover demo)."""
+    import signal as _signal
+
+    from repro.cluster.fleet import read_state
+
+    state = read_state(args.dir)
+    for shard in state["shards"]:
+        if shard["name"] == args.shard:
+            pid = shard.get("pid")
+            if not pid:
+                raise ReproError(f"no recorded pid for shard {args.shard!r}")
+            os.kill(pid, _signal.SIGKILL)
+            print(f"killed {args.shard} (pid {pid}) — reads should fail over")
+            return 0
+    raise ReproError(
+        f"unknown shard {args.shard!r}; fleet has "
+        + ", ".join(s["name"] for s in state["shards"])
+    )
+
+
+def cmd_cluster_drain(args: argparse.Namespace) -> int:
+    """Handle ``pastri cluster drain``: SIGTERM the gateway, fleet follows."""
+    import signal as _signal
+
+    from repro.cluster.fleet import read_state
+
+    state = read_state(args.dir)
+    pid = state["gateway"]["pid"]
+    try:
+        os.kill(pid, _signal.SIGTERM)
+    except ProcessLookupError:
+        print(f"gateway pid {pid} is already gone")
+        return 1
+    print(f"sent SIGTERM to gateway pid {pid}; the fleet drains with it")
     return 0
 
 
@@ -590,6 +758,9 @@ def main(argv: list[str] | None = None) -> int:
     sv = sub.add_parser("serve", help="run the asyncio compression service")
     sv.add_argument("--host", default="127.0.0.1")
     sv.add_argument("--port", type=int, default=7557, help="0 = ephemeral")
+    sv.add_argument("--shard-id", default=None,
+                    help="fleet identity reported in health/stats replies "
+                         "(set by `pastri cluster launch`)")
     sv.add_argument("--codec", default="pastri", help="registry codec name")
     sv.add_argument(
         "--config", default=None,
@@ -653,6 +824,45 @@ def main(argv: list[str] | None = None) -> int:
     rs = rmsub.add_parser("stats", help="print server health, store, metrics")
     _add_remote_args(rs)
     rs.set_defaults(func=cmd_remote_stats)
+
+    cl = sub.add_parser("cluster", help="launch/inspect a local shard fleet")
+    clsub = cl.add_subparsers(dest="cluster_cmd", required=True)
+
+    la = clsub.add_parser(
+        "launch", help="start N shard subprocesses behind a gateway"
+    )
+    la.add_argument("--dir", required=True,
+                    help="fleet directory: spill containers, hints, cluster.json")
+    la.add_argument("--shards", type=int, default=3)
+    la.add_argument("--replication", type=int, default=2,
+                    help="copies per stored key")
+    la.add_argument("--vnodes", type=int, default=64,
+                    help="ring points per shard")
+    la.add_argument("--host", default="127.0.0.1")
+    la.add_argument("--gateway-port", type=int, default=0, help="0 = ephemeral")
+    la.add_argument("--eb", type=float, default=1e-10, help="store error bound")
+    la.add_argument("--workers", type=int, default=1,
+                    help="worker pool size per shard")
+    la.add_argument("--memory-budget-mb", type=float, default=None,
+                    help="per-shard hot-set budget before spilling")
+    la.set_defaults(func=cmd_cluster_launch)
+
+    cs = clsub.add_parser("status", help="fleet health + per-shard stats")
+    cs.add_argument("--dir", default=None,
+                    help="fleet directory holding cluster.json")
+    cs.add_argument("--host", default=None, help="gateway host (with --port)")
+    cs.add_argument("--port", type=int, default=None, help="gateway port")
+    cs.add_argument("--timeout", type=float, default=30.0)
+    cs.set_defaults(func=cmd_cluster_status)
+
+    ck = clsub.add_parser("kill", help="SIGKILL one shard (failover demo)")
+    ck.add_argument("shard", help="shard name, e.g. shard-01")
+    ck.add_argument("--dir", required=True)
+    ck.set_defaults(func=cmd_cluster_kill)
+
+    cd = clsub.add_parser("drain", help="gracefully stop the whole fleet")
+    cd.add_argument("--dir", required=True)
+    cd.set_defaults(func=cmd_cluster_drain)
 
     t = sub.add_parser("telemetry", help="inspect saved telemetry traces")
     tsub = t.add_subparsers(dest="telemetry_cmd", required=True)

@@ -1,0 +1,38 @@
+"""Sharded, replicated serving tier for the compression service.
+
+One :class:`repro.service.server.CompressionServer` is a *shard*: it owns
+its own spill container and answers the PSRV protocol.  This package turns
+N shards into a fleet:
+
+* :mod:`repro.cluster.ring` — the consistent-hash ring (virtual nodes)
+  that maps block keys onto shards; membership changes move only the keys
+  owned by the joining/leaving shard.
+* :mod:`repro.cluster.gateway` — the stateless gateway/router clients talk
+  to: it forwards PSRV frames to the owning shards (payloads ride as
+  memoryviews, never re-materialized), replicates writes R ways, health-
+  checks the fleet, fails reads over to replicas, and records hinted
+  handoffs for dead shards that drain back on rejoin.
+* :mod:`repro.cluster.hints` — the durable hint journal behind handoff.
+* :mod:`repro.cluster.fleet` — launch/kill/restart a local fleet, either
+  in-process threads (tests, benchmarks) or ``pastri serve`` subprocesses
+  (the ``pastri cluster`` CLI).
+
+See ``docs/CLUSTER.md`` for topology, routing, and failure semantics.
+"""
+
+from repro.cluster.fleet import LocalFleet, ShardSpec, SubprocessFleet
+from repro.cluster.gateway import ClusterGateway, GatewayConfig, gateway_in_thread
+from repro.cluster.hints import HintLog
+from repro.cluster.ring import HashRing, key_bytes
+
+__all__ = [
+    "HashRing",
+    "key_bytes",
+    "HintLog",
+    "ClusterGateway",
+    "GatewayConfig",
+    "gateway_in_thread",
+    "LocalFleet",
+    "SubprocessFleet",
+    "ShardSpec",
+]

@@ -1,0 +1,114 @@
+"""The hinted-handoff journal: writes owed to a dead shard.
+
+When a ``store.put`` targets a shard the gateway cannot reach, the block
+is written to a live stand-in ("holder") and a *hint* is recorded: the
+intended shard, the key, and the holder.  When the dead shard rejoins
+(its health check recovers — its own spill container comes back through
+the PR 5 salvage path), the gateway *drains*: each hinted block is read
+from its holder and re-put to the rightful owner, restoring the shard to
+a byte-identical serving state for those keys.
+
+The log is append-only JSON-lines, one record per event::
+
+    {"op": "hint",  "shard": "shard-01", "key": [0,0,3,1], "holder": "shard-02"}
+    {"op": "drain", "shard": "shard-01", "key": [0,0,3,1]}
+
+so a restarted gateway replays the file and owes exactly the still-open
+hints — the same journal-replay discipline the spill store uses.  The
+in-memory view is ``shard -> {canonical key json -> (key, holder)}``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+from repro.cluster.ring import key_bytes
+
+__all__ = ["HintLog"]
+
+
+class HintLog:
+    """Durable (optional) record of writes owed to dead shards."""
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = str(path) if path else None
+        self._lock = threading.Lock()
+        #: shard -> {key_json: (key, holder)}
+        self._open: dict[str, dict[str, tuple[object, str]]] = {}
+        self._fh = None
+        if self.path and os.path.exists(self.path):
+            self._replay()
+        if self.path:
+            self._fh = open(self.path, "a", encoding="utf-8")
+
+    def _replay(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue  # torn tail write from a killed gateway
+                if rec.get("op") == "hint":
+                    self._open.setdefault(rec["shard"], {})[
+                        _kj(rec["key"])
+                    ] = (rec["key"], rec.get("holder", ""))
+                elif rec.get("op") == "drain":
+                    self._open.get(rec.get("shard"), {}).pop(
+                        _kj(rec.get("key")), None
+                    )
+
+    def _append(self, rec: dict) -> None:
+        if self._fh is not None:
+            self._fh.write(json.dumps(rec, separators=(",", ":")) + "\n")
+            self._fh.flush()
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, shard: str, key, holder: str) -> None:
+        """A write owed to ``shard`` currently lives on ``holder``."""
+        with self._lock:
+            self._open.setdefault(shard, {})[_kj(key)] = (key, holder)
+            self._append(
+                {"op": "hint", "shard": shard, "key": _jsonable(key),
+                 "holder": holder}
+            )
+
+    def drained(self, shard: str, key) -> None:
+        """The hinted block has been handed back to its owner."""
+        with self._lock:
+            self._open.get(shard, {}).pop(_kj(key), None)
+            self._append({"op": "drain", "shard": shard, "key": _jsonable(key)})
+
+    # -- inspection ----------------------------------------------------------
+
+    def pending(self, shard: str) -> list[tuple[object, str]]:
+        """Open ``(key, holder)`` hints owed to ``shard``."""
+        with self._lock:
+            return list(self._open.get(shard, {}).values())
+
+    def counts(self) -> dict[str, int]:
+        """Open hint count per shard (empty shards omitted)."""
+        with self._lock:
+            return {s: len(m) for s, m in self._open.items() if m}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(m) for m in self._open.values())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def _kj(key) -> str:
+    return key_bytes(key).decode("utf-8")
+
+
+def _jsonable(key):
+    return list(key) if isinstance(key, tuple) else key

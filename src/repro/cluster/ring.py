@@ -1,0 +1,131 @@
+"""Consistent-hash ring with virtual nodes.
+
+Block keys are placed on a 64-bit ring by hashing their canonical JSON
+encoding (:func:`key_bytes`) with BLAKE2b — a *stable* hash, identical
+across processes and runs, unlike Python's seeded ``hash()``.  Each shard
+contributes ``vnodes`` points ("virtual nodes") so ownership splits into
+many small arcs and load stays balanced even for small fleets.
+
+A key's owner is the first ring point at or clockwise after the key's
+hash; its *preference list* for replication factor R is the next R
+**distinct** shards continuing clockwise.  The consistent-hashing
+property the cluster leans on: adding or removing one shard only remaps
+the keys whose arcs that shard's points cover — about 1/N of the key
+space — and every remapped key's new owner was previously the next shard
+on its arc.  ``tests/cluster/test_ring.py`` pins both invariants
+(balance within tolerance, membership-change minimal remap) as
+hypothesis properties.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+
+from repro.errors import ParameterError
+
+__all__ = ["HashRing", "key_bytes", "stable_hash"]
+
+#: ring points per shard; more points = smoother balance, slower rebuild
+DEFAULT_VNODES = 64
+
+
+def key_bytes(key) -> bytes:
+    """Canonical byte encoding of a store key (tuples become JSON lists).
+
+    Matches the JSON the PSRV protocol carries in ``params["key"]``, so a
+    key hashes identically whether it arrives as a tuple (in-process) or
+    as the parsed wire list (at the gateway).
+    """
+    if isinstance(key, tuple):
+        key = list(key)
+    return json.dumps(key, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def stable_hash(data: bytes) -> int:
+    """64-bit BLAKE2b digest as an int — process-stable, well mixed."""
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+class HashRing:
+    """The ring: ``node`` is any hashable, string-representable shard name."""
+
+    def __init__(self, nodes=(), vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ParameterError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        self._points: list[int] = []       # sorted ring positions
+        self._owners: list[str] = []       # owner of each position (parallel)
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset:
+        return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node) -> bool:
+        return node in self._nodes
+
+    def _node_points(self, node: str) -> list[int]:
+        return [
+            stable_hash(f"{node}#{i}".encode("utf-8")) for i in range(self.vnodes)
+        ]
+
+    def add(self, node) -> None:
+        """Insert a shard (idempotent); remaps ~1/N of the key space to it."""
+        node = str(node)
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for pt in self._node_points(node):
+            i = bisect.bisect_left(self._points, pt)
+            self._points.insert(i, pt)
+            self._owners.insert(i, node)
+
+    def remove(self, node) -> None:
+        """Remove a shard; its arcs fall to the next shards clockwise."""
+        node = str(node)
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [i for i, owner in enumerate(self._owners) if owner != node]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    # -- placement -----------------------------------------------------------
+
+    def preference(self, key, r: int = 1) -> list[str]:
+        """The first ``r`` distinct shards clockwise from ``key``'s hash.
+
+        The list is the replica placement order: index 0 is the primary
+        owner, the rest are failover/replication targets.  Shorter than
+        ``r`` only when the fleet itself is smaller.
+        """
+        if r < 1:
+            raise ParameterError("replication factor must be >= 1")
+        if not self._points:
+            return []
+        start = bisect.bisect_right(self._points, stable_hash(key_bytes(key)))
+        picked: list[str] = []
+        n = len(self._points)
+        for step in range(n):
+            owner = self._owners[(start + step) % n]
+            if owner not in picked:
+                picked.append(owner)
+                if len(picked) == min(r, len(self._nodes)):
+                    break
+        return picked
+
+    def primary(self, key) -> str:
+        """The key's owning shard (first entry of the preference list)."""
+        pref = self.preference(key, 1)
+        if not pref:
+            raise ParameterError("hash ring has no nodes")
+        return pref[0]

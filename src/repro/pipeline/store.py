@@ -784,6 +784,31 @@ class ContainerBackend:
             with contextlib.suppress(OSError):
                 os.remove(self.journal_path)
 
+    def abort(self) -> None:
+        """Crash simulation: release descriptors, persist *nothing* new.
+
+        No pending spill flush, no container footer, no journal removal —
+        the disk keeps exactly what earlier batched flushes wrote, i.e.
+        the footerless-container + journal state a killed process leaves.
+        Dirty hot-tier entries die with the process; a successor backend
+        over the same path recovers the spilled subset via the salvage
+        path (``recover=True``), which is the point of the exercise.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._pending.clear()
+        self._writer = None
+        for fh in (self._write_fh, self._read_fh, self._journal_fh):
+            if fh is not None:
+                with contextlib.suppress(OSError, ValueError):
+                    fh.close()
+        self._write_fh = self._read_fh = self._journal_fh = None
+        if self._map is not None:
+            with contextlib.suppress(OSError, ValueError):
+                self._map.close()
+            self._map = None
+
 
 @dataclass
 class CompressedERIStore:
@@ -903,6 +928,27 @@ class CompressedERIStore:
         blob = self.codec_for(dims).compress(block, self.error_bound)
         dims_t = None if dims is None else tuple(int(d) for d in dims)
         self._put_blob(key, blob, block.nbytes, dims_t)
+
+    def put_blob(self, key, blob: bytes, nbytes: int, dims=None) -> None:
+        """Insert an already-compressed blob verbatim (replica transfer).
+
+        ``nbytes`` is the original (decompressed) byte size the blob
+        decodes to.  The cluster's hinted-handoff drain moves blocks
+        between shards with this + :meth:`get_blob` so a drained replica
+        is **byte-identical** to its source — no lossy decode/re-encode
+        cycle in the middle.
+        """
+        dims_t = None if dims is None else tuple(int(d) for d in dims)
+        self._put_blob(key, bytes(blob), int(nbytes), dims_t)
+
+    def get_blob(self, key) -> tuple[bytes, int, tuple[int, ...] | None]:
+        """The raw compressed entry ``(blob, original_nbytes, dims)``.
+
+        Raises ``KeyError`` for unknown keys; no decompression happens.
+        """
+        with self._lock:
+            entry = self.backend.get(key)
+        return entry.blob, entry.nbytes, entry.dims
 
     def _put_blob(self, key, blob: bytes, nbytes: int, dims) -> None:
         """Insert a ready-made blob (the load/restore path skips compression)."""
@@ -1283,6 +1329,19 @@ class CompressedERIStore:
         """Release backend resources (finalizes a spill container's footer)."""
         with self._lock:
             self.backend.close()
+
+    def abort(self) -> None:
+        """Crash simulation: drop everything unflushed, close descriptors.
+
+        Delegates to :meth:`ContainerBackend.abort` when the backend has
+        one; a memory backend simply closes (nothing is durable anyway).
+        """
+        with self._lock:
+            aborter = getattr(self.backend, "abort", None)
+            if aborter is not None:
+                aborter()
+            else:
+                self.backend.close()
 
     def __enter__(self) -> "CompressedERIStore":
         return self

@@ -27,7 +27,9 @@ Four modules:
 
 ``pastri serve`` and ``pastri remote ...`` expose the two ends on the
 command line; ``docs/SERVICE.md`` documents the protocol and the
-batching/backpressure knobs.
+batching/backpressure knobs.  One server is also one *shard* of the
+replicated fleet in :mod:`repro.cluster` (consistent-hash routing,
+replication, hinted handoff — ``docs/CLUSTER.md``).
 """
 
 from __future__ import annotations

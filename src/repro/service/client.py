@@ -224,6 +224,21 @@ class ServiceClient:
         """The server's full telemetry registry snapshot."""
         return self._roundtrip("metrics")[0].get("metrics", {})
 
+    def cluster_stats(self) -> dict:
+        """Fleet-wide stats (gateways only; shards answer BAD_REQUEST)."""
+        return self._roundtrip("cluster.stats")[0]
+
+    def call(self, op: str, params: dict | None = None, payload=b""
+             ) -> tuple[dict, bytes]:
+        """Raw escape hatch: one op round-trip, retries included.
+
+        Returns ``(result, payload_bytes)`` — the payload is materialized
+        (it escapes the reusable receive buffer).  The cluster CLI and
+        tests use this for ops without a dedicated method.
+        """
+        result, body = self._roundtrip(op, params, payload)
+        return result, bytes(body)
+
 
 class AsyncServiceClient:
     """Asyncio client with the same surface as :class:`ServiceClient`.

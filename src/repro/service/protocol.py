@@ -14,6 +14,16 @@ allocation, so a malicious or corrupt peer cannot make either end balloon.
 Requests look like ``{"op": "compress", "id": 7, "params": {...}}``;
 responses echo the id as ``{"ok": true, "id": 7, "result": {...}}`` or
 ``{"ok": false, "id": 7, "error": {"code": "BUSY", "message": "..."}}``.
+
+Routed traffic (the cluster gateway, :mod:`repro.cluster.gateway`) adds an
+optional ``"route"`` header object to both directions: on a request,
+``{"via": "<gateway id>", "shard": "<target>", "attempt": 1}`` marks a
+forwarded frame (shard servers count these under ``service.forwarded``);
+on a response, ``{"shard": "<who served it>", "attempts": 2}`` tells the
+client which shard answered and how many failovers it took.  Frames
+without a ``route`` header are untouched — a shard serves direct and
+forwarded traffic identically.  The ``cluster.stats`` op is answered by
+gateways only (shards reply ``BAD_REQUEST``).
 Error codes are the :data:`ERROR_CODES` vocabulary;
 :func:`raise_for_error` maps a reply onto the :mod:`repro.errors`
 hierarchy so client callers catch typed exceptions, never dicts.
@@ -106,41 +116,57 @@ def encode_frame(header: dict, payload: bytes = b"") -> bytes:
     return b"".join(bytes(p) for p in encode_frame_parts(header, payload))
 
 
+def _request_header(op: str, req_id: int, params: dict | None,
+                    route: dict | None) -> dict:
+    header = {"op": op, "id": req_id, "params": params or {}}
+    if route:
+        header["route"] = route
+    return header
+
+
+def _response_header(req_id: int | None, result: dict | None,
+                     route: dict | None) -> dict:
+    header = {"ok": True, "id": req_id, "result": result or {}}
+    if route:
+        header["route"] = route
+    return header
+
+
 def encode_request(op: str, req_id: int, params: dict | None = None,
-                   payload: bytes = b"") -> bytes:
+                   payload: bytes = b"", route: dict | None = None) -> bytes:
     """Frame a request: ``{"op": op, "id": req_id, "params": {...}}``."""
-    return encode_frame({"op": op, "id": req_id, "params": params or {}}, payload)
+    return encode_frame(_request_header(op, req_id, params, route), payload)
 
 
 def encode_request_parts(op: str, req_id: int, params: dict | None = None,
-                         payload=b"") -> list:
+                         payload=b"", route: dict | None = None) -> list:
     """Buffer-chain twin of :func:`encode_request` (zero-copy payload)."""
-    return encode_frame_parts(
-        {"op": op, "id": req_id, "params": params or {}}, payload
-    )
+    return encode_frame_parts(_request_header(op, req_id, params, route), payload)
 
 
 def encode_response(req_id: int | None, result: dict | None = None,
-                    payload: bytes = b"") -> bytes:
+                    payload: bytes = b"", route: dict | None = None) -> bytes:
     """Frame a success reply echoing ``req_id``."""
-    return encode_frame({"ok": True, "id": req_id, "result": result or {}}, payload)
+    return encode_frame(_response_header(req_id, result, route), payload)
 
 
 def encode_response_parts(req_id: int | None, result: dict | None = None,
-                          payload=b"") -> list:
+                          payload=b"", route: dict | None = None) -> list:
     """Buffer-chain twin of :func:`encode_response` (zero-copy payload)."""
-    return encode_frame_parts(
-        {"ok": True, "id": req_id, "result": result or {}}, payload
-    )
+    return encode_frame_parts(_response_header(req_id, result, route), payload)
 
 
-def encode_error(req_id: int | None, code: str, message: str, **extra) -> bytes:
+def encode_error(req_id: int | None, code: str, message: str,
+                 route: dict | None = None, **extra) -> bytes:
     """Frame a structured error reply (no payload)."""
     if code not in ERROR_CODES:
         raise ParameterError(f"unknown service error code {code!r}")
     err = {"code": code, "message": message}
     err.update(extra)
-    return encode_frame({"ok": False, "id": req_id, "error": err})
+    header = {"ok": False, "id": req_id, "error": err}
+    if route:
+        header["route"] = route
+    return encode_frame(header)
 
 
 def _parse_header(raw: bytes) -> dict:

@@ -73,6 +73,9 @@ class ServerConfig:
 
     host: str = "127.0.0.1"
     port: int = 0  # 0 = ephemeral; read the bound port off the server
+    #: fleet identity: set by the cluster tier so health/stats replies are
+    #: attributable when aggregated by a gateway (None = standalone server)
+    shard_id: str | None = None
     codec_name: str = "pastri"
     codec_kwargs: dict = field(default_factory=lambda: {"dims": [1, 1, 1, 1]})
     codec: object | None = None  # pre-built instance (overrides the name)
@@ -159,6 +162,7 @@ class CompressionServer:
         self._draining = False
         self._started = time.monotonic()
         self._tasks: set[asyncio.Task] = set()
+        self._conns: set[asyncio.StreamWriter] = set()
         self._stopped = asyncio.Event()
 
     # -- lifecycle -----------------------------------------------------------
@@ -223,12 +227,46 @@ class CompressionServer:
         self.store.close()
         self._stopped.set()
 
+    async def abort(self) -> None:
+        """Hard kill (tests/fault injection): die without draining.
+
+        The listener closes, in-flight work is cancelled, and the store is
+        *aborted* — its spill container is left footerless with only the
+        journal describing it, exactly the disk state a SIGKILLed process
+        leaves.  A successor server over the same spill path must come
+        back through the salvage/recovery path (``spill_recover=True``).
+        """
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        # RST every live connection — peers see the same abrupt reset a
+        # SIGKILLed process would give them, with no drain and no goodbye
+        for writer in list(self._conns):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+        for task in list(self._tasks):
+            task.cancel()
+        pending = [t for t in (*self._tasks, self._dispatcher) if t is not None]
+        if pending:  # let cancellations unwind while the loop still runs
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._pool is not None:
+            self._pool.terminate()
+        self.store.abort()
+        self._stopped.set()
+
     # -- connection handling ---------------------------------------------------
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         write_lock = asyncio.Lock()
+        self._conns.add(writer)
         try:
             while True:
                 try:
@@ -263,6 +301,7 @@ class CompressionServer:
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
+            self._conns.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -372,6 +411,8 @@ class CompressionServer:
         params = header.get("params") or {}
         if not isinstance(params, dict):
             raise ParameterError("request params must be a JSON object")
+        if header.get("route"):  # forwarded to us by a cluster gateway
+            self._count("service.forwarded")
         if op == "health":
             return protocol.encode_response(req_id, self._health())
         if op == "metrics":
@@ -393,6 +434,14 @@ class CompressionServer:
             return await loop.run_in_executor(
                 self._executor, self._do_store_get, req_id, params
             )
+        if op == "store.put_raw":
+            return await loop.run_in_executor(
+                self._executor, self._do_store_put_raw, req_id, params, payload
+            )
+        if op == "store.get_raw":
+            return await loop.run_in_executor(
+                self._executor, self._do_store_get_raw, req_id, params
+            )
         if op == "store.stats":
             return protocol.encode_response(req_id, self._store_stats())
         raise ParameterError(f"unknown op {op!r}")
@@ -400,6 +449,8 @@ class CompressionServer:
     def _health(self) -> dict:
         return {
             "status": "draining" if self._draining else "ok",
+            "role": "shard" if self.config.shard_id else "server",
+            "shard_id": self.config.shard_id,
             "uptime_s": round(time.monotonic() - self._started, 3),
             "inflight_bytes": self._inflight_bytes,
             "queued": self._queue.qsize() if self._queue is not None else 0,
@@ -464,6 +515,35 @@ class CompressionServer:
         body, n = protocol.array_to_view(out)
         buffers.count_borrowed(body.nbytes)
         return protocol.encode_response_parts(req_id, {"n": n}, body)
+
+    def _do_store_put_raw(self, req_id, params: dict, payload: bytes) -> bytes:
+        """Accept an already-compressed blob verbatim (replica transfer).
+
+        The hinted-handoff drain uses this with ``store.get_raw`` so a
+        drained block lands byte-identical — no decode/re-encode cycle.
+        """
+        if "key" not in params or params.get("n") is None:
+            raise ParameterError("store.put_raw requires 'key' and 'n' params")
+        key = _revive_key(params["key"])
+        # the blob is retained by the store, so it must own the bytes
+        self.store.put_blob(
+            key, bytes(payload), int(params["n"]) * 8, dims=params.get("dims")
+        )
+        return protocol.encode_response(
+            req_id, {"stored": True, "raw": True, "n": int(params["n"])}
+        )
+
+    def _do_store_get_raw(self, req_id, params: dict) -> list:
+        if "key" not in params:
+            raise ParameterError("store.get_raw requires a 'key' param")
+        key = _revive_key(params["key"])
+        blob, nbytes, dims = self.store.get_blob(key)
+        buffers.count_borrowed(len(blob))
+        return protocol.encode_response_parts(
+            req_id,
+            {"n": nbytes // 8, "dims": None if dims is None else list(dims)},
+            blob,
+        )
 
     # -- micro-batched compression ---------------------------------------------
 
@@ -632,6 +712,19 @@ class ServerHandle:
             asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop).result(
                 timeout
             )
+            self._thread.join(timeout)
+
+    def kill(self, timeout: float = 10.0) -> None:
+        """Hard-kill the hosted server: no drain, no container footer.
+
+        The crash analogue of :meth:`stop` — see
+        :meth:`CompressionServer.abort`.  Used by the cluster fault tests
+        to simulate shard death without burning a subprocess.
+        """
+        if self._thread.is_alive():
+            asyncio.run_coroutine_threadsafe(
+                self.server.abort(), self._loop
+            ).result(timeout)
             self._thread.join(timeout)
 
     def __enter__(self) -> "ServerHandle":

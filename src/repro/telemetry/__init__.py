@@ -31,6 +31,7 @@ Typical use::
 from __future__ import annotations
 
 from repro.telemetry.export import (
+    format_counter_tree,
     format_metrics_table,
     format_report,
     format_span_tree,
@@ -76,6 +77,7 @@ __all__ = [
     "merge_state",
     "metrics_snapshot",
     "format_metrics_table",
+    "format_counter_tree",
     "format_span_tree",
     "format_report",
     "write_trace_jsonl",

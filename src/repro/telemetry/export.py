@@ -30,6 +30,7 @@ __all__ = [
     "read_trace_jsonl",
     "format_span_tree",
     "format_metrics_table",
+    "format_counter_tree",
     "format_report",
 ]
 
@@ -172,6 +173,63 @@ def format_metrics_table(snapshot: dict | None = None) -> str:
             val = f"{v:g}" if isinstance(v, float) else str(v)
             lines.append(f"{name:<58} {val:>16}")
     return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def format_counter_tree(values: dict, indent: int = 0, width: int = 44) -> str:
+    """Render dotted/namespaced scalar names as an indented tree.
+
+    ``values`` maps names to scalars — or to nested dicts, which recurse
+    (so per-shard aggregations like ``{"shard-00": {...}}`` render
+    cleanly).  Dotted names group under their shared prefixes::
+
+        service
+          buffers
+            bytes_borrowed                     1048576
+            bytes_copied                             0
+          requests                                  42
+
+    The flat-dict formatting this replaces printed every dotted name in
+    full, which made fleet-level (per-shard, per-namespace) counters
+    unreadable; see ``pastri remote stats`` / ``pastri cluster status``.
+    """
+    tree: dict = {}
+    for name, value in values.items():
+        if isinstance(value, dict):
+            value = dict(value)
+        node = tree
+        parts = str(name).split(".")
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+            if not isinstance(node, dict):  # scalar and group share a name
+                node = tree.setdefault(str(name), {})
+                parts = [str(name)]
+                break
+        leaf = parts[-1]
+        if isinstance(value, dict):
+            sub = node.setdefault(leaf, {})
+            if isinstance(sub, dict):
+                sub.update(value)
+            else:
+                node[leaf] = value
+        else:
+            node[leaf] = value
+
+    lines: list[str] = []
+
+    def emit(node: dict, depth: int) -> None:
+        pad = "  " * depth
+        for key in sorted(node, key=str):
+            value = node[key]
+            if isinstance(value, dict):
+                lines.append(f"{pad}{key}")
+                emit(value, depth + 1)
+            else:
+                val = f"{value:g}" if isinstance(value, float) else str(value)
+                label = f"{pad}{key}"
+                lines.append(f"{label:<{width}} {val:>12}")
+
+    emit(tree, indent)
+    return "\n".join(lines) if lines else "(none)"
 
 
 def format_report(roots: list[Span] | None = None, snapshot: dict | None = None) -> str:

@@ -1,0 +1,203 @@
+"""Hinted-handoff kill-point matrix (PR 8).
+
+The same discipline as ``tests/faults/test_crash_matrix.py``, one level
+up the stack: instead of placing a byte-budget failpoint inside one
+container's write stream, these tests hard-kill a whole shard at chosen
+points in a write workload (:meth:`LocalFleet.kill` aborts the server
+without footering its spill container — the disk state a SIGKILL
+leaves) and assert the cluster-level contract at every point:
+
+* writes issued while a preferred replica is dead land on a live holder
+  and leave a hint;
+* reads **never** fail client-side — they fail over to a live replica;
+* when the dead shard rejoins (salvaging its own spill through the PR 5
+  recovery path), the gateway drains the hints back and the rejoined
+  shard serves the hinted keys **byte-identically** to the holder's
+  copy;
+* a restarted gateway replays its hint journal and still owes exactly
+  the open hints.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.cluster import HintLog, LocalFleet
+
+EB = 1e-10
+SHAPE = (4, 4, 4, 4)
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+def _fleet(tmp_path, **gateway_kwargs):
+    kwargs = {"health_interval_s": 0.1, "fail_after": 1}
+    kwargs.update(gateway_kwargs)
+    return LocalFleet(
+        3, str(tmp_path), replication=2,
+        server_kwargs={"memory_budget_bytes": 4096},
+        gateway_kwargs=kwargs,
+    )
+
+
+def _block(seed):
+    return np.random.default_rng(seed).normal(size=SHAPE)
+
+
+def _wait(predicate, timeout_s=15.0, interval_s=0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return False
+
+
+def _wait_recovered(client):
+    def ok():
+        h = client.health()
+        return not h["shards_down"] and h["hints_pending"] == 0
+
+    assert _wait(ok), client.health()
+
+
+class TestKillPointMatrix:
+    """Kill one shard after K of 18 writes; the contract holds at every K."""
+
+    @pytest.mark.parametrize("kill_after", [0, 1, 9, 17])
+    def test_write_read_rejoin_at_every_kill_point(self, tmp_path, kill_after):
+        fleet = _fleet(tmp_path)
+        blocks = {("blk", i): _block(i) for i in range(18)}
+        keys = list(blocks)
+        with fleet:
+            with fleet.client() as c:
+                for key in keys[:kill_after]:
+                    c.put(key, blocks[key])
+                fleet.kill("shard-01")
+                for key in keys[kill_after:]:
+                    c.put(key, blocks[key])  # no client-visible failure
+                for key in keys:  # reads fail over, never error
+                    out = c.get(key).reshape(SHAPE)
+                    assert np.max(np.abs(out - blocks[key])) <= EB
+                fleet.restart("shard-01")
+                _wait_recovered(c)
+                for key in keys:
+                    out = c.get(key).reshape(SHAPE)
+                    assert np.max(np.abs(out - blocks[key])) <= EB
+
+    def test_drained_shard_serves_hinted_keys_byte_identically(self, tmp_path):
+        fleet = _fleet(tmp_path)
+        with fleet:
+            gw = fleet.gateway.gateway
+            with fleet.client() as c:
+                fleet.kill("shard-02")
+                blocks = {("blk", i): _block(i) for i in range(10)}
+                for key, data in blocks.items():
+                    c.put(key, data)
+                hinted = list(gw.hints.pending("shard-02"))
+                assert hinted, "no write preferred the killed shard"
+                holder_blobs = {}
+                for key, holder in hinted:
+                    with fleet.shard_client(holder) as hc:
+                        _, blob = hc.call("store.get_raw", {"key": key})
+                    holder_blobs[tuple(key)] = blob
+                fleet.restart("shard-02")
+                _wait_recovered(c)
+            for key, blob in holder_blobs.items():
+                with fleet.shard_client("shard-02") as sc:
+                    _, owned = sc.call("store.get_raw", {"key": key})
+                assert owned == blob  # byte-identical after the drain
+
+    def test_hints_record_the_true_preference_owners(self, tmp_path):
+        fleet = _fleet(tmp_path)
+        with fleet:
+            gw = fleet.gateway.gateway
+            with fleet.client() as c:
+                fleet.kill("shard-00")
+                for i in range(12):
+                    c.put(("blk", i), _block(i))
+                for key, holder in gw.hints.pending("shard-00"):
+                    preferred = gw.ring.preference(key, 2)
+                    assert "shard-00" in preferred
+                    assert holder not in preferred
+
+
+class TestHintJournal:
+    def test_restarted_gateway_owes_exactly_the_open_hints(self, tmp_path):
+        path = str(tmp_path / "hints.jsonl")
+        log = HintLog(path)
+        log.record("shard-01", ("blk", 1), "shard-02")
+        log.record("shard-01", ("blk", 2), "shard-00")
+        log.record("shard-00", ("blk", 3), "shard-02")
+        log.drained("shard-01", ("blk", 1))
+        log.close()
+        replayed = HintLog(path)
+        assert replayed.counts() == {"shard-01": 1, "shard-00": 1}
+        pending = dict((tuple(k), h) for k, h in replayed.pending("shard-01"))
+        assert pending == {("blk", 2): "shard-00"}
+        replayed.close()
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = str(tmp_path / "hints.jsonl")
+        log = HintLog(path)
+        log.record("shard-01", ("blk", 1), "shard-02")
+        log.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"op": "hint", "shard": "shar')  # killed mid-append
+        replayed = HintLog(path)
+        assert replayed.counts() == {"shard-01": 1}
+        replayed.close()
+
+    def test_record_drain_cycle_is_idempotent(self, tmp_path):
+        log = HintLog(str(tmp_path / "hints.jsonl"))
+        log.record("s1", ("k", 1), "s2")
+        log.record("s1", ("k", 1), "s3")  # re-hint updates the holder
+        assert log.pending("s1") == [(("k", 1), "s3")]
+        log.drained("s1", ("k", 1))
+        log.drained("s1", ("k", 1))  # double-drain is a no-op
+        assert len(log) == 0
+        log.close()
+
+
+class TestRejoinTelemetry:
+    def test_drain_counters_and_salvage(self, tmp_path):
+        fleet = _fleet(tmp_path)
+        with fleet:
+            with fleet.client() as c:
+                for i in range(6):
+                    c.put(("pre", i), _block(i))
+                fleet.kill("shard-01")
+                for i in range(8):
+                    c.put(("post", i), _block(100 + i))
+                owed = c.health()["hints_pending"]
+                assert owed > 0
+                fleet.restart("shard-01")
+                _wait_recovered(c)
+                m = c.metrics()
+
+                def val(name):
+                    return m.get(name, {}).get("value", 0)
+
+                assert val("cluster.hints.recorded") == owed
+                assert val("cluster.hints.drained") == owed
+                assert val("cluster.shard_down") >= 1
+                assert val("cluster.shard_up") >= 1
+                # every drained key is durably back on the rejoined owner
+                # (pre-kill keys still in the dead shard's dirty write
+                # buffer are legitimately lost there — the replica covers
+                # them, which the kill-point matrix asserts via the
+                # gateway; hinted keys must be present *directly*)
+                ring = fleet.gateway.gateway.ring
+                with fleet.shard_client("shard-01") as sc:
+                    for i in range(8):
+                        key = ("post", i)
+                        if "shard-01" in ring.preference(key, 2):
+                            out = sc.get(key).reshape(SHAPE)
+                            assert np.max(np.abs(out - _block(100 + i))) <= EB

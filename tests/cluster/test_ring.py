@@ -1,0 +1,146 @@
+"""Property tests for the consistent-hash ring (PR 8).
+
+Two invariants the cluster's routing leans on, pinned as hypothesis
+properties plus a few deterministic anchors:
+
+* **Balance**: with virtual nodes, key ownership spreads across shards
+  within a tolerance band — no shard owns a pathological share of a
+  uniform key population.
+* **Minimal remap**: adding a shard only moves keys *to* the new shard
+  (everything it doesn't take stays put), and removing a shard only
+  moves the keys it owned — about 1/N of the key space either way.
+  This is the property that makes membership change cheap: ~1/N of the
+  data migrates, not a full reshuffle.
+
+Plus: preference lists are distinct, stable, and prefix-consistent as R
+grows; tuple and wire-list spellings of a key hash identically.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import HashRing, key_bytes
+from repro.cluster.ring import stable_hash
+from repro.errors import ParameterError
+
+names_st = st.lists(
+    st.integers(min_value=0, max_value=99).map(lambda i: f"shard-{i:02d}"),
+    min_size=2, max_size=12, unique=True,
+)
+key_st = st.one_of(
+    st.integers(min_value=0, max_value=10**6),
+    st.tuples(*(st.integers(min_value=0, max_value=40),) * 4),
+    st.text(max_size=20),
+)
+
+
+def _keys(n: int = 2000):
+    return [("blk", i, i * 7 % 13) for i in range(n)]
+
+
+class TestBalance:
+    @given(names=names_st)
+    @settings(max_examples=30, deadline=None)
+    def test_ownership_within_tolerance(self, names):
+        ring = HashRing(names, vnodes=64)
+        counts = Counter(ring.primary(k) for k in _keys())
+        share = {n: counts.get(n, 0) / 2000 for n in names}
+        fair = 1.0 / len(names)
+        # 64 vnodes keeps every shard within ~2.5x of fair share even in
+        # unlucky draws; in practice it's far tighter.
+        for n, s in share.items():
+            assert s <= 2.5 * fair, (n, share)
+            assert s >= fair / 2.5, (n, share)
+
+    def test_more_vnodes_tighter_balance(self):
+        names = [f"shard-{i:02d}" for i in range(4)]
+        keys = _keys(4000)
+
+        def spread(vnodes):
+            counts = Counter(HashRing(names, vnodes).primary(k) for k in keys)
+            return max(counts.values()) - min(counts.values())
+
+        assert spread(128) <= spread(4)
+
+
+class TestMinimalRemap:
+    @given(names=names_st)
+    @settings(max_examples=30, deadline=None)
+    def test_add_only_remaps_to_the_new_shard(self, names):
+        *old, new = names
+        ring = HashRing(old, vnodes=32)
+        before = {k: ring.primary(k) for k in _keys(800)}
+        ring.add(new)
+        for k, owner in before.items():
+            now = ring.primary(k)
+            assert now == owner or now == new, (k, owner, now)
+
+    @given(names=names_st)
+    @settings(max_examples=30, deadline=None)
+    def test_remove_only_remaps_the_removed_shards_keys(self, names):
+        ring = HashRing(names, vnodes=32)
+        victim = names[0]
+        before = {k: ring.primary(k) for k in _keys(800)}
+        ring.remove(victim)
+        for k, owner in before.items():
+            if owner == victim:
+                assert ring.primary(k) != victim
+            else:
+                assert ring.primary(k) == owner, (k, owner)
+
+    def test_remap_fraction_is_about_one_over_n(self):
+        names = [f"shard-{i:02d}" for i in range(8)]
+        ring = HashRing(names, vnodes=64)
+        keys = _keys(4000)
+        before = {k: ring.primary(k) for k in keys}
+        ring.add("shard-99")
+        moved = sum(1 for k in keys if ring.primary(k) != before[k])
+        # expected 1/9 of keys; allow generous slop for small vnode counts
+        assert 0.03 <= moved / len(keys) <= 0.30, moved
+
+
+class TestPreference:
+    @given(names=names_st, key=key_st, r=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_and_sized(self, names, key, r):
+        ring = HashRing(names, vnodes=16)
+        pref = ring.preference(key, r)
+        assert len(pref) == len(set(pref)) == min(r, len(names))
+        assert all(p in ring for p in pref)
+
+    @given(names=names_st, key=key_st)
+    @settings(max_examples=60, deadline=None)
+    def test_prefix_consistent_as_r_grows(self, names, key):
+        ring = HashRing(names, vnodes=16)
+        full = ring.preference(key, len(names))
+        for r in range(1, len(names) + 1):
+            assert ring.preference(key, r) == full[:r]
+
+    @given(names=names_st, key=key_st)
+    @settings(max_examples=40, deadline=None)
+    def test_stable_across_rebuilds(self, names, key):
+        a = HashRing(names, vnodes=16)
+        b = HashRing(reversed(names), vnodes=16)
+        assert a.preference(key, 3) == b.preference(key, 3)
+
+
+class TestKeyBytes:
+    def test_tuple_and_wire_list_hash_identically(self):
+        assert key_bytes((0, 1, 2, 3)) == key_bytes([0, 1, 2, 3])
+        assert stable_hash(key_bytes(("a", 1))) == stable_hash(key_bytes(["a", 1]))
+
+    @given(key=key_st)
+    @settings(max_examples=60, deadline=None)
+    def test_process_stable(self, key):
+        assert stable_hash(key_bytes(key)) == stable_hash(key_bytes(key))
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            HashRing(vnodes=0)
+        with pytest.raises(ParameterError):
+            HashRing(["a"]).preference("k", 0)
+        with pytest.raises(ParameterError):
+            HashRing().primary("k")
