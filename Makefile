@@ -5,7 +5,7 @@ PY ?= python
 export PYTHONPATH := src
 
 .PHONY: test ci bench bench-record overhead-check serve-smoke fsck-smoke \
-	store-bench-smoke scaling-smoke cluster-smoke harness
+	store-bench-smoke scaling-smoke cluster-smoke lowrank-smoke harness
 
 test:
 	$(PY) -m pytest tests/ -q
@@ -71,6 +71,14 @@ scaling-smoke:
 ## the forward path, and no leaked shm segments after teardown.
 cluster-smoke:
 	timeout 180 $(PY) scripts/cluster_smoke.py
+
+## Low-rank codec gate: pack a structured shell-block batch into a real
+## container via `pastri pack --codec lowrank` (codec revived purely from
+## the embedded spec) and round-trip the same batch through a live
+## `pastri serve --codec lowrank` subprocess, asserting the point-wise
+## bound and a minimum ratio on both paths plus live lowrank.* telemetry.
+lowrank-smoke:
+	timeout 150 $(PY) scripts/lowrank_smoke.py
 
 harness:
 	$(PY) -m repro.harness all

@@ -13,10 +13,14 @@ the shared-memory data plane, with borrowed-vs-copied byte telemetry), and
 — since PR 8 — a *cluster* sweep (64 concurrent clients doing replicated
 puts and failover gets through the consistent-hash gateway against
 1/2/4/8 shards, with p95 request latency from the gateway's telemetry),
-and writes machine-annotated results so future PRs have a baseline to
-compare against::
+and — since PR 9 — a *codec comparison* (ratio, compress/decompress MB/s,
+and max abs error for PaSTRI, SZ, ZFP, lowrank, and the lossless tier on
+the chemistry dataset and a synthetic low-rank batch, plus a
+rank-vs-ratio curve for the lowrank codec), and writes
+machine-annotated results so future PRs have a baseline to compare
+against::
 
-    python -m benchmarks.record              # writes BENCH_pr8.json
+    python -m benchmarks.record              # writes BENCH_pr9.json
     python -m benchmarks.record -o out.json --reps 30
 
 Methodology (since PR 3): every measured region runs under a
@@ -210,6 +214,96 @@ def _scaling_sweep(data, ds, reps: int) -> dict:
             "segments_created": delta("store.shm.segments_created"),
             "pool_hits": delta("store.shm.pool_hits"),
         },
+    }
+
+
+def _synthetic_lowrank_batch() -> np.ndarray:
+    """400 (dd|dd) blocks from a 4-dim subspace — cross-block structure a
+    per-stream codec cannot see, the lowrank codec's designed case."""
+    rng = np.random.default_rng(99)
+    basis = rng.standard_normal((4, 6 ** 4))
+    coef = rng.standard_normal((400, 4)) * np.array([1.0, 0.3, 0.1, 0.03])
+    return ((coef @ basis) * 1e-6).ravel()
+
+
+def _codec_comparison(reps: int) -> dict:
+    """Five-codec ratio/throughput/bound sweep + lowrank rank-vs-ratio curve.
+
+    Two datasets: the chemistry batch (PaSTRI's designed case — pattern
+    structure *within* blocks) and a synthetic low-rank batch (the
+    lowrank codec's designed case — structure *across* blocks).  Every
+    cell records the measured max abs error beside the bound so the
+    record is self-auditing.
+    """
+    from repro.api import get_codec
+    from repro.lowrank import format as lrk_fmt
+
+    chem = standard_dataset("trialanine", "(dd|dd)", "small")
+    datasets = {
+        "trialanine_dd_dd_400": (chem.data, chem.spec.dims),
+        "synthetic_lowrank_r4_400": (_synthetic_lowrank_batch(), (6, 6, 6, 6)),
+    }
+    codec_names = ("pastri", "sz", "zfp", "lowrank", "deflate", "fpc")
+    sweep_reps = max(3, reps // 3)
+    rows: dict = {}
+    for ds_name, (data, dims) in datasets.items():
+        per: dict = {}
+        for name in codec_names:
+            kw = {"dims": dims} if name in ("pastri", "lowrank") else {}
+            codec = get_codec(name, **kw)
+            blob = codec.compress(data, EB)
+            c_min, _ = _best(
+                f"bench.codecs.{ds_name}.{name}.compress",
+                lambda codec=codec, data=data: codec.compress(data, EB),
+                sweep_reps, warmup=1,
+            )
+            d_min, _ = _best(
+                f"bench.codecs.{ds_name}.{name}.decompress",
+                lambda codec=codec, blob=blob: codec.decompress(blob),
+                sweep_reps, warmup=1,
+            )
+            err = float(np.max(np.abs(codec.decompress(blob) - data)))
+            per[name] = {
+                "class": "lossless" if name in ("deflate", "fpc") else "lossy",
+                "ratio": round(data.nbytes / len(blob), 2),
+                "compress_mb_s": round(data.nbytes / c_min / 1e6, 1),
+                "decompress_mb_s": round(data.nbytes / d_min / 1e6, 1),
+                "max_abs_error": err,
+                "bound_ok": bool(err <= EB),
+            }
+        rows[ds_name] = per
+
+    # rank-vs-ratio curve: pinned SVD ranks plus the adaptive pick, so
+    # the record shows where the bytes-economics sweep lands.
+    curve: dict = {}
+    for ds_name, (data, dims) in datasets.items():
+        points = []
+        for rank in (1, 2, 3, 4, 6, 8, 12, 16, 24, 32):
+            codec = get_codec("lowrank", dims=dims, rank=rank)
+            blob = codec.compress(data, EB)
+            points.append({
+                "rank": rank,
+                "ratio": round(data.nbytes / len(blob), 2),
+                "max_abs_error": float(np.max(np.abs(codec.decompress(blob) - data))),
+            })
+        adaptive = get_codec("lowrank", dims=dims)
+        blob = adaptive.compress(data, EB)
+        curve[ds_name] = {
+            "pinned": points,
+            "adaptive": {
+                "chosen_rank": lrk_fmt.parse_blob(blob).rank,
+                "ratio": round(data.nbytes / len(blob), 2),
+            },
+        }
+
+    return {
+        "error_bound": EB,
+        "datasets": {
+            name: {"n_points": int(d.size), "mb": d.nbytes / 1e6}
+            for name, (d, _) in datasets.items()
+        },
+        "rows": rows,
+        "lowrank_rank_curve": curve,
     }
 
 
@@ -432,6 +526,8 @@ def _run(reps: int) -> dict:
     # service workloads at 1/2/4 workers over the shared-memory transport,
     # so the JSON records how the zero-copy data plane scales.  Telemetry
     # deltas around the sweep capture the borrowed-vs-copied byte split.
+    codecs = _codec_comparison(reps)
+
     scaling = _scaling_sweep(data, ds, reps)
 
     # Cluster axis (PR 8): 64 concurrent clients through the gateway
@@ -483,8 +579,8 @@ def _run(reps: int) -> dict:
     mbs = lambda s: nbytes / s / 1e6  # noqa: E731
     return {
         "bench": (
-            "pr8 sharded serving tier: consistent-hash gateway, replicated "
-            "shard fleet, hinted handoff"
+            "pr9 low-rank codec family: five-codec comparison on chemistry "
+            "and synthetic low-rank batches, rank-vs-ratio curve"
         ),
         "recorded_unix": int(time.time()),
         "machine": {
@@ -561,6 +657,7 @@ def _run(reps: int) -> dict:
                 / max(spill_overhauled["disk_reads"], 1), 2
             ),
         },
+        "codecs": codecs,
         "scaling": scaling,
         "cluster": cluster,
         "service": {
@@ -594,7 +691,7 @@ def _run(reps: int) -> dict:
 
 def main(argv: list[str] | None = None) -> None:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("-o", "--output", default="BENCH_pr8.json", type=Path)
+    ap.add_argument("-o", "--output", default="BENCH_pr9.json", type=Path)
     ap.add_argument("--reps", default=15, type=int)
     args = ap.parse_args(argv)
     record = run(reps=args.reps)
@@ -643,6 +740,20 @@ def main(argv: list[str] | None = None) -> None:
             for n, r in cl["rows"].items()
         )
     )
+    for ds_name, per in record["codecs"]["rows"].items():
+        cells = "  ".join(
+            f"{name} {row['ratio']}x" for name, row in per.items()
+        )
+        print(f"codecs [{ds_name}]: {cells}")
+    for ds_name, curve in record["codecs"]["lowrank_rank_curve"].items():
+        ad = curve["adaptive"]
+        print(
+            f"lowrank rank curve [{ds_name}]: adaptive r={ad['chosen_rank']} "
+            f"({ad['ratio']}x), pinned "
+            + " ".join(
+                f"r{p['rank']}={p['ratio']}x" for p in curve["pinned"]
+            )
+        )
     print(f"speedups vs pre-PR: {record['speedup_vs_pre_pr']}")
 
 

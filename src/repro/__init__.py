@@ -23,6 +23,7 @@ from repro.api import Codec, available_codecs, get_codec, register_codec
 from repro.core import BlockSpec, BlockType, PaSTRICompressor, ScalingMetric
 from repro.sz import SZCompressor
 from repro.zfp import ZFPCompressor
+from repro.lowrank import LowRankCompressor
 from repro.lossless import DeflateCodec, FPCCodec
 from repro.chem import (
     ERIDataset,
@@ -64,6 +65,7 @@ __all__ = [
     "ScalingMetric",
     "SZCompressor",
     "ZFPCompressor",
+    "LowRankCompressor",
     "DeflateCodec",
     "FPCCodec",
     "ERIDataset",

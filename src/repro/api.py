@@ -1,4 +1,4 @@
-"""Common codec interface shared by PaSTRI, SZ, ZFP, and the lossless codecs.
+"""Common codec interface shared by PaSTRI, SZ, ZFP, lowrank, and the lossless codecs.
 
 Every compressor in this package implements the :class:`Codec` protocol:
 
@@ -12,8 +12,8 @@ Every compressor in this package implements the :class:`Codec` protocol:
     codecs and exact equality for the lossless ones.
 
 A tiny registry maps codec names (``"pastri"``, ``"sz"``, ``"zfp"``,
-``"deflate"``, ``"fpc"``) to factories so harness code can sweep codecs by
-name.
+``"lowrank"``, ``"deflate"``, ``"fpc"``) to factories so harness code can
+sweep codecs by name.
 """
 
 from __future__ import annotations

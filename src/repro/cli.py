@@ -37,7 +37,9 @@ fresh footer index is written — atomically in place by default, or to
 ``--output``; ``--dry-run`` only reports (exit 1 when damage was found).  ``compress``/``pack`` accept a raw
 ``.npy`` float64 array (``--config`` required) or an ``.npz`` saved by
 :meth:`repro.chem.dataset.ERIDataset.save` (block geometry taken from the
-file).  Error bounds are absolute by default; ``--eb-mode rel`` interprets
+file).  ``--codec`` on ``pack``/``assess``/``serve`` selects any
+registered codec by name; the low-rank codec adds ``--rank``,
+``--max-rank``, and ``--method svd|cp`` (``docs/LOWRANK.md``).  Error bounds are absolute by default; ``--eb-mode rel`` interprets
 ``--eb`` as value-range-relative (SZ's REL mode).
 
 ``compress``/``decompress``/``pack``/``unpack``/``assess`` take a global
@@ -136,13 +138,45 @@ def cmd_decompress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cli_codec_kwargs(args: argparse.Namespace, dims) -> dict:
+    """Constructor kwargs for the codec named on the command line.
+
+    Shape-aware codecs need the block geometry; lowrank additionally
+    takes its rank knobs.  Shape-independent codecs take nothing.
+    """
+    if args.codec == "pastri":
+        return {"dims": dims}
+    if args.codec == "lowrank":
+        return {
+            "dims": dims,
+            "method": args.method,
+            "rank": args.rank,
+            "max_rank": args.max_rank,
+        }
+    return {}
+
+
+def _add_lowrank_args(p: argparse.ArgumentParser) -> None:
+    """Rank knobs shared by every subcommand that builds a codec."""
+    p.add_argument("--rank", type=int, default=0,
+                   help="lowrank: pin the factorization rank (0 = adaptive)")
+    p.add_argument("--max-rank", type=int, default=32,
+                   help="lowrank: ceiling for adaptive rank selection")
+    p.add_argument("--method", choices=("svd", "cp"), default="svd",
+                   help="lowrank: factorization family")
+
+
 def _print_container_summary(path: str) -> None:
     from repro.streamio import open_container
 
+    from repro.api import available_codecs
+
     with open_container(path) as r:
         n_bytes = sum(f.length for f in r.frames)
+        known = r.codec_name in available_codecs()
+        note = "" if known else "  [no codec of this name registered here]"
         print(f"PSTF container (v{r.version}): {path}")
-        print(f"  codec       : {r.codec_name}  {r.codec_spec['kwargs']}")
+        print(f"  codec       : {r.codec_name}  {r.codec_spec.get('kwargs', {})}{note}")
         print(f"  frames      : {len(r)}")
         print(f"  payload     : {n_bytes} B compressed, {r.n_elements} elements")
         if r.meta:
@@ -175,7 +209,7 @@ def cmd_pack(args: argparse.Namespace) -> int:
 
     data, dims = _load_input(args.input, args.config)
     eb = _resolve_eb(data, args)
-    codec_kwargs = {"dims": dims} if args.codec == "pastri" else {}
+    codec_kwargs = _cli_codec_kwargs(args, dims)
     block = int(np.prod(dims))
     frame_elems = block * max(args.chunk_blocks, 1)
     n_frames = max(-(-data.size // frame_elems), args.workers)
@@ -222,7 +256,7 @@ def cmd_ls(args: argparse.Namespace) -> int:
     with open_container(args.input) as r:
         print(
             f"{args.input}: PSTF v{r.version}, codec {r.codec_name} "
-            f"{r.codec_spec['kwargs']}, {len(r)} frames"
+            f"{r.codec_spec.get('kwargs', {})}, {len(r)} frames"
         )
         print(f"{'#':>4} {'offset':>10} {'bytes':>9} {'elements':>9} "
               f"{'crc32':>10}  {'dims':<14} key")
@@ -277,7 +311,7 @@ def cmd_assess(args: argparse.Namespace) -> int:
 
     ds = ERIDataset.load(args.input)
     eb = _resolve_eb(ds.data, args)
-    kwargs = {"dims": ds.spec.dims} if args.codec == "pastri" else {}
+    kwargs = _cli_codec_kwargs(args, ds.spec.dims)
     codec = get_codec(args.codec, **kwargs)
     a = assess(codec, ds.data, eb)
     print(f"{args.codec} on {args.input} at EB={eb:g} ({args.eb_mode})")
@@ -300,16 +334,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service.server import CompressionServer, ServerConfig
 
-    codec_kwargs: dict = {}
-    if args.codec == "pastri":
-        from repro.core.blocking import BlockSpec
+    from repro.core.blocking import BlockSpec
 
-        dims = (
-            list(BlockSpec.from_config(args.config).dims)
-            if args.config
-            else [1, 1, 1, 1]
-        )
-        codec_kwargs["dims"] = dims
+    dims = (
+        list(BlockSpec.from_config(args.config).dims)
+        if args.config
+        else [1, 1, 1, 1]
+    )
+    codec_kwargs = _cli_codec_kwargs(args, dims)
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -694,6 +726,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_eb_args(pk)
     pk.add_argument("--codec", default="pastri", help="registry codec name")
     pk.add_argument("--config", default=None, help="BF configuration for raw .npy")
+    _add_lowrank_args(pk)
     pk.add_argument("--workers", type=int, default=1, help="compression processes")
     pk.add_argument(
         "--chunk-blocks", type=int, default=64,
@@ -740,6 +773,7 @@ def main(argv: list[str] | None = None) -> int:
     a.add_argument("input", help=".npz dataset")
     _add_eb_args(a)
     a.add_argument("--codec", default="pastri")
+    _add_lowrank_args(a)
     _add_telemetry_arg(a)
     a.set_defaults(func=cmd_assess)
 
@@ -764,8 +798,10 @@ def main(argv: list[str] | None = None) -> int:
     sv.add_argument("--codec", default="pastri", help="registry codec name")
     sv.add_argument(
         "--config", default=None,
-        help="base BF configuration for pastri (per-request dims still apply)",
+        help="base BF configuration for shape-aware codecs "
+             "(per-request dims still apply)",
     )
+    _add_lowrank_args(sv)
     sv.add_argument("--eb", type=float, default=1e-10, help="store error bound")
     sv.add_argument("--workers", type=int, default=1,
                     help=">1 adds a multiprocessing batch pool")

@@ -160,6 +160,21 @@ class PaSTRICompressor:
             "ecq_mode": self.ecq_mode,
         }
 
+    def reshaped(self, dims) -> "PaSTRICompressor":
+        """A same-config codec for a different block geometry.
+
+        Shape-aware codecs expose this so per-``dims`` dispatch (the
+        spill store, the worker pool) can stay codec-agnostic: anything
+        with a ``reshaped`` method gets a per-geometry instance, anything
+        without is shape-independent and shared as-is.
+        """
+        return PaSTRICompressor(
+            dims=tuple(int(d) for d in dims),
+            metric=self.metric,
+            tree_id=self.tree_id,
+            ecq_mode=self.ecq_mode,
+        )
+
     # -- compression --------------------------------------------------------
 
     def compress(self, data: np.ndarray, error_bound: float) -> bytes:

@@ -1,0 +1,22 @@
+"""Error-bounded low-rank tensor codec family (``lowrank``).
+
+Batched truncated factorization (randomized SVD or ALS-CP) over stacks
+of same-class shell blocks, plus a mandatory ECQ residual pass that
+enforces the point-wise error bound regardless of factorization quality.
+Importing this package registers the ``"lowrank"`` codec with
+:mod:`repro.api`.
+"""
+
+from repro.lowrank.codec import LowRankCompressor
+from repro.lowrank.factor import als_cp, reconstruct_cp, reconstruct_svd, truncated_svd
+from repro.lowrank.policy import RankPolicy, choose_rank
+
+__all__ = [
+    "LowRankCompressor",
+    "RankPolicy",
+    "als_cp",
+    "choose_rank",
+    "reconstruct_cp",
+    "reconstruct_svd",
+    "truncated_svd",
+]

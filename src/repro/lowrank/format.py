@@ -1,0 +1,199 @@
+"""Self-describing wire format of a low-rank blob (``LRK1``).
+
+One blob is one compressed stream, independent of any container — the
+same contract every other codec in the registry honours, which is what
+lets PSTF containers, the spill store, the PSRV service, and the cluster
+gateway carry ``lowrank`` frames with zero changes to their own logic.
+
+Layout (little-endian, no alignment)::
+
+    magic 'LRK1' | version u8 | method u8 | factor dtype u8 | flags u8
+    error bound f64 | n u64 | n_blocks u32 | dims 4×u16 | rank u16
+    residual: mode u8 | idx dtype u8 | val dtype u8 | pad u8
+              nnz u64 | payload len u64
+    factor len u64
+    factor bytes | residual payload | tail doubles (n − n_blocks·N, raw)
+
+``method`` 0 stores the whole-block body DEFLATE-compressed verbatim in
+the factor section (the exact fallback for batches that refuse to be
+low-rank); 1 is the truncated SVD (factors ``U (n_blocks×r)`` then
+``W = diag(s)·Vt (r×N)``); 2 is CP (factors ``A (n_blocks×r)``,
+``B (M×r)``, ``C (L×r)``).  Every section length is validated against
+the blob before a byte is allocated, the repo-wide rule for corrupt
+input containment.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.lowrank.residual import ResidualStream
+
+MAGIC = b"LRK1"
+VERSION = 1
+
+METHOD_RAW = 0
+METHOD_SVD = 1
+METHOD_CP = 2
+METHOD_NAMES = {METHOD_RAW: "raw", METHOD_SVD: "svd", METHOD_CP: "cp"}
+
+FACTOR_F32 = 0
+FACTOR_F64 = 1
+_FACTOR_DTYPES = {FACTOR_F32: np.dtype("<f4"), FACTOR_F64: np.dtype("<f8")}
+
+_HEADER = struct.Struct("<4sBBBBdQI4HHBBBBQQQ")
+
+
+@dataclass(frozen=True)
+class BlobHeader:
+    """Parsed fixed-size header of an LRK1 blob."""
+
+    method: int
+    factor_dtype: np.dtype
+    error_bound: float
+    n: int
+    n_blocks: int
+    dims: tuple[int, int, int, int]
+    rank: int
+    residual: ResidualStream
+    factor_bytes: bytes
+    tail: np.ndarray  # float64 tail values (may be empty)
+
+
+def pack_blob(
+    *,
+    method: int,
+    factor_dtype_code: int,
+    error_bound: float,
+    n: int,
+    n_blocks: int,
+    dims: tuple[int, int, int, int],
+    rank: int,
+    factor_bytes: bytes,
+    residual: ResidualStream,
+    tail: np.ndarray,
+) -> bytes:
+    """Assemble one LRK1 blob from its sections."""
+    header = _HEADER.pack(
+        MAGIC,
+        VERSION,
+        method,
+        factor_dtype_code,
+        0,
+        float(error_bound),
+        int(n),
+        int(n_blocks),
+        *(int(d) for d in dims),
+        int(rank),
+        residual.mode,
+        residual.idx_code,
+        residual.val_code,
+        0,
+        residual.nnz,
+        len(residual.payload),
+        len(factor_bytes),
+    )
+    tail64 = np.ascontiguousarray(tail, dtype="<f8")
+    return b"".join((header, factor_bytes, residual.payload, tail64.tobytes()))
+
+
+def parse_blob(blob) -> BlobHeader:
+    """Parse and validate an LRK1 blob into its typed sections."""
+    blob = bytes(blob) if not isinstance(blob, (bytes, bytearray)) else blob
+    if len(blob) < _HEADER.size:
+        raise FormatError(
+            f"{len(blob)}-byte blob cannot hold the {_HEADER.size}-byte LRK1 header"
+        )
+    (
+        magic,
+        version,
+        method,
+        fdt_code,
+        _flags,
+        eb,
+        n,
+        n_blocks,
+        d0,
+        d1,
+        d2,
+        d3,
+        rank,
+        rmode,
+        ridx,
+        rval,
+        _rpad,
+        rnnz,
+        rlen,
+        flen,
+    ) = _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise FormatError("not a lowrank stream (bad magic)")
+    if version != VERSION:
+        raise FormatError(f"unsupported lowrank stream version {version}")
+    if method not in METHOD_NAMES:
+        raise FormatError(f"unknown lowrank method {method}")
+    if fdt_code not in _FACTOR_DTYPES:
+        raise FormatError(f"unknown factor dtype code {fdt_code}")
+    if not (eb > 0 and np.isfinite(eb)):
+        raise FormatError(f"bad error bound {eb}")
+    dims = (d0, d1, d2, d3)
+    if any(d < 1 for d in dims):
+        raise FormatError(f"bad block dims {dims}")
+    block = d0 * d1 * d2 * d3
+    n_tail = n - n_blocks * block
+    if not 0 <= n_tail < block:
+        raise FormatError(
+            f"element count {n} inconsistent with {n_blocks} blocks of {block}"
+        )
+    body_len = len(blob) - _HEADER.size
+    tail_bytes = n_tail * 8
+    if flen + rlen + tail_bytes != body_len:
+        raise FormatError(
+            f"section lengths ({flen} factor + {rlen} residual + {tail_bytes} "
+            f"tail) do not add up to the {body_len}-byte body"
+        )
+    fstart = _HEADER.size
+    rstart = fstart + flen
+    tstart = rstart + rlen
+    tail = np.frombuffer(blob, dtype="<f8", count=n_tail, offset=tstart).astype(
+        np.float64
+    )
+    return BlobHeader(
+        method=method,
+        factor_dtype=_FACTOR_DTYPES[fdt_code],
+        error_bound=float(eb),
+        n=int(n),
+        n_blocks=int(n_blocks),
+        dims=dims,
+        rank=int(rank),
+        residual=ResidualStream(rmode, int(rnnz), ridx, rval, blob[rstart:tstart]),
+        factor_bytes=blob[fstart:rstart],
+        tail=tail,
+    )
+
+
+def factor_sections(
+    hdr: BlobHeader, shapes: list[tuple[int, int]]
+) -> list[np.ndarray]:
+    """Split the factor bytes into matrices of the given shapes."""
+    dt = hdr.factor_dtype
+    need = sum(r * c for r, c in shapes) * dt.itemsize
+    if len(hdr.factor_bytes) != need:
+        raise FormatError(
+            f"factor section holds {len(hdr.factor_bytes)} bytes, "
+            f"expected {need} for shapes {shapes}"
+        )
+    out = []
+    off = 0
+    for r, c in shapes:
+        nbytes = r * c * dt.itemsize
+        mat = np.frombuffer(
+            hdr.factor_bytes, dtype=dt, count=r * c, offset=off
+        ).reshape(r, c)
+        out.append(mat)
+        off += nbytes
+    return out

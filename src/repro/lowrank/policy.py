@@ -1,0 +1,100 @@
+"""Rank-selection policy for the low-rank codec.
+
+The codec's correctness never depends on the chosen rank — the residual
+pass enforces the point-wise bound whatever the factorization missed —
+so rank selection is purely an economics problem: pick the rank where
+*factor bytes + expected residual bytes* bottoms out.
+
+The policy works from the singular-value profile of the stacked block
+matrix.  The tail energy past rank ``r`` bounds the RMS of the residual;
+once that RMS falls well under the ECQ bin (``2·EB``), almost every
+residual quantizes to zero and adding more rank only buys factor bytes.
+Conversely, while the tail RMS is far above the bin, every added rank
+removes whole bits from the residual codes.  We sweep ``r`` over the
+profile and score both terms explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Hard ceiling on stored rank (fits the u16 header field with room to
+#: spare; ERI batches are far below it).
+MAX_RANK_LIMIT = 4096
+
+#: Residual values cost roughly this many bytes each once sparsified and
+#: deflated (index + small code, post-entropy-coding).  A coarse constant
+#: is fine: it only tilts the rank sweep, not correctness.
+_RESIDUAL_BYTES_PER_NONZERO = 3.0
+
+
+@dataclass(frozen=True)
+class RankPolicy:
+    """Knobs steering rank selection.
+
+    ``rank > 0`` pins the rank (clamped to the geometry); ``rank == 0``
+    selects adaptively from the error budget.  ``max_rank`` caps the
+    adaptive search.
+    """
+
+    rank: int = 0
+    max_rank: int = 32
+
+    def __post_init__(self) -> None:
+        from repro.errors import ParameterError
+
+        if self.rank < 0:
+            raise ParameterError(f"rank must be >= 0 (0 = adaptive), got {self.rank}")
+        if not 1 <= self.max_rank <= MAX_RANK_LIMIT:
+            raise ParameterError(
+                f"max_rank must be in [1, {MAX_RANK_LIMIT}], got {self.max_rank}"
+            )
+
+
+def choose_rank(
+    singular_values: np.ndarray,
+    shape: tuple[int, int],
+    error_bound: float,
+    policy: RankPolicy,
+    bytes_per_rank: float,
+) -> int:
+    """Pick the stored rank for a batch with the given singular profile.
+
+    ``shape`` is the stacked block matrix's ``(n_blocks, block_size)``;
+    ``bytes_per_rank`` is what one extra rank costs in factor storage
+    (method-dependent: SVD pays ``(n + N)·itemsize``, CP ``(n+M+L)·itemsize``).
+    Returns a rank in ``[1, min(shape)]``.
+    """
+    m, n = shape
+    full = min(m, n)
+    if policy.rank > 0:
+        return min(policy.rank, full)
+    s = np.asarray(singular_values, dtype=np.float64)
+    kmax = min(policy.max_rank, full, s.size)
+    if kmax <= 1:
+        return 1
+    total = m * n
+    # Work on the normalized profile: squaring raw singular values can
+    # overflow for data near the float64 ceiling, and only ratios to the
+    # error bound matter.
+    scale = max(float(s.max(initial=0.0)), 1.0)
+    sn = s / scale
+    # tail_sq[r] = sum of squared singular values past rank r (r = 1..kmax)
+    tail_sq = np.cumsum(sn[::-1] ** 2)[::-1]
+    bin_size = 2.0 * error_bound
+    best_r, best_cost = 1, np.inf
+    for r in range(1, kmax + 1):
+        tail = tail_sq[r] if r < sn.size else 0.0
+        rms = np.sqrt(tail / total) * scale
+        # Expected nonzero fraction of the quantized residual: a residual
+        # with RMS sigma on a 2·EB grid zeroes out where |dev| <= EB;
+        # model the exceedance with the Gaussian-ish bound min(1, sigma/EB).
+        nnz_frac = min(1.0, 2.0 * rms / bin_size)
+        cost = r * bytes_per_rank + nnz_frac * total * _RESIDUAL_BYTES_PER_NONZERO
+        if cost < best_cost:
+            best_r, best_cost = r, cost
+        if nnz_frac == 0.0:
+            break  # more rank can only add factor bytes
+    return best_r

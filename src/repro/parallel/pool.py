@@ -108,17 +108,18 @@ _WORKER_SHAPED: dict = {}
 
 
 def _shaped_worker_codec(dims):
-    """Per-worker codec for a block geometry (PaSTRI is shape-specific)."""
-    from repro.core.compressor import PaSTRICompressor
+    """Per-worker codec for a block geometry.
 
-    if dims is None or not isinstance(_WORKER_CODEC, PaSTRICompressor):
+    Shape-aware codecs (PaSTRI, lowrank) advertise a ``reshaped`` method;
+    anything else is shape-independent and shared across geometries.
+    """
+    reshaped = getattr(_WORKER_CODEC, "reshaped", None)
+    if dims is None or reshaped is None:
         return _WORKER_CODEC
     dims = tuple(int(d) for d in dims)
     codec = _WORKER_SHAPED.get(dims)
     if codec is None:
-        codec = PaSTRICompressor(
-            dims=dims, metric=_WORKER_CODEC.metric, tree_id=_WORKER_CODEC.tree_id
-        )
+        codec = reshaped(dims)
         _WORKER_SHAPED[dims] = codec
     return codec
 

@@ -899,23 +899,21 @@ class CompressedERIStore:
     def codec_for(self, dims) -> Codec:
         """Per-geometry codec dispatch.
 
-        ERI stores hold quartets of *different* shell classes; a PaSTRI
-        codec is block-geometry specific, so when ``dims`` is given and the
-        base codec is PaSTRI, a per-shape instance is used (decompression
-        is unaffected — PaSTRI streams are self-describing).  The
+        ERI stores hold quartets of *different* shell classes; shape-aware
+        codecs (PaSTRI, lowrank — anything with a ``reshaped`` method) are
+        block-geometry specific, so when ``dims`` is given a per-shape
+        instance is used (decompression is unaffected — their streams are
+        self-describing).  Shape-independent codecs are shared as-is.  The
         compression service reuses this dispatch for its ``compress`` op.
         """
-        from repro.core.compressor import PaSTRICompressor
-
-        if dims is None or not isinstance(self.codec, PaSTRICompressor):
+        reshaped = getattr(self.codec, "reshaped", None)
+        if dims is None or reshaped is None:
             return self.codec
         dims = tuple(int(d) for d in dims)
         with self._lock:
             codec = self._shaped.get(dims)
             if codec is None:
-                codec = PaSTRICompressor(
-                    dims=dims, metric=self.codec.metric, tree_id=self.codec.tree_id
-                )
+                codec = reshaped(dims)
                 self._shaped[dims] = codec
         return codec
 

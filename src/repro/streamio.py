@@ -668,15 +668,17 @@ class ContainerReader:
         if self.version == _V2:
             self.frames = self._load_index()
             spec = header.get("codec")
-            if codec is not None:
-                self.codec = codec
-            else:
-                if spec is None:
-                    raise FormatError("v2 container header is missing its codec spec")
-                self.codec = api.codec_from_spec(spec)
+            if codec is None and spec is None:
+                raise FormatError("v2 container header is missing its codec spec")
+            # The codec itself is built lazily (see the `codec` property):
+            # metadata consumers (`pastri info` / `ls`) can then describe a
+            # container written by a codec this build does not know.
+            self._codec = codec
+            self._raw_codec_spec = spec
         else:
             self.frames = _scan_v1_frames(fh)
-            self.codec = codec if codec is not None else _codec_for_v1(
+            self._raw_codec_spec = None
+            self._codec = codec if codec is not None else _codec_for_v1(
                 self.codec_name, fh, self.frames
             )
         if codec is not None and codec.name != self.codec_name:
@@ -847,8 +849,27 @@ class ContainerReader:
         return sum(f.n_elements for f in self.frames)
 
     @property
+    def codec(self) -> Codec:
+        """The codec rebuilt from the header spec, built on first use.
+
+        Raises :class:`~repro.errors.ParameterError` for a codec name this
+        build has no factory for — but only when something actually tries
+        to *decode*; pure metadata access (:attr:`codec_spec`, the frame
+        index) works on any well-formed container.
+        """
+        if self._codec is None:
+            self._codec = api.codec_from_spec(self._raw_codec_spec)
+        return self._codec
+
+    @property
     def codec_spec(self) -> dict:
-        """The codec spec this reader would embed on re-write."""
+        """The codec spec this reader would embed on re-write.
+
+        Served from the raw header while the codec is uninstantiated, so
+        listing tools can render containers from unknown codecs.
+        """
+        if self._codec is None and self._raw_codec_spec is not None:
+            return self._raw_codec_spec
         return api.codec_spec(self.codec)
 
     def frame_table(self) -> tuple[str, tuple[int, int], dict, list[FrameInfo]]:

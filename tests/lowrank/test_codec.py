@@ -1,0 +1,166 @@
+"""Unit tests for the low-rank codec: bound contract, fallbacks, dispatch.
+
+The headline invariant — ``max |x - x̂| <= EB`` for every input, whatever
+the factorization quality — is hammered further by the hypothesis suite in
+``tests/properties/test_lowrank_properties.py``; here we pin the designed
+behaviours (method/rank knobs, exact degenerate paths, batch entry points,
+registry/spec integration, telemetry).
+"""
+
+import numpy as np
+import pytest
+
+from repro import api, telemetry
+from repro.errors import ParameterError
+from repro.lowrank import LowRankCompressor
+from repro.lowrank import format as fmt
+from tests.conftest import make_patterned_stream
+
+EB = 1e-10
+DIMS = (2, 2, 3, 3)
+
+
+@pytest.fixture
+def stream(rng):
+    return make_patterned_stream(rng, n_blocks=40, dims=DIMS)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("method", ["svd", "cp"])
+    def test_bound_holds(self, stream, method):
+        codec = LowRankCompressor(dims=DIMS, method=method)
+        out = codec.decompress(codec.compress(stream, EB))
+        assert out.size == stream.size
+        assert float(np.max(np.abs(out - stream))) <= EB
+
+    def test_white_noise_still_bounded(self, rng):
+        # No low-rank structure at all: the residual pass (or the raw
+        # fallback) must still deliver the bound.
+        data = rng.standard_normal(36 * 50) * 1e-6
+        codec = LowRankCompressor(dims=DIMS)
+        blob = codec.compress(data, EB)
+        out = codec.decompress(blob)
+        assert float(np.max(np.abs(out - data))) <= EB
+        # ...and never lose badly against verbatim doubles (+ header slack).
+        assert len(blob) <= data.nbytes + 256
+
+    def test_structured_batch_beats_lossless(self, rng):
+        # Blocks drawn from a 3-dim subspace: the designed case. The
+        # factored blob must be far below verbatim storage.
+        basis = rng.standard_normal((3, 36))
+        coef = rng.standard_normal((200, 3)) * 1e-6
+        data = (coef @ basis).ravel()
+        codec = LowRankCompressor(dims=DIMS)
+        blob = codec.compress(data, EB)
+        assert data.nbytes / len(blob) > 10
+        out = codec.decompress(blob)
+        assert float(np.max(np.abs(out - data))) <= EB
+
+    def test_tail_elements_are_exact(self, rng):
+        # 2 blocks + 7 leftover doubles: the tail rides verbatim.
+        data = rng.standard_normal(36 * 2 + 7) * 1e-7
+        codec = LowRankCompressor(dims=DIMS)
+        out = codec.decompress(codec.compress(data, EB))
+        np.testing.assert_array_equal(out[-7:], data[-7:])
+
+    def test_decoder_is_shape_agnostic(self, stream):
+        # Blobs are self-describing: any instance decodes any lowrank blob.
+        blob = LowRankCompressor(dims=DIMS).compress(stream, EB)
+        other = LowRankCompressor(dims=(6, 6, 6, 6))
+        out = other.decompress(blob)
+        assert float(np.max(np.abs(out - stream))) <= EB
+
+
+class TestDegenerateInputs:
+    def test_all_zero_body_roundtrips_exactly(self):
+        data = np.zeros(36 * 8)
+        codec = LowRankCompressor(dims=DIMS)
+        blob = codec.compress(data, EB)
+        np.testing.assert_array_equal(codec.decompress(blob), data)
+        # and as a rank-0 blob, not a factored one
+        assert fmt.parse_blob(blob).rank == 0
+        assert len(blob) < 128
+
+    def test_pure_tail_stream_roundtrips_exactly(self, rng):
+        data = rng.standard_normal(11)  # < one (2,2,3,3) block
+        codec = LowRankCompressor(dims=DIMS)
+        np.testing.assert_array_equal(
+            codec.decompress(codec.compress(data, EB)), data
+        )
+
+    def test_full_rank_pin_is_exact(self, rng):
+        # rank >= min(n_blocks, block_size): factoring cannot pay, the
+        # codec stores verbatim and must round-trip bit-for-bit.
+        data = rng.standard_normal(36 * 5)
+        codec = LowRankCompressor(dims=DIMS, rank=5)
+        blob = codec.compress(data, EB)
+        assert fmt.parse_blob(blob).method == fmt.METHOD_RAW
+        np.testing.assert_array_equal(codec.decompress(blob), data)
+
+
+class TestKnobs:
+    def test_constructor_validation(self):
+        with pytest.raises(ParameterError):
+            LowRankCompressor()  # neither dims nor config
+        with pytest.raises(ParameterError):
+            LowRankCompressor(dims=DIMS, config="(dd|dd)")  # both
+        with pytest.raises(ParameterError):
+            LowRankCompressor(dims=DIMS, method="tucker")
+        with pytest.raises(ParameterError):
+            LowRankCompressor(dims=DIMS, rank=-1)
+        with pytest.raises(ParameterError):
+            LowRankCompressor(dims=DIMS, max_rank=0)
+
+    def test_pinned_rank_is_recorded(self, stream):
+        codec = LowRankCompressor(dims=DIMS, rank=2)
+        hdr = fmt.parse_blob(codec.compress(stream, EB))
+        assert hdr.rank == 2
+        assert hdr.method == fmt.METHOD_SVD
+
+    def test_reshaped_preserves_knobs(self):
+        codec = LowRankCompressor(dims=DIMS, method="cp", rank=3, max_rank=17)
+        re = codec.reshaped((6, 6, 6, 6))
+        assert re.spec.dims == (6, 6, 6, 6)
+        assert (re.method, re.policy.rank, re.policy.max_rank) == ("cp", 3, 17)
+
+    def test_registry_and_spec_roundtrip(self, stream):
+        codec = api.get_codec("lowrank", dims=DIMS, method="cp", rank=2)
+        spec = api.codec_spec(codec)
+        assert spec["name"] == "lowrank"
+        rebuilt = api.codec_from_spec(spec)
+        assert rebuilt.compress(stream, EB) == codec.compress(stream, EB)
+
+
+class TestBatchEntryPoints:
+    def test_compress_many_matches_compress(self, rng):
+        codec = LowRankCompressor(dims=DIMS)
+        streams = [
+            make_patterned_stream(rng, n_blocks=n, dims=DIMS) for n in (4, 9, 20)
+        ]
+        blobs = codec.compress_many(streams, EB)
+        assert blobs == [codec.compress(s, EB) for s in streams]
+
+    def test_compression_is_deterministic(self, stream):
+        # The randomized SVD runs on a fixed seed: same input, same bytes.
+        a = LowRankCompressor(dims=DIMS).compress(stream, EB)
+        b = LowRankCompressor(dims=DIMS).compress(stream, EB)
+        assert a == b
+
+
+class TestTelemetry:
+    def test_lowrank_counters(self, stream):
+        telemetry.enable()
+        telemetry.reset()
+        try:
+            codec = LowRankCompressor(dims=DIMS)
+            blob = codec.compress(stream, EB)
+            codec.decompress(blob)
+            snap = telemetry.metrics_snapshot()
+        finally:
+            telemetry.disable()
+        assert snap["lowrank.compress.streams"]["value"] == 1
+        assert snap["lowrank.compress.bytes_out"]["value"] == len(blob)
+        assert snap["lowrank.residual.elements"]["value"] == 40 * 36
+        assert snap["lowrank.rank"]["value"] >= 1
+        # the shared codec instrumentation covers it too
+        assert snap["codec.lowrank.compress.bytes_in"]["value"] == stream.nbytes

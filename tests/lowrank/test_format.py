@@ -1,0 +1,142 @@
+"""LRK1 blob hardening: corrupt input is contained, never a crash.
+
+Same contract as the container and the other codecs: a damaged blob
+raises :class:`FormatError` (or another :class:`ReproError`) before any
+section is materialised — no struct.error, no over-allocation from lying
+lengths, no silent garbage reconstruction from inconsistent headers.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ReproError
+from repro.lowrank import LowRankCompressor
+from repro.lowrank import format as fmt
+from repro.lowrank.residual import MODE_SPARSE, ResidualStream, decode_residual
+from tests.conftest import make_patterned_stream
+
+EB = 1e-10
+DIMS = (2, 2, 3, 3)
+
+
+@pytest.fixture
+def blob(rng) -> bytes:
+    data = make_patterned_stream(rng, n_blocks=30, dims=DIMS)
+    return LowRankCompressor(dims=DIMS).compress(data, EB)
+
+
+class TestHeaderValidation:
+    def test_short_blob(self):
+        with pytest.raises(FormatError, match="header"):
+            fmt.parse_blob(b"LRK1")
+
+    def test_bad_magic(self, blob):
+        with pytest.raises(FormatError, match="magic"):
+            fmt.parse_blob(b"XXXX" + blob[4:])
+
+    def test_bad_version(self, blob):
+        bad = blob[:4] + bytes([99]) + blob[5:]
+        with pytest.raises(FormatError, match="version"):
+            fmt.parse_blob(bad)
+
+    def test_unknown_method(self, blob):
+        bad = blob[:5] + bytes([7]) + blob[6:]
+        with pytest.raises(FormatError, match="method"):
+            fmt.parse_blob(bad)
+
+    def test_unknown_factor_dtype(self, blob):
+        bad = blob[:6] + bytes([9]) + blob[7:]
+        with pytest.raises(FormatError, match="dtype"):
+            fmt.parse_blob(bad)
+
+    def test_section_lengths_must_cover_body(self, blob):
+        # truncating the payload breaks the factor+residual+tail == body sum
+        with pytest.raises(FormatError, match="do not add up"):
+            fmt.parse_blob(blob[:-1])
+        with pytest.raises(FormatError, match="do not add up"):
+            fmt.parse_blob(blob + b"\x00")
+
+    def test_inconsistent_element_count(self, blob):
+        # n is at offset 16 (<4sBBBBd = 16 bytes); lie about it
+        bad = bytearray(blob)
+        bad[16:24] = struct.pack("<Q", 10**9)
+        with pytest.raises(FormatError, match="inconsistent"):
+            fmt.parse_blob(bytes(bad))
+
+    def test_factor_section_shape_mismatch(self, blob):
+        hdr = fmt.parse_blob(blob)
+        with pytest.raises(FormatError, match="factor section"):
+            fmt.factor_sections(hdr, [(hdr.n_blocks + 1, hdr.rank)])
+
+
+class TestDecompressContainment:
+    def test_rank0_with_payload_rejected(self):
+        # a forged rank-0 header may not smuggle factor bytes past the
+        # zero-reconstruction path
+        stream = ResidualStream(0, 0, 0, 0, b"")
+        blob = fmt.pack_blob(
+            method=fmt.METHOD_SVD, factor_dtype_code=fmt.FACTOR_F32,
+            error_bound=EB, n=36, n_blocks=1, dims=DIMS, rank=0,
+            factor_bytes=b"\x00" * 8, residual=stream,
+            tail=np.empty(0),
+        )
+        with pytest.raises(FormatError, match="rank-0"):
+            LowRankCompressor(dims=DIMS).decompress(blob)
+
+    def test_nonfinite_factors_rejected(self, blob):
+        hdr = fmt.parse_blob(blob)
+        inf = np.full(
+            len(hdr.factor_bytes) // hdr.factor_dtype.itemsize,
+            np.inf,
+            dtype=hdr.factor_dtype,
+        )
+        forged = fmt.pack_blob(
+            method=hdr.method,
+            factor_dtype_code=0 if hdr.factor_dtype.itemsize == 4 else 1,
+            error_bound=hdr.error_bound, n=hdr.n, n_blocks=hdr.n_blocks,
+            dims=hdr.dims, rank=hdr.rank, factor_bytes=inf.tobytes(),
+            residual=hdr.residual, tail=hdr.tail,
+        )
+        with pytest.raises(FormatError, match="non-finite"):
+            LowRankCompressor(dims=DIMS).decompress(forged)
+
+    def test_corrupt_residual_payload(self, rng):
+        # force a sparse residual (noise defeats the factorization), then
+        # trash its deflate stream
+        data = rng.standard_normal(36 * 40) * 1e-6
+        blob = LowRankCompressor(dims=DIMS, rank=1).compress(data, 1e-8)
+        hdr = fmt.parse_blob(blob)
+        assert hdr.residual.mode != 0, "test needs a residual-carrying blob"
+        broken = ResidualStream(
+            hdr.residual.mode, hdr.residual.nnz, hdr.residual.idx_code,
+            hdr.residual.val_code, b"\x13\x37" * (len(hdr.residual.payload) // 2),
+        )
+        with pytest.raises(FormatError):
+            out = np.zeros(hdr.n_blocks * 36)
+            decode_residual(broken, out.size, hdr.error_bound, out)
+
+    def test_residual_index_out_of_range(self):
+        import zlib
+
+        idx = np.array([50], dtype=np.uint8)  # body will only have 36 elems
+        val = np.array([3], dtype=np.int8)
+        stream = ResidualStream(
+            MODE_SPARSE, 1, 4, 0, zlib.compress(idx.tobytes() + val.tobytes())
+        )
+        out = np.zeros(36)
+        with pytest.raises(FormatError, match="out of range"):
+            decode_residual(stream, 36, EB, out)
+
+    def test_byte_flip_barrage_is_contained(self, blob, rng):
+        """Any single corrupted byte: decode succeeds or raises ReproError."""
+        codec = LowRankCompressor(dims=DIMS)
+        positions = rng.choice(len(blob), size=min(120, len(blob)), replace=False)
+        for pos in positions:
+            mutated = bytearray(blob)
+            mutated[pos] ^= 0x5A
+            try:
+                codec.decompress(bytes(mutated))
+            except ReproError:
+                pass

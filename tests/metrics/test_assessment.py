@@ -75,6 +75,6 @@ def test_assess_works_for_all_registered_codecs(rng):
 
     data = make_patterned_stream(rng, n_blocks=3, dims=(2, 2, 3, 3))
     for name in available_codecs():
-        kwargs = {"dims": (2, 2, 3, 3)} if name == "pastri" else {}
+        kwargs = {"dims": (2, 2, 3, 3)} if name in ("pastri", "lowrank") else {}
         a = assess(get_codec(name, **kwargs), data, EB)
         assert a.bound_satisfied

@@ -20,7 +20,11 @@ from repro.streamio import compress_stream, decompress_stream, open_container, r
 EB = 1e-9
 LOSSLESS = {"deflate", "fpc"}
 #: Constructor kwargs that keep the property examples small and fast.
-CODEC_KWARGS = {"pastri": {"dims": (2, 2, 3, 3)}, "sz": {"capacity": 256}}
+CODEC_KWARGS = {
+    "pastri": {"dims": (2, 2, 3, 3)},
+    "sz": {"capacity": 256},
+    "lowrank": {"dims": (2, 2, 3, 3)},
+}
 
 finite_doubles = st.floats(
     min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
@@ -83,9 +87,15 @@ def test_fpc_container_roundtrip(chunks):
     check_roundtrip("fpc", chunks)
 
 
+@given(chunks=chunk_streams)
+@settings(max_examples=15, deadline=None)
+def test_lowrank_container_roundtrip(chunks):
+    check_roundtrip("lowrank", chunks)
+
+
 def test_every_registered_codec_is_covered():
     """Fail loudly if a codec is registered without a round-trip property."""
-    covered = {"pastri", "sz", "zfp", "deflate", "fpc"}
+    covered = {"pastri", "sz", "zfp", "deflate", "fpc", "lowrank"}
     # other test modules register throwaway codecs under *-test names
     registered = {n for n in api.available_codecs() if not n.endswith("-test")}
     assert registered == covered

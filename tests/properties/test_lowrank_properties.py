@@ -1,0 +1,105 @@
+"""Hypothesis properties of the low-rank codec's residual pass.
+
+The codec's one hard promise: **whatever** the batch, the rank, the
+factorization method, or the (abs- or rel-resolved) error bound, the
+decoded stream satisfies ``|x - x̂| <= EB`` element-wise.  Rank selection
+and factorization quality may only move bytes.  Degenerate inputs — an
+all-zero body, or a pinned rank at/above ``min(n_blocks, block_size)``
+where factoring cannot pay — must round-trip *exactly*.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.api import resolve_error_bound
+from repro.lowrank import LowRankCompressor
+from repro.lowrank import format as fmt
+
+DIMS = (2, 2, 3, 3)
+BLOCK = 36
+
+finite_doubles = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+#: Whole streams: anything from a sub-block tail fragment to ~16 blocks.
+streams = hnp.arrays(np.float64, st.integers(1, 600), elements=finite_doubles)
+
+error_bounds = st.sampled_from([1e-13, 1e-10, 1e-7, 1e-4, 1e-1])
+
+#: 0 = adaptive; larger pins, deliberately sampling past full rank.
+ranks = st.sampled_from([0, 1, 2, 3, 5, 8, 40])
+
+
+@given(data=streams, eb=error_bounds, rank=ranks)
+@settings(max_examples=60, deadline=None)
+def test_svd_pointwise_bound(data, eb, rank):
+    codec = LowRankCompressor(dims=DIMS, rank=rank)
+    out = codec.decompress(codec.compress(data, eb))
+    assert out.size == data.size
+    assert np.max(np.abs(out - data)) <= eb
+
+
+@given(data=streams, eb=error_bounds, rank=ranks)
+@settings(max_examples=25, deadline=None)
+def test_cp_pointwise_bound(data, eb, rank):
+    codec = LowRankCompressor(dims=DIMS, method="cp", rank=rank)
+    out = codec.decompress(codec.compress(data, eb))
+    assert out.size == data.size
+    assert np.max(np.abs(out - data)) <= eb
+
+
+@given(data=streams, rel=st.sampled_from([1e-9, 1e-6, 1e-3]))
+@settings(max_examples=40, deadline=None)
+def test_relative_bound_mode(data, rel):
+    assume(float(data.max() - data.min()) > 0)
+    eb = resolve_error_bound(data, rel, "rel")
+    codec = LowRankCompressor(dims=DIMS)
+    out = codec.decompress(codec.compress(data, eb))
+    assert np.max(np.abs(out - data)) <= rel * (data.max() - data.min())
+
+
+@given(n=st.integers(1, 600), eb=error_bounds)
+@settings(max_examples=30, deadline=None)
+def test_zero_stream_roundtrips_exactly(n, eb):
+    data = np.zeros(n)
+    codec = LowRankCompressor(dims=DIMS)
+    blob = codec.compress(data, eb)
+    np.testing.assert_array_equal(codec.decompress(blob), data)
+    assert fmt.parse_blob(blob).rank == 0
+
+
+@given(data=streams, eb=error_bounds)
+@settings(max_examples=40, deadline=None)
+def test_full_rank_pin_roundtrips_exactly(data, eb):
+    n_blocks = data.size // BLOCK
+    full = min(n_blocks, BLOCK)
+    codec = LowRankCompressor(dims=DIMS, rank=max(full, 1))
+    out = codec.decompress(codec.compress(data, eb))
+    np.testing.assert_array_equal(out, data)
+
+
+@given(data=streams, eb=error_bounds, rank=ranks)
+@settings(max_examples=30, deadline=None)
+def test_blob_is_self_describing(data, eb, rank):
+    # any instance decodes any blob — geometry travels in the header
+    blob = LowRankCompressor(dims=DIMS, rank=rank).compress(data, eb)
+    foreign = LowRankCompressor(dims=(6, 6, 6, 6))
+    out = foreign.decompress(blob)
+    assert np.max(np.abs(out - data)) <= eb
+
+
+@given(
+    data=hnp.arrays(np.float64, st.integers(BLOCK, 300), elements=finite_doubles),
+    eb=error_bounds,
+)
+@settings(max_examples=30, deadline=None)
+def test_tail_fragment_is_exact(data, eb):
+    # elements past the last whole block are stored verbatim
+    n_tail = data.size % BLOCK
+    assume(n_tail > 0)
+    codec = LowRankCompressor(dims=DIMS)
+    out = codec.decompress(codec.compress(data, eb))
+    np.testing.assert_array_equal(out[-n_tail:], data[-n_tail:])

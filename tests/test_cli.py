@@ -176,6 +176,78 @@ def test_ls_refuses_non_containers(tmp_path, capsys):
     assert "not a PSTF container" in capsys.readouterr().err
 
 
+def _foreign_container(tmp_path):
+    """A well-formed container written by a codec this build doesn't register."""
+    from repro.streamio import ContainerWriter
+
+    class Alien:
+        name = "alien9000"
+
+        def compress(self, data, error_bound):
+            return np.ascontiguousarray(data).tobytes()
+
+        def decompress(self, blob):
+            return np.frombuffer(blob, dtype=np.float64)
+
+        def spec_kwargs(self):
+            return {"warp": 9, "mode": "quantum"}
+
+    path = tmp_path / "alien.pstf"
+    with open(path, "wb") as fh:
+        w = ContainerWriter(fh, Alien(), 1e-10)
+        w.append(np.arange(16.0), key="b0")
+        w.close()
+    return path
+
+
+def test_info_renders_unknown_codec_spec(tmp_path, capsys):
+    # a container from a newer/foreign build must still be describable
+    cont = _foreign_container(tmp_path)
+    assert main(["info", str(cont)]) == 0
+    out = capsys.readouterr().out
+    assert "alien9000" in out and "'warp': 9" in out
+    assert "no codec of this name registered here" in out
+
+
+def test_ls_renders_unknown_codec_spec(tmp_path, capsys):
+    cont = _foreign_container(tmp_path)
+    assert main(["ls", str(cont)]) == 0
+    out = capsys.readouterr().out
+    assert "codec alien9000" in out and "b0" in out
+
+
+def test_unpack_unknown_codec_fails_cleanly(tmp_path, capsys):
+    # decoding (unlike describing) genuinely needs the codec: clean error
+    cont = _foreign_container(tmp_path)
+    assert main(["unpack", str(cont), str(tmp_path / "x.npy")]) == 1
+    assert "alien9000" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# the lowrank codec through the CLI
+
+
+def test_pack_unpack_lowrank(tmp_path, npz_dataset, capsys):
+    src, data = npz_dataset
+    cont = tmp_path / "lr.pstf"
+    dec = tmp_path / "lr.npy"
+    assert main(["pack", str(src), str(cont), "--codec", "lowrank",
+                 "--eb", "1e-10", "--max-rank", "8"]) == 0
+    capsys.readouterr()
+    assert main(["info", str(cont)]) == 0
+    assert "lowrank" in capsys.readouterr().out
+    assert main(["unpack", str(cont), str(dec)]) == 0
+    assert np.max(np.abs(np.load(dec) - data)) <= 1e-10
+
+
+def test_assess_lowrank_with_knobs(tmp_path, npz_dataset, capsys):
+    src, _ = npz_dataset
+    assert main(["assess", str(src), "--codec", "lowrank", "--eb", "1e-9",
+                 "--method", "cp", "--rank", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "lowrank" in out and "bound satisfied" in out
+
+
 # ---------------------------------------------------------------------------
 # --eb-mode
 

@@ -69,6 +69,7 @@ def test_docs_reference_real_files():
         "EXPERIMENTS.md",
         "docs/FORMAT.md",
         "docs/ALGORITHM.md",
+        "docs/LOWRANK.md",
         "docs/OBSERVABILITY.md",
         "docs/SERVICE.md",
     ):
