@@ -5,7 +5,7 @@ PY ?= python
 export PYTHONPATH := src
 
 .PHONY: test ci bench bench-record overhead-check serve-smoke fsck-smoke \
-	store-bench-smoke scaling-smoke cluster-smoke lowrank-smoke harness
+	store-bench-smoke scaling-smoke cluster-smoke reshard-smoke lowrank-smoke harness
 
 test:
 	$(PY) -m pytest tests/ -q
@@ -71,6 +71,13 @@ scaling-smoke:
 ## the forward path, and no leaked shm segments after teardown.
 cluster-smoke:
 	timeout 180 $(PY) scripts/cluster_smoke.py
+
+## Live-reshard gate: 2-shard fleet (replication 1) under a background
+## read hammer; `cluster.reshard.add` a third shard with zero failed
+## reads, ~1/3 of keys moved byte-identically, then `remove` it again
+## under the same traffic, and no leaked shm segments after teardown.
+reshard-smoke:
+	timeout 240 $(PY) scripts/reshard_smoke.py
 
 ## Low-rank codec gate: pack a structured shell-block batch into a real
 ## container via `pastri pack --codec lowrank` (codec revived purely from

@@ -562,7 +562,7 @@ def cmd_cluster_launch(args: argparse.Namespace) -> int:
         gateway = ClusterGateway(config)
         await gateway.start()
         write_state(args.dir, args.host, gateway.port, os.getpid(),
-                    fleet.specs, args.replication)
+                    fleet.specs, args.replication, error_bound=args.eb)
         print(
             f"pastri cluster gateway listening on {args.host}:{gateway.port} "
             f"({len(fleet.specs)} shards, R={args.replication})",
@@ -618,6 +618,103 @@ def cmd_cluster_kill(args: argparse.Namespace) -> int:
     )
 
 
+def _state_specs(state: dict) -> list:
+    """cluster.json shard dicts back as :class:`ShardSpec` objects."""
+    from repro.cluster.fleet import ShardSpec
+
+    fields = ("name", "host", "port", "spill_path", "pid")
+    return [ShardSpec(**{k: s.get(k) for k in fields}) for s in state["shards"]]
+
+
+def _rewrite_state(args: argparse.Namespace, state: dict, specs: list) -> None:
+    from repro.cluster.fleet import write_state
+
+    gw = state["gateway"]
+    write_state(args.dir, gw["host"], int(gw["port"]), gw["pid"], specs,
+                state.get("replication", 2), state.get("error_bound"))
+
+
+def cmd_cluster_add_shard(args: argparse.Namespace) -> int:
+    """Handle ``pastri cluster add-shard``: boot a shard, migrate keys live.
+
+    The new shard is spawned *detached* (its own session, logging to
+    ``<dir>/<name>.log``) so it outlives this command; the gateway's
+    ``cluster.reshard.add`` op then streams its share of keys over and
+    flips the ring.  ``cluster.json`` is rewritten with the new roster.
+    """
+    from repro.cluster.fleet import ShardSpec, read_state, spawn_detached
+    from repro.service.client import ServiceClient
+
+    state = read_state(args.dir)
+    names = {s["name"] for s in state["shards"]}
+    name = args.name
+    if name is None:
+        i = len(names)
+        while f"shard-{i:02d}" in names:
+            i += 1
+        name = f"shard-{i:02d}"
+    if name in names:
+        raise ReproError(f"shard {name!r} already exists in this fleet")
+    spec = ShardSpec(
+        name=name, spill_path=os.path.join(args.dir, f"{name}.pstf")
+    )
+    spawn_detached(spec, args.dir, state.get("error_bound") or 1e-10)
+    print(
+        f"spawned {name} (pid {spec.pid}) @ {spec.host}:{spec.port}; "
+        "migrating keys ...", flush=True,
+    )
+    gw = state["gateway"]
+    with ServiceClient(gw["host"], int(gw["port"]), timeout=args.timeout) as c:
+        summary = c.reshard_add(name, spec.host, spec.port)
+    _rewrite_state(args, state, _state_specs(state) + [spec])
+    print(
+        f"reshard complete: {summary['keys_moved']}/{summary['keys_scanned']} "
+        f"keys moved ({summary['bytes_moved']} bytes, "
+        f"{summary['copy_failures']} failures) in {summary['duration_s']:.3f}s"
+    )
+    print("members: " + ", ".join(summary["members"]))
+    return 0
+
+
+def cmd_cluster_remove_shard(args: argparse.Namespace) -> int:
+    """Handle ``pastri cluster remove-shard``: migrate keys away, then stop it."""
+    import signal as _signal
+
+    from repro.cluster.fleet import read_state
+    from repro.service.client import ServiceClient
+
+    state = read_state(args.dir)
+    target = next(
+        (s for s in state["shards"] if s["name"] == args.shard), None
+    )
+    if target is None:
+        raise ReproError(
+            f"unknown shard {args.shard!r}; fleet has "
+            + ", ".join(s["name"] for s in state["shards"])
+        )
+    gw = state["gateway"]
+    with ServiceClient(gw["host"], int(gw["port"]), timeout=args.timeout) as c:
+        summary = c.reshard_remove(args.shard)
+    # only stop the process after its keys have migrated off it
+    pid = target.get("pid")
+    if pid:
+        try:
+            os.kill(pid, _signal.SIGTERM)
+        except ProcessLookupError:
+            pass
+    _rewrite_state(
+        args, state,
+        [s for s in _state_specs(state) if s.name != args.shard],
+    )
+    print(
+        f"reshard complete: {summary['keys_moved']} keys moved off "
+        f"{args.shard} ({summary['bytes_moved']} bytes) in "
+        f"{summary['duration_s']:.3f}s; shard stopped"
+    )
+    print("members: " + ", ".join(summary["members"]))
+    return 0
+
+
 def cmd_cluster_drain(args: argparse.Namespace) -> int:
     """Handle ``pastri cluster drain``: SIGTERM the gateway, fleet follows."""
     import signal as _signal
@@ -631,6 +728,16 @@ def cmd_cluster_drain(args: argparse.Namespace) -> int:
     except ProcessLookupError:
         print(f"gateway pid {pid} is already gone")
         return 1
+    # shards added with ``add-shard`` are detached from the launch
+    # process, so its teardown won't reap them — signal every recorded
+    # shard pid too (double-TERM on the launch's own children is benign)
+    for shard in state["shards"]:
+        spid = shard.get("pid")
+        if spid:
+            try:
+                os.kill(spid, _signal.SIGTERM)
+            except ProcessLookupError:
+                pass
     print(f"sent SIGTERM to gateway pid {pid}; the fleet drains with it")
     return 0
 
@@ -895,6 +1002,27 @@ def main(argv: list[str] | None = None) -> int:
     ck.add_argument("shard", help="shard name, e.g. shard-01")
     ck.add_argument("--dir", required=True)
     ck.set_defaults(func=cmd_cluster_kill)
+
+    ca = clsub.add_parser(
+        "add-shard", help="boot a new shard and migrate keys onto it live"
+    )
+    ca.add_argument("--dir", required=True,
+                    help="fleet directory holding cluster.json")
+    ca.add_argument("--name", default=None,
+                    help="shard name (default: next free shard-NN)")
+    ca.add_argument("--timeout", type=float, default=600.0,
+                    help="migration timeout in seconds")
+    ca.set_defaults(func=cmd_cluster_add_shard)
+
+    cr = clsub.add_parser(
+        "remove-shard", help="migrate a shard's keys away, then stop it"
+    )
+    cr.add_argument("shard", help="shard name to retire, e.g. shard-02")
+    cr.add_argument("--dir", required=True,
+                    help="fleet directory holding cluster.json")
+    cr.add_argument("--timeout", type=float, default=600.0,
+                    help="migration timeout in seconds")
+    cr.set_defaults(func=cmd_cluster_remove_shard)
 
     cd = clsub.add_parser("drain", help="gracefully stop the whole fleet")
     cd.add_argument("--dir", required=True)

@@ -10,8 +10,10 @@ N shards into a fleet:
 * :mod:`repro.cluster.gateway` — the stateless gateway/router clients talk
   to: it forwards PSRV frames to the owning shards (payloads ride as
   memoryviews, never re-materialized), replicates writes R ways, health-
-  checks the fleet, fails reads over to replicas, and records hinted
-  handoffs for dead shards that drain back on rejoin.
+  checks the fleet, fails reads over to replicas, records hinted
+  handoffs for dead shards that drain back on rejoin, and reshards
+  live — ``cluster.reshard.*`` ops migrate the remapped keys and flip
+  the ring while traffic keeps flowing.
 * :mod:`repro.cluster.hints` — the durable hint journal behind handoff.
 * :mod:`repro.cluster.fleet` — launch/kill/restart a local fleet, either
   in-process threads (tests, benchmarks) or ``pastri serve`` subprocesses

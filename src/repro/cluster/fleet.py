@@ -35,6 +35,7 @@ __all__ = [
     "ShardSpec",
     "LocalFleet",
     "SubprocessFleet",
+    "spawn_detached",
     "write_state",
     "read_state",
     "STATE_FILE",
@@ -146,6 +147,39 @@ class LocalFleet:
             raise ServiceError(f"shard {name} is already running")
         self._handles[name] = serve_in_thread(self._shard_config(spec))
 
+    # -- live resharding -----------------------------------------------------
+
+    def add_shard(self, name: str | None = None) -> dict:
+        """Start a fresh shard and migrate its share of keys onto it live.
+
+        Spins up the thread-hosted server first, then drives the
+        gateway's ``cluster.reshard.add`` op — the call returns once the
+        migration has streamed and the ring has flipped.  Returns the
+        reshard summary (keys scanned/remapped/moved, the moved keys).
+        """
+        name = name or f"shard-{len(self.specs):02d}"
+        if any(s.name == name for s in self.specs):
+            raise ServiceError(f"shard {name} already exists")
+        spec = ShardSpec(
+            name=name, spill_path=os.path.join(self.data_dir, f"{name}.pstf")
+        )
+        handle = serve_in_thread(self._shard_config(spec))
+        spec.port = handle.port
+        self.specs.append(spec)
+        self._handles[name] = handle
+        with self.client(timeout=120.0) as client:
+            return client.reshard_add(name, spec.host, spec.port)
+
+    def remove_shard(self, name: str) -> dict:
+        """Migrate a shard's keys to their new owners, then stop it."""
+        with self.client(timeout=120.0) as client:
+            summary = client.reshard_remove(name)
+        handle = self._handles.pop(name, None)
+        if handle is not None:
+            handle.stop()
+        self.specs = [s for s in self.specs if s.name != name]
+        return summary
+
     # -- clients -------------------------------------------------------------
 
     def client(self, **kwargs) -> ServiceClient:
@@ -191,26 +225,49 @@ class SubprocessFleet:
         return self
 
     def _spawn(self, spec: ShardSpec) -> subprocess.Popen:
-        env = dict(os.environ)
-        src = os.path.dirname(
-            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-        )
-        env["PYTHONPATH"] = src + (
-            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
-        )
-        env["PYTHONUNBUFFERED"] = "1"
-        cmd = [
-            sys.executable, "-m", "repro.cli", "serve",
-            "--host", spec.host, "--port", str(spec.port),
-            "--eb", repr(self.error_bound),
-            "--spill", spec.spill_path,
-            "--shard-id", spec.name,
-            *self.serve_args,
-        ]
+        cmd, env = _serve_command(spec, self.error_bound, self.serve_args)
         return subprocess.Popen(
             cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
             env=env,
         )
+
+    def add_shard(self, name: str | None = None,
+                  boot_timeout_s: float = 30.0) -> ShardSpec:
+        """Spawn one more shard process (the caller drives the reshard op).
+
+        A :class:`SubprocessFleet` does not own the gateway — the launch
+        harness does — so this only boots the process and reports its
+        address; pair it with ``ServiceClient.reshard_add``.
+        """
+        name = name or f"shard-{len(self.specs):02d}"
+        if any(s.name == name for s in self.specs):
+            raise ServiceError(f"shard {name} already exists")
+        spec = ShardSpec(
+            name=name, spill_path=os.path.join(self.data_dir, f"{name}.pstf")
+        )
+        self._procs[name] = self._spawn(spec)
+        spec.port = self._scrape_port(
+            self._procs[name], time.monotonic() + boot_timeout_s
+        )
+        spec.pid = self._procs[name].pid
+        self.specs.append(spec)
+        return spec
+
+    def remove_shard(self, name: str, timeout_s: float = 20.0) -> None:
+        """Stop a shard process and drop it from the roster.
+
+        Call after ``ServiceClient.reshard_remove`` has migrated its keys
+        away — terminating first would fail the migration's copy source.
+        """
+        proc = self._procs.pop(name, None)
+        if proc is not None and proc.poll() is None:
+            proc.terminate()
+            try:
+                proc.wait(timeout_s)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+                proc.wait(5)
+        self.specs = [s for s in self.specs if s.name != name]
 
     def restart(self, name: str, boot_timeout_s: float = 30.0) -> None:
         """Bring a killed shard back on its original (pinned) address.
@@ -278,19 +335,78 @@ class SubprocessFleet:
         self.terminate_all()
 
 
+def _serve_command(spec: ShardSpec, error_bound: float,
+                   serve_args: list[str] | None = None
+                   ) -> tuple[list[str], dict]:
+    """The ``pastri serve`` command line + env for one shard process."""
+    env = dict(os.environ)
+    src = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["PYTHONUNBUFFERED"] = "1"
+    cmd = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--host", spec.host, "--port", str(spec.port),
+        "--eb", repr(float(error_bound)),
+        "--spill", spec.spill_path,
+        "--shard-id", spec.name,
+        *(serve_args or []),
+    ]
+    return cmd, env
+
+
+def spawn_detached(spec: ShardSpec, data_dir: str, error_bound: float,
+                   serve_args: list[str] | None = None,
+                   boot_timeout_s: float = 30.0) -> ShardSpec:
+    """Spawn a shard that outlives the calling process (CLI ``add-shard``).
+
+    The child gets its own session (``start_new_session``) and logs to
+    ``<dir>/<name>.log``; the listening port is scraped from that log.
+    Fills in ``spec.port``/``spec.pid`` and returns the spec.
+    """
+    cmd, env = _serve_command(spec, error_bound, serve_args)
+    log_path = os.path.join(data_dir, f"{spec.name}.log")
+    with open(log_path, "a", encoding="utf-8") as log:
+        proc = subprocess.Popen(
+            cmd, stdout=log, stderr=subprocess.STDOUT, env=env,
+            start_new_session=True,
+        )
+    deadline = time.monotonic() + boot_timeout_s
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            break
+        try:
+            with open(log_path, "r", encoding="utf-8") as fh:
+                m = _BANNER.search(fh.read())
+        except OSError:  # pragma: no cover
+            m = None
+        if m:
+            spec.port = int(m.group(2))
+            spec.pid = proc.pid
+            return spec
+        time.sleep(0.05)
+    raise ServiceError(
+        f"detached shard {spec.name} failed to report its port; see {log_path}"
+    )
+
+
 # ---------------------------------------------------------------------------
 # cluster state file (the ``pastri cluster`` CLI's handle on a fleet)
 
 
 def write_state(data_dir: str, gateway_host: str, gateway_port: int,
                 gateway_pid: int, specs: list[ShardSpec],
-                replication: int) -> str:
+                replication: int, error_bound: float | None = None) -> str:
     """Record a running fleet's topology in ``<dir>/cluster.json``."""
     path = os.path.join(data_dir, STATE_FILE)
     state = {
         "gateway": {"host": gateway_host, "port": gateway_port,
                     "pid": gateway_pid},
         "replication": replication,
+        "error_bound": error_bound,
         "shards": [asdict(s) for s in specs],
     }
     tmp = path + ".tmp"

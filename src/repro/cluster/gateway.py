@@ -25,6 +25,14 @@ live *holder* instead and leave a hint (:class:`~repro.cluster.hints.
 HintLog`).  When the dead shard's health recovers — it has salvaged its
 own spill container through the PR 5 recovery path — the gateway drains
 the hints back: get from holder, put to owner, byte-identical blocks.
+
+**Live resharding.**  The ``cluster.reshard.add``/``remove`` admin ops
+change membership against a serving fleet: scan every shard's keys,
+stream the remapped ~1/N of them shard-to-shard as raw blobs, flip the
+ring atomically.  Routing is migration-aware throughout — reads try the
+new ring's owners first and fall back on NOT_FOUND; writes go to the
+union of old and new preference lists — so clients see zero failed
+reads.  See ``docs/CLUSTER.md`` for the full protocol.
 """
 
 from __future__ import annotations
@@ -37,7 +45,7 @@ from dataclasses import dataclass, field
 
 from repro import telemetry
 from repro.cluster.hints import HintLog
-from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, key_bytes
 from repro.errors import ParameterError, ProtocolError, ServiceError
 from repro.service import buffers, protocol
 from repro.telemetry import REGISTRY as _METRICS
@@ -67,8 +75,11 @@ class GatewayConfig:
     health_interval_s: float = 0.5
     fail_after: int = 2
     shard_timeout_s: float = 15.0
-    #: JSON-lines hint journal (None = in-memory hints only)
+    #: JSON-lines hint journal (None = in-memory hints only); the same
+    #: file may be shared by several gateway processes (replay-merge)
     hint_path: str | None = None
+    #: fsync every hint record (crash-durable hints; tests may disable)
+    hint_durable: bool = True
     links_per_shard: int = 2
     max_payload_bytes: int = protocol.DEFAULT_MAX_PAYLOAD
     telemetry: bool = True
@@ -113,6 +124,16 @@ class _ShardLink:
                 pass
             self._reader = self._writer = None
 
+    def abort(self) -> None:
+        """Synchronous close for contexts that cannot await (cancellation).
+
+        The transport tears the connection down on the event loop's next
+        tick; the link reconnects lazily on its next use.
+        """
+        if self._writer is not None:
+            self._writer.close()
+        self._reader = self._writer = None
+
     async def call(self, op: str, params: dict, payload, route: dict
                    ) -> tuple[dict, bytes]:
         """Forward one op; returns the raw response ``(header, payload)``.
@@ -155,6 +176,7 @@ class _LinkPool:
         self._max_payload = max_payload
         self._free: asyncio.Queue = asyncio.Queue()
         self._spare = size  # links not yet created
+        self._closing = False
 
     async def call(self, op: str, params: dict, payload, route: dict
                    ) -> tuple[dict, bytes]:
@@ -163,19 +185,77 @@ class _LinkPool:
             link = _ShardLink(self._host, self._port, self._max_payload)
         else:
             link = await self._free.get()
+        clean = False
         try:
-            return await asyncio.wait_for(
+            result = await asyncio.wait_for(
                 link.call(op, params, payload, route), self._timeout_s
             )
-        except asyncio.TimeoutError:
-            await link.close()
-            raise
+            clean = True
+            return result
         finally:
+            # ANY non-clean exit — timeout, transport error, cancellation
+            # (e.g. a gateway drain mid-``writelines``) — may leave the
+            # connection desynchronized: a request half-written or a
+            # response half-read.  Re-pooling it live would hand the next
+            # caller a stale or torn frame, so drop the connection; the
+            # link reconnects lazily.  (abort() is sync: under
+            # cancellation an ``await`` here could itself be cancelled.)
+            if not clean or self._closing:
+                link.abort()
             self._free.put_nowait(link)
 
     async def close(self) -> None:
+        self._closing = True  # leased links are aborted as they return
         while not self._free.empty():
             await self._free.get_nowait().close()
+
+
+class _Migration:
+    """In-flight reshard state: old/new rings plus the keys still to copy.
+
+    ``pending`` maps canonical key json -> ``(key, targets)``; the
+    streaming task pops entries as it copies them, and the write path
+    pops an entry when a dual-write already delivered the key to its new
+    owners (see :meth:`note_write`) — so a fresh client write is never
+    clobbered by a stale migration copy.
+    """
+
+    __slots__ = ("old_ring", "new_ring", "adding", "removing", "total",
+                 "moved", "bytes_moved", "failures", "pending", "current",
+                 "current_dirty")
+
+    def __init__(self, old_ring: HashRing, new_ring: HashRing,
+                 adding: str | None, removing: str | None,
+                 pending: dict) -> None:
+        self.old_ring = old_ring
+        self.new_ring = new_ring
+        self.adding = adding
+        self.removing = removing
+        self.pending = pending
+        self.total = len(pending)
+        self.moved = 0
+        self.bytes_moved = 0
+        self.failures = 0
+        self.current: str | None = None  # key json being copied right now
+        self.current_dirty = False       # a write raced the in-flight copy
+
+    def note_write(self, kj: str) -> None:
+        """A client write just reached the key's new owners directly."""
+        self.pending.pop(kj, None)
+        if self.current == kj:
+            self.current_dirty = True
+
+    def status(self) -> dict:
+        return {
+            "active": True,
+            "adding": self.adding,
+            "removing": self.removing,
+            "keys_total": self.total,
+            "keys_moved": self.moved,
+            "keys_pending": len(self.pending),
+            "bytes_moved": self.bytes_moved,
+            "copy_failures": self.failures,
+        }
 
 
 class ClusterGateway:
@@ -187,23 +267,44 @@ class ClusterGateway:
         if not addrs:
             raise ParameterError("a gateway needs at least one shard")
         self.ring = HashRing([name for name, _, _ in addrs], config.vnodes)
-        self.hints = HintLog(config.hint_path)
-        self._addrs = {name: (host, port) for name, host, port in addrs}
-        self._pools = {
-            name: _LinkPool(host, port, config.links_per_shard,
-                            config.shard_timeout_s, config.max_payload_bytes)
-            for name, host, port in addrs
-        }
+        self.hints = HintLog(config.hint_path, durable=config.hint_durable)
+        self._addrs: dict[str, tuple[str, int]] = {}
+        self._pools: dict[str, _LinkPool] = {}
+        self._failures: dict[str, int] = {}
         self._down: set[str] = set()
-        self._failures: dict[str, int] = dict.fromkeys(self._addrs, 0)
+        for name, host, port in addrs:
+            self._add_member(name, host, port)
+        self._migration: _Migration | None = None
         self._rr = 0  # round-robin cursor for stateless ops
         self._server: asyncio.AbstractServer | None = None
         self._health_task: asyncio.Task | None = None
         self._drain_tasks: set[asyncio.Task] = set()
+        self._drain_active: set[str] = set()  # shards with a drain running
         self._tasks: set[asyncio.Task] = set()
         self._draining = False
         self._started = time.monotonic()
         self._stopped = asyncio.Event()
+
+    # -- membership ----------------------------------------------------------
+
+    def _add_member(self, name: str, host: str, port: int) -> None:
+        """Wire up links and health state for a shard (not yet in the ring)."""
+        self._addrs[name] = (host, port)
+        self._pools[name] = _LinkPool(
+            host, int(port), self.config.links_per_shard,
+            self.config.shard_timeout_s, self.config.max_payload_bytes,
+        )
+        self._failures[name] = 0
+
+    async def _remove_member(self, name: str) -> None:
+        """Forget a shard entirely: links, health state, owed hints."""
+        self._addrs.pop(name, None)
+        self._failures.pop(name, None)
+        self._down.discard(name)
+        self.hints.forget(name)
+        pool = self._pools.pop(name, None)
+        if pool is not None:
+            await pool.close()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -268,9 +369,17 @@ class ClusterGateway:
             self._down.discard(shard)
             self._count("cluster.shard_up")
             if self.hints.pending(shard):
-                task = asyncio.ensure_future(self._drain_hints(shard))
-                self._drain_tasks.add(task)
-                task.add_done_callback(self._drain_tasks.discard)
+                self._spawn_drain(shard)
+
+    def _spawn_drain(self, shard: str) -> None:
+        """Start one hint drain per shard at a time (idempotent)."""
+        if shard in self._drain_active or shard not in self._pools:
+            return
+        self._drain_active.add(shard)
+        task = asyncio.ensure_future(self._drain_hints(shard))
+        self._drain_tasks.add(task)
+        task.add_done_callback(self._drain_tasks.discard)
+        task.add_done_callback(lambda _t, s=shard: self._drain_active.discard(s))
 
     async def _health_loop(self) -> None:
         interval = self.config.health_interval_s
@@ -278,9 +387,20 @@ class ClusterGateway:
         while not self._draining:
             await asyncio.sleep(interval)
             await asyncio.gather(
-                *(self._probe(name, probe_timeout) for name in self._addrs),
+                *(self._probe(name, probe_timeout) for name in list(self._addrs)),
                 return_exceptions=True,
             )
+            # shared-journal upkeep: merge records appended by peer
+            # gateways, fold drained pairs away when they dominate, and
+            # drain any hints (ours or a peer's) owed to live shards
+            try:
+                self.hints.refresh()
+                self.hints.maybe_compact()
+            except Exception:  # pragma: no cover - journal I/O trouble
+                self._count("cluster.hints.refresh_failures")
+            for shard, n in self.hints.counts().items():
+                if n and shard not in self._down:
+                    self._spawn_drain(shard)
 
     async def _probe(self, shard: str, timeout_s: float) -> None:
         try:
@@ -300,6 +420,8 @@ class ClusterGateway:
     async def _drain_hints(self, shard: str) -> None:
         """Hand every hinted block back to its rightful, rejoined owner."""
         for key, holder in self.hints.pending(shard):
+            if holder not in self._pools or shard not in self._pools:
+                continue  # membership changed under us mid-drain
             try:
                 # raw blob transfer: the rejoined owner ends up holding
                 # byte-identical compressed bytes, no decode/re-encode
@@ -397,9 +519,44 @@ class ClusterGateway:
                 "attempt": attempt}
 
     def _candidates(self, key) -> list[str]:
-        """Preference list + spare successors (read sources, hint holders)."""
-        want = min(self.config.replication + self.config.spares, len(self.ring))
-        return self.ring.preference(key, want)
+        """Preference list + spare successors (read sources, hint holders).
+
+        During a reshard the *new* ring's candidates come first and the
+        old ring's are appended (deduped): a read tries the key's future
+        owner, and if the block has not been copied yet the NOT_FOUND
+        falls through to the current owner — zero failed reads while the
+        migration streams.
+        """
+        depth = self.config.replication + self.config.spares
+        cands = self.ring.preference(key, min(depth, len(self.ring)))
+        mig = self._migration
+        if mig is not None:
+            ahead = mig.new_ring.preference(key, min(depth, len(mig.new_ring)))
+            cands = ahead + [s for s in cands if s not in ahead]
+        return cands
+
+    def _put_targets(self, key) -> tuple[list[str], list[str]]:
+        """``(preferred, spares)`` replica placement for one write.
+
+        During a reshard, writes go to the *union* of the old and new
+        preference lists — the new owners see fresh data immediately (so
+        the flip loses nothing) while the old owners stay current for
+        the fallback read path and as migration copy sources.
+        """
+        r = self.config.replication
+        mig = self._migration
+        if mig is None:
+            candidates = self._candidates(key)
+            k = min(r, len(candidates))
+            return candidates[:k], candidates[k:]
+        new_pref = mig.new_ring.preference(key, min(r, len(mig.new_ring)))
+        old_pref = self.ring.preference(key, min(r, len(self.ring)))
+        preferred = new_pref + [s for s in old_pref if s not in new_pref]
+        pool = mig.new_ring.preference(
+            key, min(r + self.config.spares, len(mig.new_ring))
+        )
+        spares = [s for s in pool if s not in preferred]
+        return preferred, spares
 
     async def _dispatch(self, op, req_id, header: dict, payload: bytes):
         if self._draining:
@@ -425,7 +582,199 @@ class ClusterGateway:
             return await self._routed_get(req_id, params)
         if op in ("compress", "decompress"):
             return await self._spread(op, req_id, params, payload)
+        if op == "cluster.reshard.add":
+            return await self._reshard(req_id, params, add=True)
+        if op == "cluster.reshard.remove":
+            return await self._reshard(req_id, params, add=False)
+        if op == "cluster.reshard.status":
+            return protocol.encode_response(req_id, self._reshard_status())
         raise ParameterError(f"unknown gateway op {op!r}")
+
+    # -- live resharding -----------------------------------------------------
+
+    async def _reshard(self, req_id, params: dict, add: bool):
+        """Admin entry point: change membership and migrate keys live."""
+        if self._migration is not None:
+            return protocol.encode_error(
+                req_id, "BUSY", "a reshard is already in progress",
+                retry_after_s=1.0,
+            )
+        name = str(params.get("name") or "")
+        if not name:
+            raise ParameterError("reshard requires a shard 'name'")
+        if add:
+            if name in self._addrs:
+                raise ParameterError(f"shard {name!r} is already a member")
+            if "host" not in params or "port" not in params:
+                raise ParameterError("cluster.reshard.add requires 'host' and 'port'")
+            self._add_member(name, str(params["host"]), int(params["port"]))
+            try:  # the newcomer must answer before it can receive keys
+                header, _ = await self._pools[name].call(
+                    "health", {}, b"", self._route(name, 0)
+                )
+                healthy = bool(header.get("ok"))
+            except Exception as exc:
+                await self._remove_member(name)
+                return protocol.encode_error(
+                    req_id, "BUSY", f"new shard {name!r} unreachable: {exc}"
+                )
+            if not healthy:
+                await self._remove_member(name)
+                return protocol.encode_error(
+                    req_id, "BUSY", f"new shard {name!r} is not healthy"
+                )
+            new_ring = self.ring.copy()
+            new_ring.add(name)
+        else:
+            if name not in self.ring:
+                raise ParameterError(f"shard {name!r} is not a ring member")
+            if len(self.ring) < 2:
+                raise ParameterError("cannot remove the last shard")
+            new_ring = self.ring.copy()
+            new_ring.remove(name)
+        summary = await self._run_reshard(new_ring, name, add)
+        return protocol.encode_response(req_id, summary)
+
+    def _reshard_status(self) -> dict:
+        if self._migration is not None:
+            return self._migration.status()
+        return {"active": False, "members": sorted(self.ring.nodes)}
+
+    async def _collect_keys(self) -> dict[str, object]:
+        """Every key held anywhere in the fleet, deduped canonically."""
+        keys: dict[str, object] = {}
+        for shard in self.live_shards():
+            try:
+                header, _ = await self._pools[shard].call(
+                    "store.keys", {}, b"", self._route(shard, 0)
+                )
+            except Exception:
+                self._note_failure(shard)
+                continue
+            if not header.get("ok"):
+                continue
+            for key in header.get("result", {}).get("keys", []):
+                keys.setdefault(key_bytes(key).decode("utf-8"), key)
+        return keys
+
+    async def _run_reshard(self, new_ring: HashRing, name: str,
+                           add: bool) -> dict:
+        """Compute the remapped key set, stream it, flip the ring.
+
+        Only keys whose new preference list gained a shard move, and
+        they move as raw compressed blobs (``store.get_raw`` →
+        ``store.put_raw``) — no decode/re-encode, byte-identical on the
+        new owner.  The serving path keeps running throughout: reads
+        prefer the new owner and fall back (:meth:`_candidates`), writes
+        go to the union of old and new owners (:meth:`_put_targets`).
+        The flip itself is two plain assignments between awaits — atomic
+        under asyncio's single-threaded execution.
+        """
+        t0 = time.perf_counter()
+        r = self.config.replication
+        old_ring = self.ring
+        all_keys = await self._collect_keys()
+        pending: dict[str, tuple] = {}
+        for kj, key in all_keys.items():
+            old_pref = old_ring.preference(key, min(r, len(old_ring)))
+            new_pref = new_ring.preference(key, min(r, len(new_ring)))
+            targets = [t for t in new_pref if t not in old_pref]
+            if targets:
+                pending[kj] = (key, targets, list(old_pref))
+        mig = _Migration(old_ring, new_ring,
+                         name if add else None, None if add else name, pending)
+        self._migration = mig
+        self._count("cluster.reshards")
+        moved: list = []
+        try:
+            while mig.pending:
+                kj, (key, targets, sources) = next(iter(mig.pending.items()))
+                mig.current = kj
+                copied, nbytes = False, 0
+                for _attempt in range(8):
+                    mig.current_dirty = False
+                    fetched, failed, nbytes = await self._copy_key(
+                        key, targets, sources
+                    )
+                    if not fetched:
+                        break
+                    if mig.current_dirty:
+                        # a client write raced this copy: its dual-write
+                        # refreshed the sources too, so re-fetch and
+                        # re-put to guarantee the newest bytes win
+                        continue
+                    copied = not failed
+                    for target in failed:
+                        if sources:
+                            self.hints.record(target, key, sources[0])
+                            self._count("cluster.hints.recorded")
+                    break
+                mig.current = None
+                still_pending = mig.pending.pop(kj, None) is not None
+                if copied:
+                    mig.moved += 1
+                    mig.bytes_moved += nbytes
+                    moved.append(key)
+                elif still_pending and not mig.current_dirty:
+                    mig.failures += 1
+                    self._count("cluster.reshard.copy_failures")
+        finally:
+            # the atomic flip: no await between these two statements
+            self.ring = mig.new_ring
+            self._migration = None
+        if not add:
+            await self._remove_member(name)
+        return {
+            "action": "add" if add else "remove",
+            "shard": name,
+            "members": sorted(self.ring.nodes),
+            "keys_scanned": len(all_keys),
+            "keys_remapped": mig.total,
+            "keys_moved": mig.moved,
+            "bytes_moved": mig.bytes_moved,
+            "copy_failures": mig.failures,
+            "moved": moved,
+            "duration_s": round(time.perf_counter() - t0, 6),
+        }
+
+    async def _copy_key(self, key, targets: list[str], sources: list[str]
+                        ) -> tuple[bool, list[str], int]:
+        """Stream one raw blob from a live source to its new owners.
+
+        Returns ``(fetched, failed_targets, nbytes)``; the blob rides as
+        a borrowed memoryview both ways (zero-copy relay).
+        """
+        for source in sources:
+            if source in self._down or source not in self._pools:
+                continue
+            try:
+                rh, body = await self._pools[source].call(
+                    "store.get_raw", {"key": key}, b"", self._route(source, 0)
+                )
+            except Exception:
+                self._note_failure(source)
+                continue
+            if not rh.get("ok"):
+                continue
+            result = rh.get("result", {})
+            buffers.count_borrowed(len(body) * max(len(targets), 1))
+            failed: list[str] = []
+            for target in targets:
+                try:
+                    ph, _ = await self._pools[target].call(
+                        "store.put_raw",
+                        {"key": key, "n": result.get("n"),
+                         "dims": result.get("dims")},
+                        memoryview(body), self._route(target, 0),
+                    )
+                except Exception:
+                    self._note_failure(target)
+                    failed.append(target)
+                    continue
+                if not ph.get("ok"):
+                    failed.append(target)
+            return True, failed, len(body)
+        return False, list(targets), 0
 
     # -- replicated writes ---------------------------------------------------
 
@@ -433,11 +782,9 @@ class ClusterGateway:
         if "key" not in params:
             raise ParameterError("store.put requires a 'key' param")
         key = params["key"]
-        candidates = self._candidates(key)
-        r = min(self.config.replication, len(candidates))
-        preferred, spares = candidates[:r], candidates[r:]
+        preferred, spares = self._put_targets(key)
         body = memoryview(payload)
-        buffers.count_borrowed(len(payload) * max(r, 1))
+        buffers.count_borrowed(len(payload) * max(len(preferred), 1))
         results = await asyncio.gather(
             *(self._put_one(target, params, body) for target in preferred)
         )
@@ -471,6 +818,17 @@ class ClusterGateway:
                 req_id, code if code in protocol.ERROR_CODES else "INTERNAL",
                 msg, retry_after_s=0.2,
             )
+        mig = self._migration
+        if mig is not None:
+            new_pref = mig.new_ring.preference(
+                key, min(self.config.replication, len(mig.new_ring))
+            )
+            if all(t in served_by for t in new_pref):
+                # this write just reached every future owner directly —
+                # drop the key from the copy queue (and flag the copier
+                # if it is streaming this very key) so a stale migration
+                # copy can never clobber the fresh bytes
+                mig.note_write(key_bytes(key).decode("utf-8"))
         self._count("cluster.replicated_writes", len(served_by) + len(hinted))
         route = {"shard": (served_by or hinted)[0], "replicas": len(served_by),
                  "hinted": len(hinted)}
@@ -604,6 +962,7 @@ class ClusterGateway:
             "shards_up": self.live_shards(),
             "shards_down": sorted(self._down),
             "hints_pending": len(self.hints),
+            "resharding": self._reshard_status(),
             # keep the standalone-server health keys renderable
             "inflight_bytes": 0,
             "queued": 0,
@@ -650,6 +1009,7 @@ class ClusterGateway:
                 "shards_up": self.live_shards(),
                 "shards_down": sorted(self._down),
                 "hints_pending": self.hints.counts(),
+                "resharding": self._reshard_status(),
             },
             "shards": shards,
             "gateway_metrics": {

@@ -89,6 +89,18 @@ class HashRing:
             self._points.insert(i, pt)
             self._owners.insert(i, node)
 
+    def copy(self) -> "HashRing":
+        """An independent ring with the same membership and vnodes.
+
+        The reshard path mutates a copy and flips it in atomically, so
+        requests in flight keep routing against a consistent ring.
+        """
+        twin = HashRing(vnodes=self.vnodes)
+        twin._points = list(self._points)
+        twin._owners = list(self._owners)
+        twin._nodes = set(self._nodes)
+        return twin
+
     def remove(self, node) -> None:
         """Remove a shard; its arcs fall to the next shards clockwise."""
         node = str(node)

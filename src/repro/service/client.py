@@ -228,6 +228,25 @@ class ServiceClient:
         """Fleet-wide stats (gateways only; shards answer BAD_REQUEST)."""
         return self._roundtrip("cluster.stats")[0]
 
+    def reshard_add(self, name: str, host: str, port: int) -> dict:
+        """Add a shard to a live gateway and migrate its keys over.
+
+        Blocks until the migration completes and the ring has flipped;
+        the returned summary reports keys scanned/remapped/moved and the
+        moved key list.  Gateways only.
+        """
+        return self._roundtrip(
+            "cluster.reshard.add", {"name": name, "host": host, "port": int(port)}
+        )[0]
+
+    def reshard_remove(self, name: str) -> dict:
+        """Drain a shard's keys to their new owners and drop it (gateways)."""
+        return self._roundtrip("cluster.reshard.remove", {"name": name})[0]
+
+    def reshard_status(self) -> dict:
+        """Progress of the in-flight migration, if any (gateways only)."""
+        return self._roundtrip("cluster.reshard.status")[0]
+
     def call(self, op: str, params: dict | None = None, payload=b""
              ) -> tuple[dict, bytes]:
         """Raw escape hatch: one op round-trip, retries included.

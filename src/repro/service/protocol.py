@@ -22,8 +22,12 @@ forwarded frame (shard servers count these under ``service.forwarded``);
 on a response, ``{"shard": "<who served it>", "attempts": 2}`` tells the
 client which shard answered and how many failovers it took.  Frames
 without a ``route`` header are untouched — a shard serves direct and
-forwarded traffic identically.  The ``cluster.stats`` op is answered by
-gateways only (shards reply ``BAD_REQUEST``).
+forwarded traffic identically.  The ``cluster.stats`` op and the
+``cluster.reshard.*`` admin family (``add``/``remove``/``status`` — live
+membership changes with key migration) are answered by gateways only
+(shards reply ``BAD_REQUEST``); shards additionally serve the replica
+transfer ops ``store.get_raw``/``store.put_raw`` (compressed blobs moved
+verbatim) and ``store.keys`` (the reshard scan).
 Error codes are the :data:`ERROR_CODES` vocabulary;
 :func:`raise_for_error` maps a reply onto the :mod:`repro.errors`
 hierarchy so client callers catch typed exceptions, never dicts.

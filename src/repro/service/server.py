@@ -442,6 +442,10 @@ class CompressionServer:
             return await loop.run_in_executor(
                 self._executor, self._do_store_get_raw, req_id, params
             )
+        if op == "store.keys":
+            return await loop.run_in_executor(
+                self._executor, self._do_store_keys, req_id
+            )
         if op == "store.stats":
             return protocol.encode_response(req_id, self._store_stats())
         raise ParameterError(f"unknown op {op!r}")
@@ -532,6 +536,15 @@ class CompressionServer:
         return protocol.encode_response(
             req_id, {"stored": True, "raw": True, "n": int(params["n"])}
         )
+
+    def _do_store_keys(self, req_id) -> bytes:
+        """Every key this shard holds, in wire form (tuples become lists).
+
+        The cluster reshard path scans the fleet with this to compute
+        which keys a membership change remaps.
+        """
+        keys = [list(k) if isinstance(k, tuple) else k for k in self.store.keys()]
+        return protocol.encode_response(req_id, {"keys": keys})
 
     def _do_store_get_raw(self, req_id, params: dict) -> list:
         if "key" not in params:

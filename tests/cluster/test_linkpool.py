@@ -1,0 +1,123 @@
+"""Link-pool regression: a cancelled call must not re-pool a dirty link.
+
+``_LinkPool.call`` used to close the leased link only on
+``asyncio.TimeoutError``; any other exception — notably a cancellation
+landing mid-``writelines``/``drain`` or while awaiting the response —
+re-pooled the connection as-is.  The next caller then read the *previous*
+request's late response off the shared socket: a stale frame with the
+wrong id (a ``ProtocolError``), or worse a torn one.
+
+These tests pin the fix with a slow echo server: cancel a call while the
+server is still composing the reply, then assert the very next call on
+the same pool gets a clean, correctly-correlated frame.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.cluster.gateway import _LinkPool
+from repro.service import protocol
+
+MAX_PAYLOAD = 1 << 20
+
+
+async def _echo_handler(reader, writer):
+    """Replies to each request after ``params['delay']`` seconds."""
+    try:
+        while True:
+            frame = await protocol.read_frame_async(reader, MAX_PAYLOAD)
+            if frame is None:
+                break
+            header, _payload = frame
+            params = header.get("params") or {}
+            await asyncio.sleep(float(params.get("delay", 0)))
+            writer.write(
+                protocol.encode_response(header.get("id"), {"echo": params})
+            )
+            await writer.drain()
+    except (ConnectionError, asyncio.CancelledError):
+        pass
+    finally:
+        writer.close()
+
+
+class TestCancelledCall:
+    def test_next_call_after_cancellation_gets_a_clean_frame(self):
+        async def run():
+            server = await asyncio.start_server(_echo_handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            pool = _LinkPool("127.0.0.1", port, 1, 10.0, MAX_PAYLOAD)
+            try:
+                # a successful warm-up call leaves one live pooled link
+                header, _ = await pool.call("echo", {"delay": 0, "tag": 1},
+                                            b"", {})
+                assert header["ok"]
+                # cancel mid-response-wait: the server will still write
+                # the reply for this request id onto the connection later
+                task = asyncio.ensure_future(
+                    pool.call("echo", {"delay": 0.5, "tag": 2}, b"", {})
+                )
+                await asyncio.sleep(0.1)
+                task.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await task
+                # with the old behavior the dirty link is re-pooled and
+                # this call reads the stale tag-2 reply (id mismatch →
+                # ProtocolError); fixed, it runs on a fresh connection
+                header, _ = await pool.call("echo", {"delay": 0, "tag": 3},
+                                            b"", {})
+                assert header["ok"]
+                assert header["result"]["echo"]["tag"] == 3
+            finally:
+                await pool.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(run())
+
+    def test_cancelled_link_is_aborted_before_repooling(self):
+        async def run():
+            server = await asyncio.start_server(_echo_handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            pool = _LinkPool("127.0.0.1", port, 1, 10.0, MAX_PAYLOAD)
+            try:
+                header, _ = await pool.call("echo", {"delay": 0}, b"", {})
+                assert header["ok"]
+                task = asyncio.ensure_future(
+                    pool.call("echo", {"delay": 0.5}, b"", {})
+                )
+                await asyncio.sleep(0.1)
+                task.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await task
+                link = pool._free.get_nowait()
+                assert link._writer is None  # disconnected, reconnects lazily
+                pool._free.put_nowait(link)
+            finally:
+                await pool.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(run())
+
+    def test_pool_close_aborts_links_returned_by_inflight_calls(self):
+        async def run():
+            server = await asyncio.start_server(_echo_handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            pool = _LinkPool("127.0.0.1", port, 1, 10.0, MAX_PAYLOAD)
+            try:
+                task = asyncio.ensure_future(
+                    pool.call("echo", {"delay": 0.3}, b"", {})
+                )
+                await asyncio.sleep(0.1)
+                await pool.close()  # link is leased: close() can't see it
+                header, _ = await task  # completes after the close
+                assert header["ok"]
+                link = pool._free.get_nowait()
+                assert link._writer is None  # aborted on return
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(run())
